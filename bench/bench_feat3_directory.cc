@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Feature 3 (claim Q1): directory duality and interdirectory
+ * interference.  Bitar (1985) derives the frequency of *changing* a
+ * block's dirty status — a write hit to a clean block — from Smith's
+ * data as 0.2% to 1.2% of memory references, concluding that
+ * non-identical directories are "probably not warranted on this ground"
+ * (but still useful against lock-waiter status updates).
+ *
+ * Experiment: measure the write-hit-to-clean frequency across workload
+ * points bracketing Smith's parameters (write fraction ~35%, miss
+ * ratios a few percent), plus the analytic reconstruction
+ *     f_whc ~= miss_ratio * P(fetched block is eventually written)
+ * and compare the interference of ID / DPR / NID organizations.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "proc/workloads/random_sharing.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct Point
+{
+    const char *label;
+    unsigned frames;       // cache size knob (sets the miss ratio)
+    double writeFraction;
+};
+
+struct Measured
+{
+    double whcFreq;        // write hits to clean blocks / references
+    double missRatio;
+    double analytic;       // miss_ratio * written-generation fraction
+    double interferenceId;
+    double interferenceNid;
+};
+
+Measured
+run(const Point &pt, DirectoryKind kind)
+{
+    SystemConfig cfg;
+    cfg.protocol = "illinois";
+    cfg.numProcessors = 4;
+    cfg.cache.geom.frames = pt.frames;
+    cfg.cache.geom.blockWords = 4;
+    cfg.cache.directory = kind;
+    cfg.directoryFromProtocol = false;
+    System sys(cfg);
+
+    for (unsigned i = 0; i < 4; ++i) {
+        RandomSharingParams p;
+        p.ops = 20000;
+        p.procId = i;
+        p.seed = 11 + i;
+        p.sharedBlocks = 8;
+        p.privateBlocks = 96;
+        p.sharedFraction = 0.15;
+        p.writeFraction = pt.writeFraction;
+        sys.addProcessor(std::make_unique<RandomSharingWorkload>(p));
+    }
+    sys.start();
+    sys.run(200'000'000);
+    if (!sys.allDone())
+        fatal("directory run did not finish");
+
+    Measured m{};
+    double refs = 0, whc = 0, misses = 0, fetches = 0, dirty_wb = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        Cache &c = sys.cache(i);
+        refs += c.accesses.value();
+        whc += c.directory().writeHitsToClean.value();
+        misses += c.missesBus.value();
+        fetches += c.missesBus.value();
+        dirty_wb += c.writebacks.value();
+        m.interferenceId += c.directory().interferenceEvents();
+    }
+    m.whcFreq = whc / refs;
+    m.missRatio = misses / refs;
+    // Analytic reconstruction: a block's dirty status changes at most
+    // once per generation; generations that end dirty were written.
+    double written_gen_frac =
+        fetches > 0 ? (whc + dirty_wb) / (2.0 * fetches) : 0;
+    m.analytic = m.missRatio * written_gen_frac;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Feature 3: directory duality — write-hit-to-clean "
+                "frequency (Bitar 1985: 0.2%%-1.2%%)\n\n");
+    std::printf("%-26s %10s %10s %12s %14s\n", "workload point",
+                "miss", "whc/refs", "analytic", "in 0.2-1.2%?");
+
+    const Point points[] = {
+        {"large cache, w=0.20", 256, 0.20},
+        {"large cache, w=0.35", 256, 0.35},
+        {"medium cache, w=0.35", 64, 0.35},
+        {"small cache, w=0.35", 24, 0.35},
+        {"small cache, w=0.50", 24, 0.50},
+    };
+
+    unsigned in_range = 0;
+    for (const auto &pt : points) {
+        Measured m = run(pt, DirectoryKind::IdenticalDual);
+        bool ok = m.whcFreq >= 0.002 && m.whcFreq <= 0.012;
+        in_range += ok;
+        std::printf("%-26s %9.2f%% %9.2f%% %11.2f%% %14s\n", pt.label,
+                    100 * m.missRatio, 100 * m.whcFreq,
+                    100 * m.analytic, ok ? "yes" : "no");
+    }
+
+    // Interference comparison at one representative point.
+    Measured id = run(points[2], DirectoryKind::IdenticalDual);
+    Measured dpr = run(points[2], DirectoryKind::DualPortedRead);
+    Measured nid = run(points[2], DirectoryKind::NonIdenticalDual);
+    std::printf("\nInterference events (medium cache, w=0.35):\n");
+    std::printf("  identical dual (ID):   %.0f\n", id.interferenceId);
+    std::printf("  dual-ported-read (DPR):%.0f (reads concurrent, "
+                "status writes still collide)\n", dpr.interferenceId);
+    std::printf("  non-identical (NID):   %.0f (dirty status only in "
+                "the processor directory)\n", nid.interferenceId);
+
+    bool ok = in_range >= 2 && nid.interferenceId == 0 &&
+              id.interferenceId > 0;
+    std::printf("\n%s\n",
+                ok ? "FEATURE 3 ANALYSIS REPRODUCED: dirty-status "
+                     "changes are rare (sub-%% of references), so NID "
+                     "directories are not warranted on this ground "
+                     "alone — but they do eliminate the interference."
+                   : "REPRODUCTION FAILED.");
+    return ok ? 0 : 1;
+}

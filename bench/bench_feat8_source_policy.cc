@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Feature 8: number of sources for a read-privilege block.  Three
+ * policies:
+ *
+ *  - ARB (Papamarcos & Patel): every holder may supply; arbitration
+ *    slows the transfer but memory is rarely needed;
+ *  - MEM (Katz et al.): a single source; if it purges, fetch from
+ *    memory;
+ *  - LRU,MEM (the proposal): the last fetcher becomes source, so LRU
+ *    replacement across caches reduces the chance of losing the source.
+ *
+ * Experiment: read-shared traffic with tight caches (frequent source
+ * purges); metrics: memory-supply fraction, source arbitrations, and
+ * mean read-miss latency.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "proc/workloads/random_sharing.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct Row
+{
+    double memFrac;
+    double arbs;
+    double missLatency;
+};
+
+Row
+run(const std::string &proto, unsigned frames)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.numProcessors = 4;
+    cfg.cache.geom.frames = frames;
+    cfg.cache.geom.blockWords = 4;
+    System sys(cfg);
+    for (unsigned i = 0; i < 4; ++i) {
+        RandomSharingParams p;
+        p.ops = 8000;
+        p.procId = i;
+        p.seed = 21 + i;
+        p.sharedBlocks = 12;
+        p.privateBlocks = frames;    // enough private traffic to purge
+        p.sharedFraction = 0.55;
+        p.writeFraction = 0.10;      // read-shared heavy
+        sys.addProcessor(std::make_unique<RandomSharingWorkload>(p));
+    }
+    sys.start();
+    sys.run(200'000'000);
+    if (!sys.allDone() || sys.checker().violations() != 0)
+        fatal("source-policy run failed (%s)", proto.c_str());
+
+    double fetches = sys.bus().memSupplies.value() +
+                     sys.bus().cacheSupplies.value();
+    double latency = 0, ops = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        latency += sys.cache(i).opLatency.mean() *
+                   double(sys.cache(i).opLatency.count());
+        ops += double(sys.cache(i).opLatency.count());
+    }
+    return Row{sys.bus().memSupplies.value() / fetches,
+               sys.bus().sourceArbitrations.value(),
+               latency / ops};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Feature 8: source policy for read-shared blocks\n");
+    std::printf("Read-heavy shared traffic, 4 processors; small caches "
+                "purge sources often.\n\n");
+
+    struct P
+    {
+        const char *proto;
+        const char *policy;
+    };
+    const P protos[] = {{"illinois", "ARB"},
+                        {"berkeley", "MEM"},
+                        {"bitar", "LRU,MEM"}};
+
+    for (unsigned frames : {16u, 48u}) {
+        std::printf("--- cache frames = %u ---\n", frames);
+        std::printf("%-12s %-9s %12s %14s %14s\n", "protocol",
+                    "policy", "mem-supplied", "arbitrations",
+                    "mean op lat.");
+        for (const auto &pp : protos) {
+            Row r = run(pp.proto, frames);
+            std::printf("%-12s %-9s %11.1f%% %14.0f %14.2f\n",
+                        pp.proto, pp.policy, 100 * r.memFrac, r.arbs,
+                        r.missLatency);
+        }
+        std::printf("\n");
+    }
+
+    Row arb = run("illinois", 16);
+    Row mem = run("berkeley", 16);
+    Row lru = run("bitar", 16);
+    // The paper's qualitative claims: ARB never needs arbitration-free
+    // memory fallback but pays arbitration; LRU (last fetcher) loses
+    // the source less often than a pinned single source under LRU-ish
+    // replacement.
+    bool ok = arb.arbs > 0 && mem.arbs == 0 && lru.arbs == 0 &&
+              arb.memFrac < lru.memFrac && lru.memFrac <= mem.memFrac;
+    std::printf("%s\n",
+                ok ? "FEATURE 8 ANALYSIS REPRODUCED: ARB avoids memory "
+                     "fetches at the price of arbitration; the "
+                     "last-fetcher-becomes-source rule loses the source "
+                     "less often than a pinned owner."
+                   : "SHAPE DIFFERS — see the table above.");
+    return ok ? 0 : 1;
+}

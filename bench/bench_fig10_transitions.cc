@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 10: Cache State Transitions — the full transition behavior of
+ * the proposed protocol, enumerated from live mini-systems rather than
+ * drawn by hand: every (state x processor request x other-cache status)
+ * and every snooped bus request.
+ */
+
+#include <cstdio>
+
+#include "coherence/protocol.hh"
+#include "core/transitions.hh"
+
+using namespace csync;
+
+int
+main()
+{
+    std::printf("==============================================================\n");
+    std::printf("Figure 10: Cache State Transitions (the proposal)\n");
+    std::printf("Every arc below was observed by driving a live system\n");
+    std::printf("through the labeled stimulus, not asserted by hand.\n");
+    std::printf("==============================================================\n\n");
+
+    auto arcs = enumerateTransitions("bitar");
+    std::printf("%s\n", renderTransitions(arcs, "bitar").c_str());
+
+    // Cross-check: every reached state is one of the paper's eight.
+    auto proto = makeProtocol("bitar");
+    auto legal = proto->statesUsed();
+    unsigned bad = 0;
+    for (const auto &t : arcs) {
+        bool ok = false;
+        for (State s : legal)
+            ok |= (s == t.to);
+        if (!ok) {
+            std::printf("ILLEGAL STATE REACHED: %s via [%s]\n",
+                        stateName(t.to).c_str(), t.label.c_str());
+            ++bad;
+        }
+    }
+    std::printf("%u arcs observed, %u illegal states "
+                "(\"arcs not shown would be bugs\").\n",
+                unsigned(arcs.size()), bad);
+    return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate itself:
+ * event-queue throughput and end-to-end simulated-cycles-per-second of a
+ * small system.  (The paper-reproduction benches are the bench_table,
+ * bench_fig and bench_sec binaries.)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "proc/workloads/random_sharing.hh"
+#include "sim/event_queue.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(Tick(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_SystemRandomSharing(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.protocol = "illinois";
+        cfg.numProcessors = 4;
+        cfg.cache.geom.frames = 64;
+        cfg.cache.geom.blockWords = 4;
+        System sys(cfg);
+        for (unsigned i = 0; i < 4; ++i) {
+            RandomSharingParams p;
+            p.ops = 2000;
+            p.procId = i;
+            p.seed = 42;
+            sys.addProcessor(
+                std::make_unique<RandomSharingWorkload>(p));
+        }
+        sys.start();
+        sys.run();
+        benchmark::DoNotOptimize(sys.bus().transactions.value());
+    }
+}
+BENCHMARK(BM_SystemRandomSharing);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cross-protocol comparison — the performance evaluation the paper
+ * defers to ("we look forward to obtaining performance statistics for
+ * our system", Section G.2), in the style of Archibald & Baer 1985:
+ * every protocol on the same random-sharing workload, sweeping the
+ * sharing intensity.  Metrics: bus utilization, bus transactions per
+ * memory reference, and mean reference latency.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "proc/workloads/random_sharing.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct Row
+{
+    double busUtil;
+    double txPerRef;
+    double meanLatency;
+    Tick cycles;
+};
+
+Row
+run(const std::string &proto, double shared_frac, unsigned procs)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.numProcessors = procs;
+    cfg.cache.geom.frames = 128;
+    cfg.cache.geom.blockWords = 4;
+    System sys(cfg);
+
+    auto features = makeProtocol(proto)->features();
+    for (unsigned i = 0; i < procs; ++i) {
+        RandomSharingParams p;
+        p.ops = 6000;
+        p.procId = i;
+        p.seed = 3 + i;
+        p.sharedBlocks = 16;
+        p.privateBlocks = 64;
+        p.sharedFraction = shared_frac;
+        p.writeFraction = 0.30;
+        p.privateHints = features.fetchUnsharedForWrite == 'S';
+        sys.addProcessor(std::make_unique<RandomSharingWorkload>(p));
+    }
+    sys.start();
+    Tick end = sys.run(400'000'000);
+    if (!sys.allDone() || sys.checker().violations() != 0)
+        fatal("comparison run failed (%s)", proto.c_str());
+
+    double refs = 0, latency = 0;
+    for (unsigned i = 0; i < procs; ++i) {
+        refs += sys.cache(i).accesses.value();
+        latency += sys.cache(i).opLatency.mean() *
+                   double(sys.cache(i).opLatency.count());
+    }
+    return Row{sys.bus().busyCycles.value() / double(end),
+               sys.bus().transactions.value() / refs, latency / refs,
+               end};
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *protos[] = {"classic_wt", "goodman", "synapse",
+                            "illinois", "yen", "berkeley", "bitar",
+                            "dragon", "firefly", "rudolph_segall"};
+
+    std::printf("Cross-protocol comparison (Archibald & Baer style)\n");
+    std::printf("4 processors, 6000 refs each, 30%% writes; sweep of "
+                "shared-data fraction.\n\n");
+
+    for (double sf : {0.05, 0.30, 0.60}) {
+        std::printf("--- shared fraction = %.0f%% ---\n", sf * 100);
+        std::printf("%-16s %10s %12s %12s %12s\n", "protocol",
+                    "bus util", "tx/ref", "mean lat.", "cycles");
+        double wt_util = 0, bitar_util = 0;
+        for (const char *proto : protos) {
+            Row r = run(proto, sf, 4);
+            std::printf("%-16s %9.1f%% %12.3f %12.2f %12llu\n", proto,
+                        100 * r.busUtil, r.txPerRef, r.meanLatency,
+                        (unsigned long long)r.cycles);
+            if (std::string(proto) == "classic_wt")
+                wt_util = r.txPerRef;
+            if (std::string(proto) == "bitar")
+                bitar_util = r.txPerRef;
+        }
+        std::printf("  (write-in generates %.1fx fewer transactions "
+                    "per reference than classic write-through)\n\n",
+                    wt_util / bitar_util);
+    }
+
+    std::printf("Scaling with processor count (shared fraction 30%%, "
+                "protocol bitar vs classic_wt):\n");
+    std::printf("%-6s %18s %18s\n", "P", "bitar bus util",
+                "classic_wt bus util");
+    bool saturates = false;
+    for (unsigned p : {2u, 4u, 8u, 12u}) {
+        Row b = run("bitar", 0.30, p);
+        Row w = run("classic_wt", 0.30, p);
+        std::printf("%-6u %17.1f%% %17.1f%%\n", p, 100 * b.busUtil,
+                    100 * w.busUtil);
+        if (p >= 8 && w.busUtil > 0.9 && b.busUtil < w.busUtil)
+            saturates = true;
+    }
+    std::printf("\n%s\n",
+                saturates
+                    ? "COMPARISON REPRODUCED: write-through saturates "
+                      "the single bus first; write-in schemes scale "
+                      "further (the motivation of Section D)."
+                    : "Shape differs; see tables above.");
+    return saturates ? 0 : 1;
+}

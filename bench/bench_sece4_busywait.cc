@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Section E.4 (claim Q5): efficient busy wait.  Two purposes:
+ *
+ *  1. "Eliminate unsuccessful retries from the bus."
+ *  2. "Relieve a waiting processor of polling the status of a lock,
+ *      allowing it to work while waiting."
+ *
+ * Experiment 1: contended single lock, waiter count swept; count
+ * unsuccessful lock attempts that reached the bus per acquisition, for
+ * test-and-set, test-and-test-and-set, cache-lock WITHOUT the busy-wait
+ * register (ablation: denied requests retry on the bus), and the full
+ * proposal (lock-waiter state + busy-wait register).
+ *
+ * Experiment 2: work while waiting — ready-section ops executed by
+ * waiting processors under the lock-interrupt handler.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "proc/workloads/critical_section.hh"
+#include "proc/workloads/random_sharing.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct Setup
+{
+    const char *label;
+    LockAlg alg;
+    bool busyWaitRegister;
+};
+
+double
+retriesPerAcq(const Setup &s, unsigned procs, bool www = false)
+{
+    SystemConfig cfg;
+    cfg.protocol = "bitar";
+    cfg.numProcessors = procs;
+    cfg.cache.geom.frames = 64;
+    cfg.cache.geom.blockWords = 4;
+    cfg.cache.useBusyWaitRegister = s.busyWaitRegister;
+    System sys(cfg);
+
+    const std::uint64_t iters = 100;
+    CriticalSectionParams p;
+    p.iterations = iters;
+    p.alg = s.alg;
+    p.numLocks = 1;
+    p.wordsPerCs = 1;
+    p.outsideThink = 4;
+    for (unsigned i = 0; i < procs; ++i) {
+        p.procId = i;
+        sys.addProcessor(std::make_unique<CriticalSectionWorkload>(p),
+                         www);
+    }
+    sys.start();
+    sys.run(100'000'000);
+    if (!sys.allDone() || sys.checker().violations() != 0)
+        fatal("busy-wait run failed: %s p=%u", s.label, procs);
+
+    double failures = 0;
+    for (unsigned i = 0; i < procs; ++i) {
+        auto &wl = static_cast<CriticalSectionWorkload &>(
+            sys.processor(i).workload());
+        if (s.alg == LockAlg::CacheLock)
+            failures += sys.cache(i).lockRetries.value();
+        else
+            failures += double(wl.lockDriver().rmwAttempts()) -
+                        double(wl.completed());
+    }
+    return failures / double(iters * procs);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section E.4: efficient busy wait (protocol: bitar)\n");
+    std::printf("Single contended lock; unsuccessful lock attempts on "
+                "the bus per acquisition.\n\n");
+
+    const Setup setups[] = {
+        {"test-and-set", LockAlg::TestAndSet, true},
+        {"test-and-test-and-set", LockAlg::TestTestSet, true},
+        {"lock state, no register", LockAlg::CacheLock, false},
+        {"lock state + bw register", LockAlg::CacheLock, true},
+    };
+    const unsigned procs[] = {2, 4, 8, 12};
+
+    std::printf("%-28s", "scheme");
+    for (unsigned p : procs)
+        std::printf("   P=%-6u", p);
+    std::printf("\n");
+
+    double proposal_total = 0;
+    for (const auto &s : setups) {
+        std::printf("%-28s", s.label);
+        for (unsigned p : procs) {
+            double r = retriesPerAcq(s, p);
+            std::printf(" %9.2f", r);
+            if (std::string(s.label) == "lock state + bw register")
+                proposal_total += r;
+        }
+        std::printf("\n");
+    }
+
+    // Experiment 2: work while waiting.
+    SystemConfig cfg;
+    cfg.protocol = "bitar";
+    cfg.numProcessors = 4;
+    cfg.cache.geom.frames = 64;
+    cfg.cache.geom.blockWords = 4;
+    System sys(cfg);
+    CriticalSectionParams p;
+    p.iterations = 100;
+    p.alg = LockAlg::CacheLock;
+    p.numLocks = 1;
+    p.wordsPerCs = 1;
+    p.readySectionOps = 8;    // the "ready section" of Section E.4
+    for (unsigned i = 0; i < 4; ++i) {
+        p.procId = i;
+        sys.addProcessor(std::make_unique<CriticalSectionWorkload>(p),
+                         /*work_while_waiting=*/true);
+    }
+    sys.start();
+    sys.run(100'000'000);
+    double ready_ops = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        ready_ops += sys.processor(i).readySectionOps.value();
+    std::printf("\nWork while waiting (lock-interrupt handler, P=4): "
+                "%.0f ops executed by processors\nwhile their lock "
+                "requests were pending in busy-wait registers.\n",
+                ready_ops);
+
+    // Experiment 3: the dedicated most-significant priority bit.  With
+    // competing data traffic on the bus, waiters arbitrating at normal
+    // priority wait in line behind it; the paper's priority bit front-
+    // runs the hand-off.
+    auto handoff = [](bool priority_bit) {
+        SystemConfig c;
+        c.protocol = "bitar";
+        c.numProcessors = 8;
+        c.cache.geom.frames = 64;
+        c.cache.geom.blockWords = 4;
+        c.cache.busyWaitPriority = priority_bit;
+        System s(c);
+        CriticalSectionParams cs;
+        cs.iterations = 80;
+        cs.alg = LockAlg::CacheLock;
+        cs.numLocks = 1;
+        cs.wordsPerCs = 1;
+        for (unsigned i = 0; i < 4; ++i) {
+            cs.procId = i;
+            s.addProcessor(
+                std::make_unique<CriticalSectionWorkload>(cs));
+        }
+        for (unsigned i = 4; i < 8; ++i) {
+            RandomSharingParams rp;
+            rp.ops = 100000;    // endless data traffic
+            rp.procId = i;
+            rp.seed = 31;
+            rp.thinkMax = 1;
+            s.addProcessor(std::make_unique<RandomSharingWorkload>(rp));
+        }
+        s.start();
+        while (!s.eventq().empty() && s.now() < 10'000'000) {
+            bool sync_done = true;
+            for (unsigned i = 0; i < 4; ++i)
+                sync_done &= s.processor(i).done();
+            if (sync_done)
+                break;
+            s.eventq().runSteps(2048);
+        }
+        double wait = 0, n = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            wait += s.cache(i).lockWaitTime.mean() *
+                    double(s.cache(i).lockWaitTime.count());
+            n += double(s.cache(i).lockWaitTime.count());
+        }
+        return n ? wait / n : 0.0;
+    };
+    double with_bit = handoff(true);
+    double without_bit = handoff(false);
+    std::printf("\nHand-off under competing data traffic (P=4 lockers + "
+                "4 data streams):\n  mean busy-wait with the priority "
+                "bit: %.1f cycles; without: %.1f cycles\n",
+                with_bit, without_bit);
+
+    bool ok = proposal_total == 0.0 && sys.allDone() &&
+              sys.checker().violations() == 0 && with_bit < without_bit;
+    std::printf("\n%s\n",
+                ok ? "SECTION E.4 REPRODUCED: the wait scheme "
+                     "eliminates ALL unsuccessful retries from the bus, "
+                     "and a processor can work while waiting."
+                   : "REPRODUCTION FAILED.");
+    return ok ? 0 : 1;
+}

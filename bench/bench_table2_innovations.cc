@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 2: Innovation Summary — every scheme group of the paper with
+ * behavioral evidence for each innovation ([measured] = the probe
+ * observed the behavior in the implementation).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/feature_audit.hh"
+
+using namespace csync;
+
+int
+main()
+{
+    std::printf("Reproducing Table 2: auditing all ten protocols...\n\n");
+    std::vector<FeatureAudit> audits;
+    for (const char *p :
+         {"classic_wt", "goodman", "synapse", "illinois", "yen",
+          "berkeley", "bitar", "dragon", "firefly", "rudolph_segall"}) {
+        audits.push_back(auditProtocol(p));
+    }
+    std::string t2 = renderTable2(audits);
+    std::printf("%s\n", t2.c_str());
+
+    bool all_measured = t2.find("[claimed]") == std::string::npos;
+    std::printf("%s\n", all_measured
+                            ? "TABLE 2 REPRODUCED (all innovations "
+                              "measured)."
+                            : "TABLE 2 PARTIALLY REPRODUCED (some "
+                              "innovations unverified).");
+    return all_measured ? 0 : 1;
+}

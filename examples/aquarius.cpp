@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Aquarius in miniature (Figure 11): the two switch-memory systems of
+ * the paper's Prolog architecture — the synchronization system (single
+ * full-broadcast bus, all hard atoms, the proposed protocol) and the
+ * data system (instructions and non-synchronization data on their own
+ * switch), plus an I/O processor doing input and page-out transfers on
+ * the side (Section E.2).
+ *
+ * Many medium-grained, lightweight "predicate processes" hammer shared
+ * service queues on the sync system while streaming private data on the
+ * data system.
+ *
+ * Usage: aquarius [processors]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "proc/workloads/random_sharing.hh"
+#include "proc/workloads/service_queue.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+int
+main(int argc, char **argv)
+{
+    unsigned procs = argc > 1 ? unsigned(std::atoi(argv[1])) : 4;
+
+    // Upper system of Figure 11: the synchronization bus.
+    SystemConfig sync_cfg;
+    sync_cfg.name = "sync";
+    sync_cfg.protocol = "bitar";
+    sync_cfg.numProcessors = procs;
+    sync_cfg.cache.geom.frames = 64;
+    sync_cfg.cache.geom.blockWords = 4;
+    sync_cfg.withIODevice = true;
+    System sync_sys(sync_cfg);
+
+    ServiceQueueParams q;
+    q.operations = 200;
+    q.alg = LockAlg::CacheLock;
+    for (unsigned i = 0; i < procs; ++i) {
+        q.procId = i;
+        sync_sys.addProcessor(
+            std::make_unique<ServiceQueueWorkload>(
+                q, i % 2 ? QueueRole::Consumer : QueueRole::Producer),
+            /*work_while_waiting=*/true);
+    }
+
+    // Lower system: instructions and non-synchronization data.
+    SystemConfig data_cfg;
+    data_cfg.name = "data";
+    data_cfg.protocol = "illinois";
+    data_cfg.numProcessors = procs;
+    data_cfg.cache.geom.frames = 128;
+    data_cfg.cache.geom.blockWords = 8;
+    System data_sys(data_cfg);
+    for (unsigned i = 0; i < procs; ++i) {
+        RandomSharingParams p;
+        p.ops = 8000;
+        p.procId = i;
+        p.seed = 17;
+        p.sharedFraction = 0.05;    // non-synchronization data
+        p.writeFraction = 0.3;
+        data_sys.addProcessor(
+            std::make_unique<RandomSharingWorkload>(p));
+    }
+
+    // The I/O processor pages blocks in and out of the sync system.
+    unsigned io_ops = 0;
+    std::function<void()> io_kick = [&]() {
+        if (io_ops >= 20)
+            return;
+        ++io_ops;
+        Addr block = 0x600000 + (io_ops % 4) * 0x20;
+        if (io_ops % 2) {
+            sync_sys.io()->input(block, {io_ops, io_ops, io_ops, io_ops},
+                                 [&](const std::vector<Word> &) {
+                                     io_kick();
+                                 });
+        } else {
+            sync_sys.io()->pageOut(block,
+                                   [&](const std::vector<Word> &) {
+                                       io_kick();
+                                   });
+        }
+    };
+
+    sync_sys.start();
+    data_sys.start();
+    io_kick();
+
+    // Run both systems to completion (they are independent switches).
+    Tick sync_end = sync_sys.run();
+    Tick data_end = data_sys.run();
+
+    std::printf("Aquarius architecture (Figure 11), %u PPs\n\n", procs);
+    std::printf("%-30s %14s %14s\n", "", "sync system", "data system");
+    std::printf("%-30s %14llu %14llu\n", "cycles to finish",
+                (unsigned long long)sync_end,
+                (unsigned long long)data_end);
+    std::printf("%-30s %13.1f%% %13.1f%%\n", "bus utilization",
+                100 * sync_sys.bus().busyCycles.value() /
+                    double(sync_end),
+                100 * data_sys.bus().busyCycles.value() /
+                    double(data_end));
+    std::printf("%-30s %14.0f %14.0f\n", "bus transactions",
+                sync_sys.bus().transactions.value(),
+                data_sys.bus().transactions.value());
+    std::printf("%-30s %14.0f %14s\n", "unlock broadcasts",
+                sync_sys.bus().typeCount(BusReq::UnlockBroadcast), "-");
+    std::printf("%-30s %14.0f %14s\n", "I/O transfers",
+                sync_sys.io()->inputs.value() +
+                    sync_sys.io()->pageOuts.value(),
+                "-");
+    double ready = 0;
+    for (unsigned i = 0; i < procs; ++i)
+        ready += sync_sys.processor(i).readySectionOps.value();
+    std::printf("%-30s %14.0f %14s\n", "work-while-waiting ops", ready,
+                "-");
+    std::printf("%-30s %14llu %14llu\n", "checker violations",
+                (unsigned long long)sync_sys.checker().violations(),
+                (unsigned long long)data_sys.checker().violations());
+
+    bool ok = sync_sys.checker().violations() == 0 &&
+              data_sys.checker().violations() == 0 &&
+              sync_sys.allDone() && data_sys.allDone();
+    std::printf("\n%s\n", ok ? "ok" : "FAILED");
+    return ok ? 0 : 1;
+}

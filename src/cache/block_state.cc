@@ -1,0 +1,72 @@
+#include "cache/block_state.hh"
+
+namespace csync
+{
+
+std::string
+stateName(State s)
+{
+    if (!isValid(s))
+        return "Invalid";
+    std::string out;
+    if (isLocked(s))
+        out = "Lock";
+    else if (canWrite(s))
+        out = "Write";
+    else
+        out = "Read";
+    if (isSource(s))
+        out += ",Source";
+    if (isValid(s) && !isLocked(s))
+        out += isDirty(s) ? ",Dirty" : ",Clean";
+    else if (isDirty(s))
+        out += ",Dirty";
+    if (hasWaiter(s))
+        out += ",Waiter";
+    if (isSharedHint(s))
+        out += ",Shared";
+    if (wroteOnce(s))
+        out += ",WroteOnce";
+    return out;
+}
+
+std::string
+stateAbbrev(State s)
+{
+    if (!isValid(s))
+        return "I";
+    std::string out;
+    if (isLocked(s))
+        out = "L";
+    else if (canWrite(s))
+        out = "W";
+    else
+        out = "R";
+    if (isSource(s))
+        out += ".S";
+    out += isDirty(s) ? ".D" : ".C";
+    if (hasWaiter(s))
+        out += ".W";
+    if (isSharedHint(s))
+        out += ".sh";
+    return out;
+}
+
+const std::vector<State> &
+table1StateRows()
+{
+    static const std::vector<State> rows = {
+        Inv,
+        Rd,
+        RdSrcCln,
+        RdSrcDty,
+        WrCln,          // non-source clean write (Goodman's Reserved)
+        WrSrcCln,
+        WrSrcDty,
+        LkSrcDty,
+        LkSrcDtyWt,
+    };
+    return rows;
+}
+
+} // namespace csync

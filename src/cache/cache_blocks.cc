@@ -1,0 +1,105 @@
+#include "cache/cache_blocks.hh"
+
+namespace csync
+{
+
+CacheBlocks::CacheBlocks(const CacheGeometry &geom) : geom_(geom)
+{
+    sim_assert(geom_.frames > 0, "cache needs at least one frame");
+    sim_assert(geom_.blockWords > 0, "block size must be positive");
+    sim_assert((geom_.blockWords & (geom_.blockWords - 1)) == 0,
+               "block words must be a power of two");
+    frames_.resize(geom_.frames);
+    for (auto &f : frames_)
+        f.data.assign(geom_.blockWords, 0);
+}
+
+unsigned
+CacheBlocks::setIndex(Addr block_addr) const
+{
+    if (geom_.ways == 0)
+        return 0;
+    return unsigned((block_addr / geom_.blockBytes()) % geom_.sets());
+}
+
+std::pair<unsigned, unsigned>
+CacheBlocks::setRange(Addr block_addr) const
+{
+    if (geom_.ways == 0)
+        return {0, geom_.frames};
+    unsigned set = setIndex(block_addr);
+    return {set * geom_.ways, (set + 1) * geom_.ways};
+}
+
+Frame *
+CacheBlocks::find(Addr block_addr)
+{
+    auto [lo, hi] = setRange(block_addr);
+    for (unsigned i = lo; i < hi; ++i) {
+        if (frames_[i].valid() && frames_[i].blockAddr == block_addr)
+            return &frames_[i];
+    }
+    return nullptr;
+}
+
+const Frame *
+CacheBlocks::find(Addr block_addr) const
+{
+    return const_cast<CacheBlocks *>(this)->find(block_addr);
+}
+
+Frame *
+CacheBlocks::victim(Addr block_addr)
+{
+    auto [lo, hi] = setRange(block_addr);
+    Frame *invalid = nullptr;
+    Frame *lru_unlocked = nullptr;
+    Frame *lru_any = nullptr;
+    for (unsigned i = lo; i < hi; ++i) {
+        Frame &f = frames_[i];
+        if (!f.valid()) {
+            if (!invalid)
+                invalid = &f;
+            continue;
+        }
+        if (!lru_any || f.lastUse < lru_any->lastUse)
+            lru_any = &f;
+        if (!isLocked(f.state) &&
+            (!lru_unlocked || f.lastUse < lru_unlocked->lastUse)) {
+            lru_unlocked = &f;
+        }
+    }
+    if (invalid)
+        return invalid;
+    if (lru_unlocked)
+        return lru_unlocked;
+    return lru_any;
+}
+
+void
+CacheBlocks::forEachValid(const std::function<void(Frame &)> &fn)
+{
+    for (auto &f : frames_)
+        if (f.valid())
+            fn(f);
+}
+
+void
+CacheBlocks::forEachValid(const std::function<void(const Frame &)> &fn) const
+{
+    for (const auto &f : frames_)
+        if (f.valid())
+            fn(f);
+}
+
+unsigned
+CacheBlocks::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &f : frames_)
+        if (f.valid())
+            ++n;
+    return n;
+}
+
+} // namespace csync

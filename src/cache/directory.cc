@@ -1,0 +1,58 @@
+#include "cache/directory.hh"
+
+namespace csync
+{
+
+const char *
+directoryKindCode(DirectoryKind kind)
+{
+    switch (kind) {
+      case DirectoryKind::IdenticalDual: return "ID";
+      case DirectoryKind::NonIdenticalDual: return "NID";
+      case DirectoryKind::DualPortedRead: return "DPR";
+      default: return "?";
+    }
+}
+
+DirectoryModel::DirectoryModel(DirectoryKind kind, stats::Group *parent)
+    : statsGroup("directory", parent),
+      procAccesses(&statsGroup, "procAccesses",
+                   "processor references consulting the directory"),
+      busSnoops(&statsGroup, "busSnoops",
+                "bus requests consulting the directory"),
+      writeHitsToClean(&statsGroup, "writeHitsToClean",
+                       "write hits changing a block clean->dirty"),
+      waiterStatusWrites(&statsGroup, "waiterStatusWrites",
+                         "bus-side waiter status writes (lock-waiter)"),
+      kind_(kind)
+{
+}
+
+void
+DirectoryModel::noteWriteHitToClean()
+{
+    ++writeHitsToClean;
+}
+
+void
+DirectoryModel::noteWaiterStatusWrite()
+{
+    ++waiterStatusWrites;
+}
+
+double
+DirectoryModel::interferenceEvents() const
+{
+    switch (kind_) {
+      case DirectoryKind::IdenticalDual:
+      case DirectoryKind::DualPortedRead:
+        // Every status write serializes against the other side (DPR has
+        // concurrent reads, but writes still collide).
+        return writeHitsToClean.value() + waiterStatusWrites.value();
+      case DirectoryKind::NonIdenticalDual:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace csync

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Directory-duality model (Feature 3).  We do not simulate SRAM ports;
+ * we count the events the paper reasons about: status *writes* that must
+ * touch the directory serving the other side of the cache.
+ *
+ *  - Identical dual (ID): a dirty-status change (processor side) must be
+ *    written into the bus directory, and a waiter-status change (bus side)
+ *    into the processor directory — both interfere.
+ *  - Dual-ported-read (DPR): one directory, two read ports — reads are
+ *    concurrent but every status write still serializes the ports.
+ *  - Non-identical dual (NID): dirty status lives only in the processor
+ *    directory and waiter status only in the bus directory — neither
+ *    interferes (the paper's proposal).
+ *
+ * The model also tracks the *write hit to a clean block* frequency that
+ * Bitar (1985) derives from Smith's data (0.2%-1.2% of references) to
+ * decide whether NID is warranted.
+ */
+
+#ifndef CSYNC_CACHE_DIRECTORY_HH
+#define CSYNC_CACHE_DIRECTORY_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace csync
+{
+
+/** Directory organizations from Table 1, Feature 3. */
+enum class DirectoryKind
+{
+    IdenticalDual,
+    NonIdenticalDual,
+    DualPortedRead,
+};
+
+/** Short table code for a directory kind ("ID" / "NID" / "DPR"). */
+const char *directoryKindCode(DirectoryKind kind);
+
+/**
+ * Interference bookkeeping for one cache.
+ */
+class DirectoryModel
+{
+  public:
+    DirectoryModel(DirectoryKind kind, stats::Group *parent);
+
+    DirectoryKind kind() const { return kind_; }
+
+    /** A processor reference consulted the processor directory. */
+    void noteProcAccess() { ++procAccesses; }
+
+    /** A bus snoop consulted the bus directory. */
+    void noteBusSnoop() { ++busSnoops; }
+
+    /** A processor write hit a clean block (dirty status changes). */
+    void noteWriteHitToClean();
+
+    /** The bus controller set/cleared waiter status (lock-waiter). */
+    void noteWaiterStatusWrite();
+
+    /** Interference events implied by the directory organization. */
+    double interferenceEvents() const;
+
+    /** @name Statistics */
+    /// @{
+    stats::Group statsGroup;
+    stats::Scalar procAccesses;
+    stats::Scalar busSnoops;
+    stats::Scalar writeHitsToClean;
+    stats::Scalar waiterStatusWrites;
+    /// @}
+
+  private:
+    DirectoryKind kind_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_CACHE_DIRECTORY_HH

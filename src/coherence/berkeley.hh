@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Katz, Eggers, Wood, Perkins & Sheldon protocol (12th ISCA, 1985) —
+ * "Berkeley ownership", Table 1, column 5.  States: Invalid, Read
+ * (shared), Read-Dirty (owned/shared-dirty), Write-Clean, Write-Dirty.
+ *
+ * Distinctive features per the paper: the dirty *read* state — a dirty
+ * block transferred on a read request is not flushed, so the provider
+ * stays its (single) source (Feature 7 'NF,S'); a single source per
+ * block, falling back to memory if the source purges (Feature 8 'MEM');
+ * static determination of unshared data (Feature 5 'S'); dual-ported-read
+ * directory (Feature 3 'DPR').
+ */
+
+#ifndef CSYNC_COHERENCE_BERKELEY_HH
+#define CSYNC_COHERENCE_BERKELEY_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Katz et al. 1985 (Berkeley). */
+class BerkeleyProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "berkeley"; }
+    std::string citation() const override { return "Katz et al. 1985"; }
+    ProtocolStyle style() const override { return ProtocolStyle::WriteIn; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_BERKELEY_HH

@@ -1,0 +1,106 @@
+#include "coherence/classic_wt.hh"
+
+#include "cache/cache.hh"
+
+namespace csync
+{
+
+Features
+ClassicWtProtocol::features() const
+{
+    Features ft;
+    ft.cacheToCache = false;
+    ft.serializesConflicts = false;   // the paper's historical claim
+    ft.distributedState = "R";
+    ft.directory = DirectoryKind::IdenticalDual;
+    ft.directorySpecified = true;
+    ft.busInvalidateSignal = false;
+    ft.fetchUnsharedForWrite = 0;
+    ft.atomicRmw = false;
+    ft.flushPolicy = "";
+    ft.sourcePolicy = "";
+    ft.writeNoFetch = false;
+    ft.efficientBusyWait = false;
+    return ft;
+}
+
+std::vector<State>
+ClassicWtProtocol::statesUsed() const
+{
+    return {Inv, Rd};
+}
+
+ProcAction
+ClassicWtProtocol::procRead(Cache &, Frame *f, const MemOp &)
+{
+    if (f && canRead(f->state))
+        return ProcAction::hit();
+    return ProcAction::busFinal(BusReq::ReadShared);
+}
+
+ProcAction
+ClassicWtProtocol::procWrite(Cache &, Frame *, const MemOp &)
+{
+    // Every write goes through to memory and broadcasts an invalidation;
+    // write misses do not allocate.
+    return ProcAction::busFinal(BusReq::WriteWord);
+}
+
+void
+ClassicWtProtocol::finishBus(Cache &, const BusMsg &msg,
+                             const SnoopResult &, Frame &f)
+{
+    switch (msg.req) {
+      case BusReq::ReadShared:
+        f.state = Rd;
+        break;
+      case BusReq::WriteWord:
+        // Our own copy (if any) stays valid; memory was updated.
+        break;
+      default:
+        panic("classic_wt: unexpected bus completion %s",
+              busReqName(msg.req));
+    }
+}
+
+SnoopReply
+ClassicWtProtocol::snoop(Cache &, const BusMsg &msg, Frame *f)
+{
+    SnoopReply r;
+    if (!f || !isValid(f->state))
+        return r;
+
+    switch (msg.req) {
+      case BusReq::ReadShared:
+      case BusReq::IOReadKeepSource:
+        // Memory is always current; caches never supply.
+        r.hasCopy = true;
+        return r;
+
+      case BusReq::WriteWord:
+      case BusReq::ReadExclusive:
+      case BusReq::Upgrade:
+      case BusReq::IOInvalidate:
+      case BusReq::WriteNoFetch:
+        r.hasCopy = true;
+        f->state = Inv;
+        return r;
+
+      default:
+        return r;
+    }
+}
+
+bool
+ClassicWtProtocol::evictNeedsWriteback(Cache &, const Frame &) const
+{
+    return false;    // memory is always current
+}
+
+namespace
+{
+const bool registered = ProtocolRegistry::registerProtocol(
+    "classic_wt", [] { return std::make_unique<ClassicWtProtocol>(); });
+} // anonymous namespace
+
+} // namespace csync

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The classic (pre-1978) dual-directory write-through scheme described by
+ * Censier & Feautrier and used in early dual-processor systems
+ * (Section F.1).  Every write goes through to main memory and its address
+ * is broadcast so any other cache invalidates its copy; the dual
+ * directory merely filters irrelevant invalidations.  States: Invalid,
+ * Valid.  Write misses do not allocate.
+ *
+ * Note: the paper observes this scheme "does not guarantee that
+ * conflicting single reads and writes will be serialized" on real
+ * hardware (buffered write-behind); in this simulator every write-through
+ * is an atomic bus transaction, so the behavior here is the idealized,
+ * serialized variant.  The Features entry preserves the paper's claim.
+ */
+
+#ifndef CSYNC_COHERENCE_CLASSIC_WT_HH
+#define CSYNC_COHERENCE_CLASSIC_WT_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Classic write-through with invalidation broadcast. */
+class ClassicWtProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "classic_wt"; }
+    std::string citation() const override
+    {
+        return "classic pre-1978 (Censier & Feautrier 1978 description)";
+    }
+    ProtocolStyle style() const override
+    {
+        return ProtocolStyle::WriteThrough;
+    }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+    bool evictNeedsWriteback(Cache &c, const Frame &f) const override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_CLASSIC_WT_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The Xerox Dragon protocol (McCreight 1984; as reported by Archibald &
+ * Baer) — Section D.1's write-in/write-update hybrid.  A block is
+ * *shared* if it currently resides in more than one cache, determined
+ * dynamically from the bus hit line.  Writes to shared blocks are
+ * broadcast word updates to the other caches (memory is NOT updated — the
+ * last writer becomes the owner, the Shared-Modified state); writes to
+ * unshared blocks are ordinary write-in.
+ *
+ * State mapping: Exclusive-clean = Write/Source/Clean; Modified =
+ * Write/Source/Dirty; Shared-clean = Valid+Shared; Shared-modified
+ * (owner) = Valid+Source+Dirty+Shared.
+ */
+
+#ifndef CSYNC_COHERENCE_DRAGON_HH
+#define CSYNC_COHERENCE_DRAGON_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Dragon write-update hybrid. */
+class DragonProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "dragon"; }
+    std::string citation() const override { return "McCreight 1984"; }
+    ProtocolStyle style() const override { return ProtocolStyle::Hybrid; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+    bool evictNeedsWriteback(Cache &c, const Frame &f) const override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_DRAGON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The DEC Firefly protocol (as reported by Archibald & Baer) — the second
+ * write-in/write-update hybrid of Section D.1.  Like Dragon, sharing is
+ * determined dynamically with the bus hit line; unlike Dragon, writes to
+ * shared blocks update *main memory as well* as the other caches, so
+ * there is no shared-dirty owner state: shared blocks are always clean.
+ *
+ * State mapping: Exclusive-clean = Write/Source/Clean; Modified =
+ * Write/Source/Dirty; Shared = Valid+Shared (always clean).
+ */
+
+#ifndef CSYNC_COHERENCE_FIREFLY_HH
+#define CSYNC_COHERENCE_FIREFLY_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** DEC Firefly write-update hybrid. */
+class FireflyProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "firefly"; }
+    std::string citation() const override
+    {
+        return "DEC Firefly (Archibald & Baer 1985)";
+    }
+    ProtocolStyle style() const override { return ProtocolStyle::Hybrid; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+    bool evictNeedsWriteback(Cache &c, const Frame &f) const override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_FIREFLY_HH

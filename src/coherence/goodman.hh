@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Goodman's write-once protocol (10th ISCA, 1983) — the first
+ * full-broadcast write-in scheme (Table 1, column 1).
+ *
+ * States: Invalid, Valid (read), Reserved (write privilege, clean,
+ * non-source), Dirty (write privilege, dirty, source).  The original
+ * Multibus did not allow an invalidation signal while a block is fetched,
+ * so the *first* write to a block goes through to memory as a word write
+ * that also invalidates other copies; the block becomes dirty (and the
+ * cache becomes its source) only on the second write.  Dirty blocks are
+ * flushed to memory as they are transferred cache-to-cache, so they
+ * always arrive clean.
+ */
+
+#ifndef CSYNC_COHERENCE_GOODMAN_HH
+#define CSYNC_COHERENCE_GOODMAN_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Goodman 1983 write-once. */
+class GoodmanProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "goodman"; }
+    std::string citation() const override { return "Goodman 1983"; }
+    ProtocolStyle style() const override { return ProtocolStyle::WriteIn; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_GOODMAN_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Papamarcos & Patel protocol (11th ISCA, 1984) — "Illinois", the
+ * ancestor of MESI (Table 1, column 3).  States: Invalid, Shared,
+ * Exclusive-clean, Modified.
+ *
+ * Distinctive features per the paper: cache-to-cache transfer for *clean*
+ * blocks too (any cache holding a copy may supply it, so potential
+ * sources must arbitrate — Feature 8 'ARB'); dynamic determination of
+ * unshared status via the open-collector hit line, so a read miss to
+ * unshared data fetches write privilege (Feature 5 'D'); dirty blocks are
+ * flushed to memory as they are transferred (Feature 7 'F').
+ */
+
+#ifndef CSYNC_COHERENCE_ILLINOIS_HH
+#define CSYNC_COHERENCE_ILLINOIS_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Papamarcos & Patel 1984. */
+class IllinoisProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "illinois"; }
+    std::string citation() const override
+    {
+        return "Papamarcos & Patel 1984";
+    }
+    ProtocolStyle style() const override { return ProtocolStyle::WriteIn; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_ILLINOIS_HH

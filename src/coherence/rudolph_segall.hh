@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Rudolph & Segall protocol (11th ISCA, 1984) — the dynamic
+ * write-through/write-in hybrid of Sections D.1 and E.4.  A block is
+ * unshared if a processor writes it twice while no other processor
+ * accesses it: the first write to a (possibly) shared block is a
+ * broadcast write-through (updating other caches and memory); a second
+ * consecutive write with no intervening access by another processor
+ * invalidates the other copies and switches to write-in.
+ *
+ * The published protocol fixes block size at one word so that
+ * write-throughs can update *invalid* copies too; per the paper's
+ * critique (Section E.4) we implement the update of valid copies only,
+ * and the benches run this protocol with one-word blocks.
+ *
+ * State mapping: shared read = Valid+Shared; shared-read-after-my-write =
+ * Valid+Shared+WroteOnce; exclusive clean = Write/Source/Clean; private
+ * written = Write/Source/Dirty.
+ */
+
+#ifndef CSYNC_COHERENCE_RUDOLPH_SEGALL_HH
+#define CSYNC_COHERENCE_RUDOLPH_SEGALL_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Rudolph & Segall 1984. */
+class RudolphSegallProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "rudolph_segall"; }
+    std::string citation() const override
+    {
+        return "Rudolph & Segall 1984";
+    }
+    ProtocolStyle style() const override { return ProtocolStyle::Hybrid; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+    bool evictNeedsWriteback(Cache &c, const Frame &f) const override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_RUDOLPH_SEGALL_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Frank's Synapse N+1 protocol (Electronics, Jan. 1984) — Table 1,
+ * column 2.  States: Invalid, Valid, Dirty.  The proprietary Synapse bus
+ * supports an explicit invalidate signal concurrent with a block fetch
+ * (Feature 4), so the clean write state of Goodman is not useful.  Source
+ * status is *not* fully distributed: main memory keeps a source bit per
+ * block saying whether a cache owns the latest version (Feature 2 "RWD").
+ * A source cache provides data only for a write-privilege request; a
+ * read-privilege request to a dirty block makes the owner flush it first
+ * and memory supply it on a retry (Feature 7 'NF', Table 1 note 1).
+ */
+
+#ifndef CSYNC_COHERENCE_SYNAPSE_HH
+#define CSYNC_COHERENCE_SYNAPSE_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Frank 1984 (Synapse N+1). */
+class SynapseProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "synapse"; }
+    std::string citation() const override { return "Frank 1984 (Synapse)"; }
+    ProtocolStyle style() const override { return ProtocolStyle::WriteIn; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+    void onEvict(Cache &c, Frame &f) override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_SYNAPSE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Yen, Yen & Fu protocol (IEEE-TC, Jan. 1985) — Table 1, column 4.
+ * "The states here are those of Goodman" (Section F.2), but the bus has
+ * an explicit invalidate signal (Feature 4), and unshared data is fetched
+ * for write privilege on a read miss using a *static* determination: the
+ * compiler employs a special read-for-write-privilege instruction for all
+ * reads of unshared data (Feature 5 'S'), carried here by the
+ * MemOp::privateHint bit.
+ */
+
+#ifndef CSYNC_COHERENCE_YEN_HH
+#define CSYNC_COHERENCE_YEN_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/** Yen, Yen, Fu 1985. */
+class YenProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "yen"; }
+    std::string citation() const override { return "Yen, Yen & Fu 1985"; }
+    ProtocolStyle style() const override { return ProtocolStyle::WriteIn; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_YEN_HH

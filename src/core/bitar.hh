@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's proposed protocol (Bitar & Despain 1986, Sections E-F):
+ * a full-broadcast, write-in protocol with eight block states —
+ *
+ *   Invalid; Read; Read,Source,Clean; Read,Source,Dirty;
+ *   Write,Source,Clean; Write,Source,Dirty;
+ *   Lock,Source,Dirty; Lock,Source,Dirty,Waiter
+ *
+ * — and these distinctive mechanisms:
+ *
+ *  - cache-state locking: the lock instruction is a read that fetches the
+ *    first block of the atom with write privilege and locks it; lock and
+ *    unlock usually take zero time and zero bus traffic (Section E.3);
+ *  - the lock-waiter state: a request to a locked block is answered
+ *    "busy", the locker records the waiter, and the requester arms its
+ *    busy-wait register (Figure 7);
+ *  - the unlock broadcast + high-priority arbitration handoff
+ *    (Figures 8-9), eliminating all unsuccessful retries from the bus;
+ *  - last-fetcher-becomes-source ("LRU,MEM" source policy, Feature 8);
+ *  - dynamic fetch-for-write-privilege on a read miss via the hit line
+ *    (Figure 1, Feature 5 'D');
+ *  - write-without-fetch (Feature 9);
+ *  - no flush on cache-to-cache transfer, clean/dirty status transferred
+ *    with the block (Feature 7 'NF,S');
+ *  - the locked-block purge fallback: a purged lock moves to a memory
+ *    lock tag and returns on the holder's next access (Section E.3).
+ */
+
+#ifndef CSYNC_CORE_BITAR_HH
+#define CSYNC_CORE_BITAR_HH
+
+#include "coherence/protocol.hh"
+
+namespace csync
+{
+
+/**
+ * The proposed protocol.
+ */
+class BitarProtocol : public Protocol
+{
+  public:
+    std::string name() const override { return "bitar"; }
+    std::string citation() const override
+    {
+        return "Bitar & Despain 1986 (this paper's proposal)";
+    }
+    ProtocolStyle style() const override { return ProtocolStyle::WriteIn; }
+    bool supportsLockOps() const override { return true; }
+    bool supportsWriteNoFetch() const override { return true; }
+    Features features() const override;
+    std::vector<State> statesUsed() const override;
+
+    ProcAction procRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procWrite(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procRmw(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procLockRead(Cache &c, Frame *f, const MemOp &op) override;
+    ProcAction procUnlockWrite(Cache &c, Frame *f,
+                               const MemOp &op) override;
+    ProcAction procWriteNoFetch(Cache &c, Frame *f,
+                                const MemOp &op) override;
+
+    void finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
+                   Frame &f) override;
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+
+    bool evictNeedsWriteback(Cache &c, const Frame &f) const override;
+    void onEvict(Cache &c, Frame &f) override;
+};
+
+} // namespace csync
+
+#endif // CSYNC_CORE_BITAR_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10 reproduction: enumerate the cache-state transitions of a
+ * protocol by driving live mini-systems through every meaningful
+ * (state × processor-request × other-cache-status) and
+ * (state × snooped-bus-request) combination and recording what actually
+ * happened.  The arc labels follow the figure: "ProcRequest : BusRequest
+ * : StatusInOtherCache" for processor-induced arcs and "BusRequest" for
+ * bus-induced arcs.
+ */
+
+#ifndef CSYNC_CORE_TRANSITIONS_HH
+#define CSYNC_CORE_TRANSITIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/block_state.hh"
+
+namespace csync
+{
+
+/** One observed transition arc. */
+struct Transition
+{
+    /** Starting state of the observed cache. */
+    State from = Inv;
+    /** Resulting state. */
+    State to = Inv;
+    /** Arc label ("Read : ReadShared : Invalid" or "ReadLock"). */
+    std::string label;
+    /** True for processor-induced arcs, false for snooped (bus) arcs. */
+    bool processorSide = true;
+    /** Extra notes ("busy wait begins", "unlock broadcast", ...). */
+    std::string note;
+};
+
+/** Other-cache status dimension for processor-side arcs. */
+enum class OtherStatus
+{
+    None,          // block in no other cache
+    ReadSource,    // read copy with source status in another cache
+    ReadNoSource,  // read copy, but no source cache exists (Figure 2)
+    DirtyCopy,     // dirty write copy in another cache
+    Locked,        // locked in another cache
+};
+
+/** Human-readable name. */
+const char *otherStatusName(OtherStatus s);
+
+/**
+ * Enumerate processor- and bus-induced transitions of @p protocol.
+ * Works for any registered protocol; the Figure 10 bench uses "bitar".
+ */
+std::vector<Transition> enumerateTransitions(const std::string &protocol);
+
+/** Render the transition list as a Figure 10-style table. */
+std::string renderTransitions(const std::vector<Transition> &arcs,
+                              const std::string &protocol);
+
+} // namespace csync
+
+#endif // CSYNC_CORE_TRANSITIONS_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The single, atomic, full-broadcast bus (Section A.2).  At each setting
+ * of the interconnect exactly one requester broadcasts its request; every
+ * other cache snoops it and answers over wired-OR lines (hit, dirty
+ * status, busy/locked); the block is supplied by the source cache if one
+ * exists, otherwise by main memory.
+ *
+ * Arbitration is round-robin, except that a request posted with
+ * BusPriority::BusyWait uses the dedicated most-significant priority bit
+ * the paper gives to busy-wait registers (Section E.4), and always wins
+ * over normal requests.
+ */
+
+#ifndef CSYNC_MEM_BUS_HH
+#define CSYNC_MEM_BUS_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/bus_msg.hh"
+#include "mem/memory.hh"
+#include "mem/timing.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace csync
+{
+
+/** Arbitration priority classes. */
+enum class BusPriority : int
+{
+    Normal = 0,
+    /** The dedicated high-priority level used by busy-wait registers when
+     *  an unlock broadcast fires (Section E.4). */
+    BusyWait = 1,
+};
+
+/**
+ * Interface every bus client (cache or I/O device) implements.
+ */
+class BusClient
+{
+  public:
+    virtual ~BusClient() = default;
+
+    /** Unique id of this node on the bus. */
+    virtual NodeId nodeId() const = 0;
+
+    /**
+     * The client won arbitration.  Fill in @p msg and return true, or
+     * return false to decline (e.g. the awaited lock was already taken by
+     * another winner).
+     */
+    virtual bool busGrant(BusMsg &msg) = 0;
+
+    /**
+     * Snoop a transaction broadcast by another node.  The client applies
+     * its own state changes and answers with what it drove onto the
+     * bus lines.
+     */
+    virtual SnoopReply snoop(const BusMsg &msg) = 0;
+
+    /** The client's own transaction completed. */
+    virtual void busComplete(const BusMsg &msg, const SnoopResult &res) = 0;
+};
+
+/**
+ * The broadcast bus: arbitration, snooping, data routing, and timing.
+ */
+class Bus : public SimObject
+{
+  public:
+    Bus(std::string name, EventQueue *eq, Memory *memory,
+        const BusTiming &timing, stats::Group *stats_parent);
+
+    /** Attach a client (caches in nodeId order, then I/O devices). */
+    void addClient(BusClient *client);
+
+    /** Main memory behind the bus. */
+    Memory &memory() { return *memory_; }
+
+    /** Timing parameters. */
+    const BusTiming &timing() const { return timing_; }
+
+    /**
+     * Post a bus request for @p client.  A client has at most one pending
+     * request; re-posting updates its priority.
+     */
+    void request(BusClient *client, BusPriority pri = BusPriority::Normal);
+
+    /** Withdraw a pending request (e.g. busy-wait loser). */
+    void cancel(BusClient *client);
+
+    /** True if @p client currently has a request queued. */
+    bool requestPending(const BusClient *client) const;
+
+    /** True while a transaction is in flight. */
+    bool busy() const { return busy_; }
+
+    /** @name Statistics */
+    /// @{
+    stats::Group statsGroup;
+    stats::Scalar transactions;
+    stats::Scalar busyCycles;
+    stats::Scalar dataTransferCycles;
+    stats::Scalar memSupplies;
+    stats::Scalar cacheSupplies;
+    stats::Scalar lockedResponses;
+    stats::Scalar retries;
+    stats::Scalar highPriorityGrants;
+    stats::Scalar sourceArbitrations;
+    /// @}
+
+    /** Per-request-type transaction count. */
+    double typeCount(BusReq req) const;
+
+  private:
+    struct Pending
+    {
+        BusClient *client;
+        BusPriority pri;
+        Tick posted;
+    };
+
+    void scheduleArbitration();
+    void arbitrate();
+    void execute(BusClient *requester, BusMsg msg);
+
+    /** Compute duration and move data for one transaction. */
+    Tick service(BusMsg &msg, SnoopResult &res, int suppliers);
+
+    Memory *memory_;
+    BusTiming timing_;
+    std::vector<std::unique_ptr<stats::Scalar>> perType_;
+    std::vector<BusClient *> clients_;
+    std::vector<Pending> queue_;
+    bool busy_ = false;
+    bool arbScheduled_ = false;
+    NodeId lastGranted_ = invalidNode;
+};
+
+} // namespace csync
+
+#endif // CSYNC_MEM_BUS_HH

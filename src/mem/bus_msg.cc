@@ -1,0 +1,39 @@
+#include "mem/bus_msg.hh"
+
+namespace csync
+{
+
+const char *
+busReqName(BusReq req)
+{
+    switch (req) {
+      case BusReq::ReadShared: return "ReadShared";
+      case BusReq::ReadExclusive: return "ReadExclusive";
+      case BusReq::Upgrade: return "Upgrade";
+      case BusReq::ReadLock: return "ReadLock";
+      case BusReq::WriteWord: return "WriteWord";
+      case BusReq::UpdateWord: return "UpdateWord";
+      case BusReq::WriteBack: return "WriteBack";
+      case BusReq::WriteNoFetch: return "WriteNoFetch";
+      case BusReq::UnlockBroadcast: return "UnlockBroadcast";
+      case BusReq::IOInvalidate: return "IOInvalidate";
+      case BusReq::IOReadKeepSource: return "IOReadKeepSource";
+      default: return "Unknown";
+    }
+}
+
+bool
+transfersBlock(BusReq req)
+{
+    switch (req) {
+      case BusReq::ReadShared:
+      case BusReq::ReadExclusive:
+      case BusReq::ReadLock:
+      case BusReq::IOReadKeepSource:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace csync

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bus and memory timing parameters.  The two boolean knobs encode the real
+ * bus-capability differences the paper uses to explain protocol evolution:
+ * whether invalidation can be signalled while a block is fetched (the
+ * Multibus could not, forcing Goodman's invalidating write-through; the
+ * Synapse bus could — Feature 4), and whether a flush to memory can ride
+ * along with a cache-to-cache transfer at cache speed (Feature 7).
+ */
+
+#ifndef CSYNC_MEM_TIMING_HH
+#define CSYNC_MEM_TIMING_HH
+
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/** Timing and capability parameters of the bus/memory substrate. */
+struct BusTiming
+{
+    /** Cycles to run one arbitration round. */
+    Tick arbCycles = 1;
+    /** Cycles for the address/command phase of any transaction. */
+    Tick addrCycles = 1;
+    /** Extra latency for main memory to begin supplying/absorbing data. */
+    Tick memLatency = 4;
+    /** Bus-wide words transferred per data cycle. */
+    unsigned wordsPerCycle = 1;
+    /** Extra cycles to arbitrate among multiple potential source caches
+     *  (Papamarcos & Patel, Feature 8 'ARB'). */
+    Tick sourceArbCycles = 2;
+    /** Cycles for a one-cycle signal (Upgrade, UnlockBroadcast). */
+    Tick signalCycles = 1;
+    /** Cycles for a single-word write (WriteWord/UpdateWord): address +
+     *  one data cycle. */
+    Tick wordWriteCycles = 2;
+
+    /** Bus supports an invalidate signal concurrent with a block fetch
+     *  (Feature 4).  When false, gaining write privilege requires a
+     *  WriteWord write-through as in Goodman's scheme. */
+    bool invalidateDuringFetch = true;
+    /** Memory can absorb a flush concurrently with a cache-to-cache
+     *  transfer at cache speed (Feature 7 'F' at no extra cost). */
+    bool concurrentFlush = true;
+
+    /** Cycles to transfer @p words of block data on the bus. */
+    Tick
+    dataCycles(unsigned words) const
+    {
+        unsigned per = wordsPerCycle ? wordsPerCycle : 1;
+        return (words + per - 1) / per;
+    }
+};
+
+} // namespace csync
+
+#endif // CSYNC_MEM_TIMING_HH

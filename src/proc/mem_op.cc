@@ -1,0 +1,20 @@
+#include "proc/mem_op.hh"
+
+namespace csync
+{
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Read: return "Read";
+      case OpType::Write: return "Write";
+      case OpType::Rmw: return "Rmw";
+      case OpType::LockRead: return "LockRead";
+      case OpType::UnlockWrite: return "UnlockWrite";
+      case OpType::WriteNoFetch: return "WriteNoFetch";
+      default: return "Unknown";
+    }
+}
+
+} // namespace csync

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The processor-to-cache operation vocabulary.  Besides plain reads and
+ * writes it includes the operations the paper's analysis needs:
+ *
+ *  - Rmw: a processor atomic read-modify-write (swap) instruction
+ *    (Feature 6) — how non-lock-state protocols build test-and-set;
+ *  - LockRead / UnlockWrite: the paper's lock instruction pair — a read
+ *    that locks the block and a write that unlocks it (Section E.3),
+ *    signalled to the cache on a dedicated processor line;
+ *  - WriteNoFetch: claim-and-write a whole block without fetching it
+ *    (Feature 9, saving process state);
+ *  - the privateHint bit: the compiler's static declaration that data is
+ *    unshared (Feature 5 'S', Yen / Katz).
+ */
+
+#ifndef CSYNC_PROC_MEM_OP_HH
+#define CSYNC_PROC_MEM_OP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/** Kinds of processor memory operations. */
+enum class OpType : std::uint8_t
+{
+    Read,
+    Write,
+    /** Atomic swap: store value, return the old word. */
+    Rmw,
+    /** Read the word and lock its block (Figure 6). */
+    LockRead,
+    /** Write the word and unlock its block (Figure 8). */
+    UnlockWrite,
+    /** Claim the block with write privilege, no fetch (Feature 9);
+     *  writes the word. */
+    WriteNoFetch,
+};
+
+/** Name of an op type. */
+const char *opTypeName(OpType t);
+
+/** One memory operation issued by a processor. */
+struct MemOp
+{
+    OpType type = OpType::Read;
+    /** Word-aligned target address. */
+    Addr addr = 0;
+    /** Value to store (Write/Rmw/UnlockWrite/WriteNoFetch). */
+    Word value = 0;
+    /** Compiler hint: the datum is unshared (Feature 5 static). */
+    bool privateHint = false;
+};
+
+/** What the cache returns to the processor. */
+struct AccessResult
+{
+    /** Word value (Read/LockRead: the datum; Rmw: the old value). */
+    Word value = 0;
+    /**
+     * LockRead only: the block was locked elsewhere and the cache has
+     * armed its busy-wait register; the operation will complete later via
+     * the lock interrupt (Figure 7).
+     */
+    bool waiting = false;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_MEM_OP_HH

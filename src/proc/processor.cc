@@ -1,0 +1,121 @@
+#include "proc/processor.hh"
+
+namespace csync
+{
+
+Processor::Processor(std::string name, EventQueue *eq, NodeId id,
+                     Cache *cache, std::unique_ptr<Workload> workload,
+                     stats::Group *stats_parent)
+    : SimObject(std::move(name), eq),
+      statsGroup(this->name(), stats_parent),
+      opsCompleted(&statsGroup, "opsCompleted", "memory ops completed"),
+      memStallCycles(&statsGroup, "memStallCycles",
+                     "cycles waiting on the memory system"),
+      thinkCycles(&statsGroup, "thinkCycles", "cycles of local compute"),
+      readySectionOps(&statsGroup, "readySectionOps",
+                      "ops executed while busy-waiting for a lock"),
+      id_(id),
+      cache_(cache),
+      workload_(std::move(workload))
+{
+    sim_assert(cache_ != nullptr, "processor needs a cache");
+    sim_assert(workload_ != nullptr, "processor needs a workload");
+}
+
+void
+Processor::start()
+{
+    sim_assert(!started_, "processor started twice");
+    started_ = true;
+    scheduleNext();
+}
+
+void
+Processor::enableWorkWhileWaiting()
+{
+    workWhileWaiting_ = true;
+    cache_->setLockInterruptHandler(
+        [this](const MemOp &op, const AccessResult &r) {
+            onLockInterrupt(op, r);
+        });
+}
+
+void
+Processor::scheduleNext()
+{
+    if (finished_ || opInFlight_ || issuePending_)
+        return;
+
+    MemOp op;
+    Tick think = 0;
+    switch (workload_->next(op, think)) {
+      case NextStatus::Finished:
+        finished_ = true;
+        trace(TraceFlag::Processor, "workload finished");
+        return;
+
+      case NextStatus::WaitForLock:
+        // Quiet until the lock interrupt (Figure 9): the processor may
+        // do whatever it likes; this workload has nothing ready.
+        sim_assert(waitingForLock_, "WaitForLock with no lock pending");
+        return;
+
+      case NextStatus::Op:
+        thinkCycles += double(think);
+        issuePending_ = true;
+        if (think == 0) {
+            issue(op);
+        } else {
+            eventq()->scheduleIn(think, [this, op] { issue(op); });
+        }
+        return;
+    }
+}
+
+void
+Processor::issue(const MemOp &op)
+{
+    sim_assert(!opInFlight_, "issue while op in flight");
+    if (!cache_->idle()) {
+        // The cache is finishing a busy-waited lock replay; retry.
+        eventq()->scheduleIn(1, [this, op] { issue(op); });
+        return;
+    }
+    issuePending_ = false;
+    opInFlight_ = true;
+    issueTick_ = curTick();
+    if (waitingForLock_)
+        ++readySectionOps;
+    cache_->access(op, [this, op](const AccessResult &r) {
+        onResult(op, r);
+    });
+}
+
+void
+Processor::onResult(const MemOp &op, const AccessResult &r)
+{
+    opInFlight_ = false;
+    memStallCycles += double(curTick() - issueTick_);
+    if (r.waiting) {
+        // The lock is pending in the busy-wait register; the workload
+        // may execute its ready section meanwhile.
+        sim_assert(workWhileWaiting_, "waiting result without handler");
+        waitingForLock_ = true;
+    } else {
+        ++opsCompleted;
+    }
+    workload_->onResult(op, r);
+    scheduleNext();
+}
+
+void
+Processor::onLockInterrupt(const MemOp &op, const AccessResult &r)
+{
+    sim_assert(waitingForLock_, "lock interrupt while not waiting");
+    waitingForLock_ = false;
+    ++opsCompleted;
+    workload_->onLockAcquired(op, r);
+    scheduleNext();
+}
+
+} // namespace csync

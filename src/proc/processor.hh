@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A simple blocking in-order processor: it asks its workload for the next
+ * memory operation, spends the think time, issues the op to its cache,
+ * and repeats when the result arrives.  With work-while-waiting enabled
+ * it keeps executing "ready section" ops while a lock request is pending
+ * in the busy-wait register (Section E.4).
+ */
+
+#ifndef CSYNC_PROC_PROCESSOR_HH
+#define CSYNC_PROC_PROCESSOR_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "proc/workload.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace csync
+{
+
+/**
+ * One processor driving one cache.
+ */
+class Processor : public SimObject
+{
+  public:
+    Processor(std::string name, EventQueue *eq, NodeId id, Cache *cache,
+              std::unique_ptr<Workload> workload,
+              stats::Group *stats_parent);
+
+    /** Begin executing the workload. */
+    void start();
+
+    /** True once the workload has finished and no op is in flight. */
+    bool done() const { return finished_ && !opInFlight_; }
+
+    /** Enable work-while-waiting (installs the lock-interrupt handler). */
+    void enableWorkWhileWaiting();
+
+    NodeId id() const { return id_; }
+    Cache &cache() { return *cache_; }
+    Workload &workload() { return *workload_; }
+
+    /** @name Statistics */
+    /// @{
+    stats::Group statsGroup;
+    stats::Scalar opsCompleted;
+    stats::Scalar memStallCycles;
+    stats::Scalar thinkCycles;
+    stats::Scalar readySectionOps;
+    /// @}
+
+  private:
+    void scheduleNext();
+    void issue(const MemOp &op);
+    void onResult(const MemOp &op, const AccessResult &r);
+    void onLockInterrupt(const MemOp &op, const AccessResult &r);
+
+    NodeId id_;
+    Cache *cache_;
+    std::unique_ptr<Workload> workload_;
+    bool started_ = false;
+    bool finished_ = false;
+    bool opInFlight_ = false;
+    bool issuePending_ = false;
+    bool waitingForLock_ = false;
+    bool workWhileWaiting_ = false;
+    Tick issueTick_ = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_PROCESSOR_HH

@@ -1,0 +1,97 @@
+#include "proc/sync_ops.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+const char *
+lockAlgName(LockAlg alg)
+{
+    switch (alg) {
+      case LockAlg::TestAndSet: return "test-and-set";
+      case LockAlg::TestTestSet: return "test-and-test-and-set";
+      case LockAlg::CacheLock: return "cache-lock-state";
+      default: return "unknown";
+    }
+}
+
+void
+LockDriver::beginAcquire(Addr lock_addr)
+{
+    sim_assert(state_ == State::Idle, "acquire while not idle");
+    lockAddr_ = lock_addr;
+    state_ = State::WantRmw;
+}
+
+bool
+LockDriver::acquireOp(MemOp &op)
+{
+    switch (state_) {
+      case State::WantRmw:
+        if (alg_ == LockAlg::CacheLock) {
+            op = MemOp{OpType::LockRead, lockAddr_, 0, false};
+        } else {
+            op = MemOp{OpType::Rmw, lockAddr_, 1, false};
+            ++rmwAttempts_;
+        }
+        return true;
+      case State::Spinning:
+        op = MemOp{OpType::Read, lockAddr_, 0, false};
+        ++spinReads_;
+        return true;
+      case State::WaitInterrupt:
+        return false;
+      default:
+        panic("acquireOp in unexpected lock state");
+    }
+}
+
+void
+LockDriver::onResult(const MemOp &op, const AccessResult &r)
+{
+    switch (state_) {
+      case State::WantRmw:
+        if (alg_ == LockAlg::CacheLock) {
+            sim_assert(op.type == OpType::LockRead, "unexpected lock op");
+            state_ = r.waiting ? State::WaitInterrupt : State::Held;
+            return;
+        }
+        sim_assert(op.type == OpType::Rmw, "unexpected lock op");
+        if (r.value == 0) {
+            state_ = State::Held;
+        } else {
+            // Failed test-and-set: retry policy depends on the
+            // algorithm.
+            state_ = alg_ == LockAlg::TestTestSet ? State::Spinning
+                                                  : State::WantRmw;
+        }
+        return;
+
+      case State::Spinning:
+        sim_assert(op.type == OpType::Read, "unexpected spin op");
+        if (r.value == 0)
+            state_ = State::WantRmw;
+        return;
+
+      case State::WaitInterrupt:
+        // The lock interrupt fired: the LockRead completed.
+        sim_assert(!r.waiting, "interrupt delivered a waiting result");
+        state_ = State::Held;
+        return;
+
+      default:
+        panic("lock result in unexpected state");
+    }
+}
+
+MemOp
+LockDriver::releaseOp() const
+{
+    sim_assert(state_ == State::Held, "release while not held");
+    if (alg_ == LockAlg::CacheLock)
+        return MemOp{OpType::UnlockWrite, lockAddr_, 0, false};
+    return MemOp{OpType::Write, lockAddr_, 0, false};
+}
+
+} // namespace csync

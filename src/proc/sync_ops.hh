@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Software lock algorithms used by the workloads — the three contenders
+ * of Sections E.3-E.4:
+ *
+ *  - test-and-set: every attempt is an atomic RMW on the bus (the
+ *    "unsuccessful retries" the paper's wait scheme eliminates);
+ *  - test-and-test-and-set: spin on a read of the lock word in the local
+ *    cache (Censier & Feautrier's "loop on a one in its cache"), retry
+ *    the RMW only when the word is seen clear;
+ *  - cache-lock-state: the paper's lock instruction — the lock rides the
+ *    block fetch and the busy-wait register handles contention.
+ */
+
+#ifndef CSYNC_PROC_SYNC_OPS_HH
+#define CSYNC_PROC_SYNC_OPS_HH
+
+#include <string>
+
+#include "proc/mem_op.hh"
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/** Lock algorithm selector. */
+enum class LockAlg
+{
+    TestAndSet,
+    TestTestSet,
+    CacheLock,
+};
+
+/** Human-readable name. */
+const char *lockAlgName(LockAlg alg);
+
+/**
+ * Drives the acquire/release op sequence of one lock for one processor.
+ */
+class LockDriver
+{
+  public:
+    explicit LockDriver(LockAlg alg) : alg_(alg) {}
+
+    LockAlg algorithm() const { return alg_; }
+
+    /** Begin acquiring @p lock_addr. */
+    void beginAcquire(Addr lock_addr);
+
+    /**
+     * Next op toward the acquire.
+     * @return false if no op should be issued (waiting for the lock
+     *         interrupt under the cache-lock algorithm).
+     */
+    bool acquireOp(MemOp &op);
+
+    /** Feed the result of an acquire-path op. */
+    void onResult(const MemOp &op, const AccessResult &r);
+
+    /** True once the lock is held. */
+    bool held() const { return state_ == State::Held; }
+
+    /** True while an acquire is in progress. */
+    bool acquiring() const
+    {
+        return state_ != State::Idle && state_ != State::Held;
+    }
+
+    /** The op that releases the lock. */
+    MemOp releaseOp() const;
+
+    /** Mark the lock released. */
+    void onReleased() { state_ = State::Idle; }
+
+    /** Lock attempts that went to the bus as RMWs. */
+    std::uint64_t rmwAttempts() const { return rmwAttempts_; }
+
+    /** Spin reads issued while waiting (test-and-test-and-set). */
+    std::uint64_t spinReads() const { return spinReads_; }
+
+  private:
+    enum class State
+    {
+        Idle,
+        WantRmw,
+        Spinning,
+        WaitInterrupt,
+        Held,
+    };
+
+    LockAlg alg_;
+    State state_ = State::Idle;
+    Addr lockAddr_ = 0;
+    std::uint64_t rmwAttempts_ = 0;
+    std::uint64_t spinReads_ = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_SYNC_OPS_HH

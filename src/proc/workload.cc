@@ -1,0 +1,7 @@
+#include "proc/workload.hh"
+
+// Workload is header-only today; this translation unit anchors vtables.
+
+namespace csync
+{
+} // namespace csync

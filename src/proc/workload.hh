@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Abstract workload: a state machine that feeds one processor a stream
+ * of memory operations and reacts to their results (needed for spin
+ * loops, lock hand-offs, and producer/consumer protocols).
+ */
+
+#ifndef CSYNC_PROC_WORKLOAD_HH
+#define CSYNC_PROC_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "proc/mem_op.hh"
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/** What the workload wants next. */
+enum class NextStatus
+{
+    /** Issue the returned op after the returned think time. */
+    Op,
+    /** Nothing to do until the pending lock interrupt arrives. */
+    WaitForLock,
+    /** The workload has finished. */
+    Finished,
+};
+
+/**
+ * A per-processor instruction stream.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /**
+     * Produce the next operation.
+     *
+     * @param[out] op The operation to issue.
+     * @param[out] think Idle cycles to spend before issuing it.
+     */
+    virtual NextStatus next(MemOp &op, Tick &think) = 0;
+
+    /** Deliver the result of the op most recently issued. */
+    virtual void onResult(const MemOp &op, const AccessResult &r) = 0;
+
+    /** The busy-waited lock was acquired (work-while-waiting mode). */
+    virtual void
+    onLockAcquired(const MemOp &op, const AccessResult &r)
+    {
+        onResult(op, r);
+    }
+
+    /** One-line description for logs. */
+    virtual std::string describe() const = 0;
+
+    /** True once the workload will issue no more ops. */
+    virtual bool done() const = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOAD_HH

@@ -1,0 +1,119 @@
+#include "proc/workloads/barrier.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+NextStatus
+BarrierWorkload::next(MemOp &op, Tick &think)
+{
+    if (round_ >= p_.rounds)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::Work:
+        lock_.beginAcquire(lockAddr());
+        phase_ = Phase::Acquiring;
+        if (lock_.acquireOp(op)) {
+            think = p_.workThink;
+            return NextStatus::Op;
+        }
+        return NextStatus::WaitForLock;
+
+      case Phase::Acquiring:
+        if (!lock_.acquireOp(op))
+            return NextStatus::WaitForLock;
+        think = (op.type == OpType::Read) ? p_.spinGap : 0;
+        return NextStatus::Op;
+
+      case Phase::ReadCount:
+        op = MemOp{OpType::Read, countAddr(), 0, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::WriteCount:
+        // The last arrival resets the counter for the next episode;
+        // everyone else just registers its arrival.
+        op = MemOp{OpType::Write, countAddr(),
+                   lastArrival_ ? 0 : count_ + 1, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::FlipSense:
+        op = MemOp{OpType::Write, p_.senseAddr, round_ + 1, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::Releasing:
+        op = lock_.releaseOp();
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::SpinSense:
+        op = MemOp{OpType::Read, p_.senseAddr, 0, false};
+        think = p_.spinGap;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+BarrierWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    switch (phase_) {
+      case Phase::Work:
+      case Phase::Acquiring:
+        lock_.onResult(op, r);
+        if (lock_.held())
+            phase_ = Phase::ReadCount;
+        return;
+
+      case Phase::ReadCount:
+        count_ = r.value;
+        lastArrival_ = (count_ + 1 == p_.numProcs);
+        phase_ = Phase::WriteCount;
+        return;
+
+      case Phase::WriteCount:
+        phase_ = lastArrival_ ? Phase::FlipSense : Phase::Releasing;
+        return;
+
+      case Phase::FlipSense:
+        phase_ = Phase::Releasing;
+        return;
+
+      case Phase::Releasing:
+        lock_.onReleased();
+        if (lastArrival_) {
+            // The releaser has already passed the barrier.
+            ++round_;
+            phase_ = Phase::Work;
+        } else {
+            phase_ = Phase::SpinSense;
+        }
+        return;
+
+      case Phase::SpinSense:
+        if (r.value > round_ + 1) {
+            // The sense ran a whole episode ahead of us: someone passed
+            // two barriers while we were still waiting at this one.
+            violated_ = true;
+        }
+        if (r.value == round_ + 1) {
+            ++round_;
+            phase_ = Phase::Work;
+        }
+        return;
+    }
+}
+
+std::string
+BarrierWorkload::describe() const
+{
+    return csprintf("barrier(%s, rounds=%llu, procs=%u)",
+                    lockAlgName(p_.alg),
+                    (unsigned long long)p_.rounds, p_.numProcs);
+}
+
+} // namespace csync

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sense-reversing centralized barrier — the other classic busy-wait
+ * structure a lightweight-process system like Aquarius needs (Section
+ * B.2): arrivals increment a lock-protected counter; the last arrival
+ * resets the counter and flips the sense word; everyone else busy-waits
+ * on the sense in its cache.  Exercises lock hand-off and broadcast
+ * notification together.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_BARRIER_HH
+#define CSYNC_PROC_WORKLOADS_BARRIER_HH
+
+#include "proc/sync_ops.hh"
+#include "proc/workload.hh"
+
+namespace csync
+{
+
+/** Parameters for BarrierWorkload. */
+struct BarrierParams
+{
+    /** Barrier episodes to run. */
+    std::uint64_t rounds = 20;
+    /** Participants. */
+    unsigned numProcs = 4;
+    /** This participant. */
+    unsigned procId = 0;
+    /** Lock algorithm guarding the arrival counter. */
+    LockAlg alg = LockAlg::CacheLock;
+    /** Descriptor block: word0 = lock, word1 = count; the sense word
+     *  lives in its own block (it is read-shared by every waiter). */
+    Addr descBase = 0x700000;
+    Addr senseAddr = 0x700100;
+    /** Think cycles of "work" before each arrival. */
+    Tick workThink = 8;
+    /** Think cycles between sense polls. */
+    Tick spinGap = 3;
+};
+
+/** One barrier participant. */
+class BarrierWorkload : public Workload
+{
+  public:
+    explicit BarrierWorkload(const BarrierParams &p)
+        : p_(p), lock_(p.alg)
+    {}
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override;
+    bool done() const override { return round_ >= p_.rounds; }
+
+    /** Rounds completed. */
+    std::uint64_t completedRounds() const { return round_; }
+    /** True if this participant ever saw the sense run ahead (a
+     *  barrier-integrity violation). */
+    bool integrityViolated() const { return violated_; }
+
+  private:
+    enum class Phase
+    {
+        Work,
+        Acquiring,
+        ReadCount,
+        WriteCount,
+        FlipSense,
+        Releasing,
+        SpinSense,
+    };
+
+    Addr lockAddr() const { return p_.descBase; }
+    Addr countAddr() const { return p_.descBase + bytesPerWord; }
+
+    BarrierParams p_;
+    LockDriver lock_;
+    Phase phase_ = Phase::Work;
+    std::uint64_t round_ = 0;
+    Word count_ = 0;
+    bool lastArrival_ = false;
+    bool violated_ = false;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_BARRIER_HH

@@ -1,0 +1,150 @@
+#include "proc/workloads/critical_section.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+CriticalSectionWorkload::CriticalSectionWorkload(
+    const CriticalSectionParams &p)
+    : p_(p), rng_(p.seed + p.procId * 104729 + 13), lock_(p.alg)
+{
+    if (p_.dataInLockBlock) {
+        sim_assert((p_.wordsPerCs + 1) * bytesPerWord <= p_.blockBytes,
+                   "guarded words do not fit in the lock block");
+    }
+}
+
+Addr
+CriticalSectionWorkload::lockWordAddr(const CriticalSectionParams &p,
+                                      unsigned lock_idx)
+{
+    return p.lockBase + Addr(lock_idx) * p.blockBytes;
+}
+
+Addr
+CriticalSectionWorkload::dataWordAddr(const CriticalSectionParams &p,
+                                      unsigned lock_idx, unsigned w)
+{
+    if (p.dataInLockBlock) {
+        // Word 0 is the lock; the guarded data follows in the same block
+        // (the atom occupies the whole block, Section D.2).
+        return lockWordAddr(p, lock_idx) + Addr(w + 1) * bytesPerWord;
+    }
+    Addr data_base = p.lockBase + Addr(p.numLocks) * p.blockBytes;
+    return data_base + Addr(lock_idx) * p.blockBytes +
+           Addr(w) * bytesPerWord;
+}
+
+NextStatus
+CriticalSectionWorkload::next(MemOp &op, Tick &think)
+{
+    if (iter_ >= p_.iterations)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::Outside:
+        curLock_ = unsigned(rng_.uniform(p_.numLocks));
+        lock_.beginAcquire(lockWordAddr(p_, curLock_));
+        phase_ = Phase::Acquiring;
+        outsidePending_ = true;
+        [[fallthrough]];
+
+      case Phase::Acquiring:
+        if (!lock_.acquireOp(op)) {
+            // The lock request is pending in the busy-wait register:
+            // execute the ready section, then go quiet until the
+            // interrupt (Section E.4).
+            if (readyIssued_ < p_.readySectionOps) {
+                Addr base = p_.privateBase +
+                            Addr(p_.procId) * 0x10000;
+                op = MemOp{OpType::Read,
+                           base + Addr(readyIssued_ % 16) * bytesPerWord,
+                           0, false};
+                ++readyIssued_;
+                think = 1;
+                return NextStatus::Op;
+            }
+            return NextStatus::WaitForLock;
+        }
+        ++acquireOps_;
+        think = (op.type == OpType::Read) ? p_.spinGap : 0;
+        if (outsidePending_) {
+            think += p_.outsideThink;
+            outsidePending_ = false;
+        }
+        return NextStatus::Op;
+
+      case Phase::CsRead:
+        op = MemOp{OpType::Read, dataWordAddr(p_, curLock_, word_), 0,
+                   false};
+        think = p_.holdThink;
+        return NextStatus::Op;
+
+      case Phase::CsWrite:
+        op = MemOp{OpType::Write, dataWordAddr(p_, curLock_, word_),
+                   readValue_ + 1, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::Releasing:
+        op = lock_.releaseOp();
+        think = 0;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+CriticalSectionWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    if (op.addr >= p_.privateBase) {
+        // A ready-section op completed.  It can land in ANY phase: the
+        // lock interrupt may arrive while a ready op is still in
+        // flight, so its result must never be mistaken for a
+        // critical-section access.
+        ++readyDone_;
+        return;
+    }
+    switch (phase_) {
+      case Phase::Acquiring:
+        lock_.onResult(op, r);
+        if (lock_.held()) {
+            phase_ = Phase::CsRead;
+            word_ = 0;
+            readyIssued_ = 0;
+        }
+        return;
+
+      case Phase::CsRead:
+        readValue_ = r.value;
+        phase_ = Phase::CsWrite;
+        return;
+
+      case Phase::CsWrite:
+        if (++word_ >= p_.wordsPerCs)
+            phase_ = Phase::Releasing;
+        else
+            phase_ = Phase::CsRead;
+        return;
+
+      case Phase::Releasing:
+        lock_.onReleased();
+        ++iter_;
+        phase_ = Phase::Outside;
+        return;
+
+      case Phase::Outside:
+        return;
+    }
+}
+
+std::string
+CriticalSectionWorkload::describe() const
+{
+    return csprintf("critical-section(%s, iters=%llu, locks=%u)",
+                    lockAlgName(p_.alg),
+                    (unsigned long long)p_.iterations, p_.numLocks);
+}
+
+} // namespace csync

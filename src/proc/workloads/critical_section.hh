@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Critical-section (lock contention) workload: the busy-wait pattern of
+ * Sections E.3-E.4.  Each iteration picks a lock, acquires it with the
+ * configured algorithm (test-and-set, test-and-test-and-set, or the
+ * paper's cache-lock-state), increments the shared counters guarded by
+ * the lock, and releases it.  Mutual exclusion is validated end-to-end:
+ * with N processors doing K iterations each, every guarded counter must
+ * end at exactly N*K.
+ *
+ * Following Section D.2, the guarded data lives in the *same block* as
+ * the lock by default ("blocks should be devoted to atoms"), which is
+ * what makes cache-state locking free: the lock rides the data fetch.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_CRITICAL_SECTION_HH
+#define CSYNC_PROC_WORKLOADS_CRITICAL_SECTION_HH
+
+#include "proc/sync_ops.hh"
+#include "proc/workload.hh"
+#include "sim/random.hh"
+
+namespace csync
+{
+
+/** Parameters for CriticalSectionWorkload. */
+struct CriticalSectionParams
+{
+    /** Critical sections to execute. */
+    std::uint64_t iterations = 100;
+    /** Number of distinct locks (atoms). */
+    unsigned numLocks = 1;
+    /** Guarded words incremented per critical section. */
+    unsigned wordsPerCs = 2;
+    /** Lock algorithm. */
+    LockAlg alg = LockAlg::CacheLock;
+    /** Base address of the lock blocks (one block per lock). */
+    Addr lockBase = 0x200000;
+    /** Block size in bytes (lock stride). */
+    Addr blockBytes = 32;
+    /** Guarded data in the lock's own block (true, Section D.2) or in
+     *  separate blocks after the lock region (false). */
+    bool dataInLockBlock = true;
+    /** Think cycles inside the critical section per word. */
+    Tick holdThink = 2;
+    /** Think cycles between critical sections. */
+    Tick outsideThink = 10;
+    /** Think cycles between spin reads (TTAS). */
+    Tick spinGap = 2;
+    /** Ready-section length: private ops the process can usefully
+     *  execute while its lock request waits in the busy-wait register
+     *  (Section E.4's "work while waiting"); 0 = stall. */
+    unsigned readySectionOps = 0;
+    /** Private region for ready-section work. */
+    Addr privateBase = 0x30000000;
+    /** RNG seed / processor id. */
+    std::uint64_t seed = 1;
+    unsigned procId = 0;
+};
+
+/** Lock-protected increment loop. */
+class CriticalSectionWorkload : public Workload
+{
+  public:
+    explicit CriticalSectionWorkload(const CriticalSectionParams &p);
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override;
+    bool done() const override { return iter_ >= p_.iterations; }
+
+    /** Completed critical sections. */
+    std::uint64_t completed() const { return iter_; }
+    /** Cumulative cycles from first acquire op to lock held. */
+    std::uint64_t acquireOps() const { return acquireOps_; }
+    const LockDriver &lockDriver() const { return lock_; }
+
+    /** Address of guarded word @p w of lock @p lock_idx. */
+    static Addr dataWordAddr(const CriticalSectionParams &p,
+                             unsigned lock_idx, unsigned w);
+    /** Address of the lock word of lock @p lock_idx. */
+    static Addr lockWordAddr(const CriticalSectionParams &p,
+                             unsigned lock_idx);
+
+  private:
+    enum class Phase { Outside, Acquiring, CsRead, CsWrite, Releasing };
+
+    CriticalSectionParams p_;
+    Random rng_;
+    LockDriver lock_;
+    Phase phase_ = Phase::Outside;
+    std::uint64_t iter_ = 0;
+    unsigned curLock_ = 0;
+    unsigned word_ = 0;
+    Word readValue_ = 0;
+    std::uint64_t acquireOps_ = 0;
+    bool outsidePending_ = false;
+    unsigned readyIssued_ = 0;
+    std::uint64_t readyDone_ = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_CRITICAL_SECTION_HH

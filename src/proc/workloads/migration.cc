@@ -1,0 +1,100 @@
+#include "proc/workloads/migration.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+Word
+MigrationWorkload::stateValue(std::uint64_t total_runs, unsigned w)
+{
+    return total_runs * 131ull + w;
+}
+
+NextStatus
+MigrationWorkload::next(MemOp &op, Tick &think)
+{
+    if (round_ >= p_.rounds)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::SpinToken:
+        if (!haveToken_) {
+            op = MemOp{OpType::Read, p_.tokenAddr, 0, false};
+            think = p_.spinGap;
+            return NextStatus::Op;
+        }
+        haveToken_ = false;
+        phase_ = Phase::Restore;
+        word_ = 0;
+        [[fallthrough]];
+
+      case Phase::Restore:
+        op = MemOp{OpType::Read,
+                   p_.stateBase + Addr(word_) * bytesPerWord, 0, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::Run:
+        op = MemOp{OpType::Write,
+                   p_.stateBase + Addr(word_) * bytesPerWord,
+                   stateValue(tokenValue_ + 1, word_), false};
+        think = word_ == 0 ? p_.computeThink : 0;
+        return NextStatus::Op;
+
+      case Phase::PassToken:
+        op = MemOp{OpType::Write, p_.tokenAddr, tokenValue_ + 1, false};
+        think = 0;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+MigrationWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    switch (phase_) {
+      case Phase::SpinToken:
+        if (op.type == OpType::Read) {
+            // The token counts completed runs; it is ours when the count
+            // lands on our ring position.
+            if (r.value % p_.numProcs == p_.procId &&
+                r.value / p_.numProcs == round_) {
+                haveToken_ = true;
+                tokenValue_ = r.value;
+            }
+        }
+        return;
+
+      case Phase::Restore:
+        if (r.value != stateValue(tokenValue_, word_) &&
+            !(tokenValue_ == 0 && r.value == 0)) {
+            ++valueErrors_;
+        }
+        if (++word_ >= p_.stateWords) {
+            phase_ = Phase::Run;
+            word_ = 0;
+        }
+        return;
+
+      case Phase::Run:
+        if (++word_ >= p_.stateWords)
+            phase_ = Phase::PassToken;
+        return;
+
+      case Phase::PassToken:
+        ++round_;
+        phase_ = Phase::SpinToken;
+        return;
+    }
+}
+
+std::string
+MigrationWorkload::describe() const
+{
+    return csprintf("migration(rounds=%llu, stateWords=%u, procs=%u)",
+                    (unsigned long long)p_.rounds, p_.stateWords,
+                    p_.numProcs);
+}
+
+} // namespace csync

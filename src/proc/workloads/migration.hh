@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Process-migration workload — the paper's second "provide the latest
+ * version" occasion (Section C.3): one process, migrating between
+ * processors, accesses the same writable data on each.  A token word
+ * carries the logical process around the ring; the holder restores the
+ * process state (reads every word), runs it (rewrites every word), and
+ * passes the token on.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_MIGRATION_HH
+#define CSYNC_PROC_WORKLOADS_MIGRATION_HH
+
+#include "proc/workload.hh"
+
+namespace csync
+{
+
+/** Parameters for MigrationWorkload. */
+struct MigrationParams
+{
+    /** Rounds each processor executes the process. */
+    std::uint64_t rounds = 16;
+    /** Words of process state. */
+    unsigned stateWords = 8;
+    /** Token word address. */
+    Addr tokenAddr = 0x400000;
+    /** Base of the process state. */
+    Addr stateBase = 0x400100;
+    /** Number of processors in the ring. */
+    unsigned numProcs = 2;
+    /** This processor's position. */
+    unsigned procId = 0;
+    /** Think cycles between token polls. */
+    Tick spinGap = 3;
+    /** Think cycles of compute while running the process. */
+    Tick computeThink = 4;
+};
+
+/** Token-ring process migration. */
+class MigrationWorkload : public Workload
+{
+  public:
+    explicit MigrationWorkload(const MigrationParams &p) : p_(p) {}
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override;
+    bool done() const override { return round_ >= p_.rounds; }
+
+    /** State words whose restored value did not match expectation. */
+    std::uint64_t valueErrors() const { return valueErrors_; }
+
+    /** Expected state-word value after @p total_runs executions. */
+    static Word stateValue(std::uint64_t total_runs, unsigned w);
+
+  private:
+    enum class Phase { SpinToken, Restore, Run, PassToken };
+
+    MigrationParams p_;
+    Phase phase_ = Phase::SpinToken;
+    std::uint64_t round_ = 0;
+    unsigned word_ = 0;
+    bool haveToken_ = false;
+    Word tokenValue_ = 0;
+    std::uint64_t valueErrors_ = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_MIGRATION_HH

@@ -1,0 +1,127 @@
+#include "proc/workloads/producer_consumer.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+Word
+producerValue(std::uint64_t item, unsigned w, unsigned rewrite)
+{
+    return (item + 1) * 1000003ull + w * 101ull + rewrite;
+}
+
+NextStatus
+ProducerWorkload::next(MemOp &op, Tick &think)
+{
+    if (item_ >= p_.items)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::WaitReady:
+        if (!flagClear_) {
+            op = MemOp{OpType::Read, p_.flagAddr, 0, false};
+            think = p_.spinGap;
+            return NextStatus::Op;
+        }
+        flagClear_ = false;
+        phase_ = Phase::WriteData;
+        word_ = 0;
+        rewrite_ = 0;
+        [[fallthrough]];
+
+      case Phase::WriteData:
+        op = MemOp{OpType::Write, p_.dataBase + Addr(word_) * bytesPerWord,
+                   producerValue(item_, word_, rewrite_), false};
+        think = 0;
+        if (++rewrite_ >= p_.rewrites) {
+            rewrite_ = 0;
+            if (++word_ >= p_.dataWords)
+                phase_ = Phase::SetFlag;
+        }
+        return NextStatus::Op;
+
+      case Phase::SetFlag:
+        op = MemOp{OpType::Write, p_.flagAddr, item_ + 1, false};
+        think = p_.computeThink;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+ProducerWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    if (phase_ == Phase::WaitReady && op.type == OpType::Read) {
+        flagClear_ = (r.value == 0);
+    } else if (phase_ == Phase::SetFlag && op.type == OpType::Write &&
+               op.addr == p_.flagAddr) {
+        // Only the flag write itself ends the item: the phase advances
+        // in next() while the last data write's result is in flight.
+        ++item_;
+        phase_ = Phase::WaitReady;
+    }
+}
+
+NextStatus
+ConsumerWorkload::next(MemOp &op, Tick &think)
+{
+    if (item_ >= p_.items)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::WaitFlag:
+        if (!flagSet_) {
+            op = MemOp{OpType::Read, p_.flagAddr, 0, false};
+            think = p_.spinGap;
+            return NextStatus::Op;
+        }
+        flagSet_ = false;
+        phase_ = Phase::ReadData;
+        word_ = 0;
+        [[fallthrough]];
+
+      case Phase::ReadData:
+        op = MemOp{OpType::Read,
+                   p_.dataBase + Addr(word_) * bytesPerWord, 0, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::ClearFlag:
+        op = MemOp{OpType::Write, p_.flagAddr, 0, false};
+        think = p_.computeThink;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+ConsumerWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    switch (phase_) {
+      case Phase::WaitFlag:
+        if (op.type == OpType::Read)
+            flagSet_ = (r.value == item_ + 1);
+        return;
+
+      case Phase::ReadData:
+        if (op.type == OpType::Read) {
+            Word expect =
+                producerValue(item_, word_, p_.rewrites - 1);
+            if (r.value != expect)
+                ++valueErrors_;
+            if (++word_ >= p_.dataWords)
+                phase_ = Phase::ClearFlag;
+        }
+        return;
+
+      case Phase::ClearFlag:
+        if (op.type == OpType::Write) {
+            ++item_;
+            phase_ = Phase::WaitFlag;
+        }
+        return;
+    }
+}
+
+} // namespace csync

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Producer/consumer workload — the sharing pattern the paper names as
+ * typical of Prolog and dataflow (Section B.1): one process produces a
+ * value (a variable binding) for another, which reads and uses it, the
+ * hand-off synchronized through a flag word.  The consumer spins on the
+ * flag in its cache; the flag write is the communication the
+ * write-in/write-through analysis of Section D is about.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_PRODUCER_CONSUMER_HH
+#define CSYNC_PROC_WORKLOADS_PRODUCER_CONSUMER_HH
+
+#include "proc/workload.hh"
+
+namespace csync
+{
+
+/** Parameters for ProducerConsumerWorkload. */
+struct ProducerConsumerParams
+{
+    /** Items to hand off. */
+    std::uint64_t items = 100;
+    /** Data words written per item. */
+    unsigned dataWords = 4;
+    /** How many times each data word is rewritten per item (the
+     *  writes-per-tenure knob of the Section D analysis). */
+    unsigned rewrites = 1;
+    /** Address of the flag word. */
+    Addr flagAddr = 0x100000;
+    /** Base address of the data words. */
+    Addr dataBase = 0x100100;
+    /** Think cycles between consecutive spin reads. */
+    Tick spinGap = 2;
+    /** Think cycles of "compute" per item. */
+    Tick computeThink = 8;
+};
+
+/** Producer side. */
+class ProducerWorkload : public Workload
+{
+  public:
+    explicit ProducerWorkload(const ProducerConsumerParams &p) : p_(p) {}
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override { return "producer"; }
+    bool done() const override { return item_ >= p_.items; }
+
+  private:
+    enum class Phase { WaitReady, WriteData, SetFlag };
+
+    ProducerConsumerParams p_;
+    Phase phase_ = Phase::WaitReady;
+    std::uint64_t item_ = 0;
+    unsigned word_ = 0;
+    unsigned rewrite_ = 0;
+    bool flagClear_ = false;
+};
+
+/** Consumer side. */
+class ConsumerWorkload : public Workload
+{
+  public:
+    explicit ConsumerWorkload(const ProducerConsumerParams &p) : p_(p) {}
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override { return "consumer"; }
+    bool done() const override { return item_ >= p_.items; }
+
+    /** Data words that did not match what the producer wrote. */
+    std::uint64_t valueErrors() const { return valueErrors_; }
+
+  private:
+    enum class Phase { WaitFlag, ReadData, ClearFlag };
+
+    ProducerConsumerParams p_;
+    Phase phase_ = Phase::WaitFlag;
+    std::uint64_t item_ = 0;
+    unsigned word_ = 0;
+    bool flagSet_ = false;
+    std::uint64_t valueErrors_ = 0;
+};
+
+/** Expected value of data word @p w of item @p item after all rewrites. */
+Word producerValue(std::uint64_t item, unsigned w, unsigned rewrite);
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_PRODUCER_CONSUMER_HH

@@ -1,0 +1,64 @@
+#include "proc/workloads/random_sharing.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+RandomSharingWorkload::RandomSharingWorkload(const RandomSharingParams &p)
+    : params_(p), rng_(p.seed + p.procId * 7919 + 1)
+{
+}
+
+NextStatus
+RandomSharingWorkload::next(MemOp &op, Tick &think)
+{
+    if (issued_ >= params_.ops)
+        return NextStatus::Finished;
+    ++issued_;
+
+    bool shared = rng_.chance(params_.sharedFraction);
+    unsigned words_per_block = unsigned(params_.blockBytes / bytesPerWord);
+    Addr addr;
+    if (shared) {
+        Addr block = rng_.uniform(params_.sharedBlocks);
+        Addr word = rng_.uniform(words_per_block);
+        addr = params_.sharedBase + block * params_.blockBytes +
+               word * bytesPerWord;
+    } else {
+        Addr block = rng_.uniform(params_.privateBlocks);
+        Addr word = rng_.uniform(words_per_block);
+        addr = params_.privateBase +
+               Addr(params_.procId) * 0x100000 +
+               block * params_.blockBytes + word * bytesPerWord;
+    }
+
+    double roll = rng_.uniformReal();
+    if (roll < params_.rmwFraction && shared) {
+        op = MemOp{OpType::Rmw, addr,
+                   (Word(params_.procId) << 48) | writeSeq_++, false};
+    } else if (roll < params_.rmwFraction + params_.writeFraction) {
+        op = MemOp{OpType::Write, addr,
+                   (Word(params_.procId) << 48) | writeSeq_++, false};
+    } else {
+        op = MemOp{OpType::Read, addr, 0,
+                   params_.privateHints && !shared};
+    }
+    think = params_.thinkMax ? rng_.uniform(params_.thinkMax + 1) : 0;
+    return NextStatus::Op;
+}
+
+void
+RandomSharingWorkload::onResult(const MemOp &, const AccessResult &)
+{
+}
+
+std::string
+RandomSharingWorkload::describe() const
+{
+    return csprintf("random-sharing(ops=%llu shared=%.2f write=%.2f)",
+                    (unsigned long long)params_.ops,
+                    params_.sharedFraction, params_.writeFraction);
+}
+
+} // namespace csync

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Archibald & Baer-style random sharing workload: a mix of references to
+ * a per-processor private region and a global shared region, with a
+ * configurable write fraction.  Used by the cross-protocol comparison
+ * bench and by the coherence property tests.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_RANDOM_SHARING_HH
+#define CSYNC_PROC_WORKLOADS_RANDOM_SHARING_HH
+
+#include "proc/workload.hh"
+#include "sim/random.hh"
+
+namespace csync
+{
+
+/** Parameters for RandomSharingWorkload. */
+struct RandomSharingParams
+{
+    /** Total operations to issue. */
+    std::uint64_t ops = 10000;
+    /** Number of blocks in the shared region. */
+    unsigned sharedBlocks = 16;
+    /** Number of blocks in this processor's private region. */
+    unsigned privateBlocks = 64;
+    /** Probability a reference targets the shared region. */
+    double sharedFraction = 0.3;
+    /** Probability a reference is a write. */
+    double writeFraction = 0.3;
+    /** Probability a reference is an atomic RMW (requires a protocol
+     *  with Feature 6). */
+    double rmwFraction = 0.0;
+    /** Tag private-region reads with the compiler's unshared hint
+     *  (Feature 5 static protocols). */
+    bool privateHints = false;
+    /** Maximum think time between ops (uniform 0..thinkMax). */
+    Tick thinkMax = 4;
+    /** Block size in bytes (address arithmetic). */
+    Addr blockBytes = 32;
+    /** Base address of the shared region. */
+    Addr sharedBase = 0x100000;
+    /** Base address of the private regions (per-processor stride). */
+    Addr privateBase = 0x10000000;
+    /** This processor's id (selects the private region). */
+    unsigned procId = 0;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Random private/shared reference stream. */
+class RandomSharingWorkload : public Workload
+{
+  public:
+    explicit RandomSharingWorkload(const RandomSharingParams &p);
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override;
+    bool done() const override { return issued_ >= params_.ops; }
+
+  private:
+    RandomSharingParams params_;
+    Random rng_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t writeSeq_ = 1;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_RANDOM_SHARING_HH

@@ -1,0 +1,144 @@
+#include "proc/workloads/service_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+ServiceQueueWorkload::ServiceQueueWorkload(const ServiceQueueParams &p,
+                                           QueueRole role)
+    : p_(p), role_(role), lock_(p.alg), lastSeqFrom_(64, 0)
+{
+    sim_assert(p_.slots > 0, "queue needs slots");
+}
+
+Word
+ServiceQueueWorkload::payload(unsigned proc_id, std::uint64_t seq)
+{
+    return (Word(proc_id) << 48) | (seq + 1);
+}
+
+NextStatus
+ServiceQueueWorkload::next(MemOp &op, Tick &think)
+{
+    // Never finish mid-transaction: the final operation's lock release
+    // must still go out (a process must not stop while holding a lock,
+    // Section E.3's process-switching concern).
+    if (ops_ >= p_.operations && phase_ == Phase::Idle)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::Idle:
+        lock_.beginAcquire(lockAddr());
+        phase_ = Phase::Acquiring;
+        if (lock_.acquireOp(op)) {
+            think = p_.interOpThink;
+            return NextStatus::Op;
+        }
+        return NextStatus::WaitForLock;
+
+      case Phase::Acquiring:
+        if (!lock_.acquireOp(op))
+            return NextStatus::WaitForLock;
+        think = (op.type == OpType::Read) ? p_.spinGap : 0;
+        return NextStatus::Op;
+
+      case Phase::ReadHead:
+        op = MemOp{OpType::Read, headAddr(), 0, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::ReadTail:
+        op = MemOp{OpType::Read, tailAddr(), 0, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::SlotAccess:
+        if (role_ == QueueRole::Producer) {
+            op = MemOp{OpType::Write, slotAddr(tail_),
+                       payload(p_.procId, seq_), false};
+        } else {
+            op = MemOp{OpType::Read, slotAddr(head_), 0, false};
+        }
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::WriteIndex:
+        if (role_ == QueueRole::Producer)
+            op = MemOp{OpType::Write, tailAddr(), tail_ + 1, false};
+        else
+            op = MemOp{OpType::Write, headAddr(), head_ + 1, false};
+        think = 0;
+        return NextStatus::Op;
+
+      case Phase::Releasing:
+        op = lock_.releaseOp();
+        think = 0;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+ServiceQueueWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    switch (phase_) {
+      case Phase::Idle:
+      case Phase::Acquiring:
+        lock_.onResult(op, r);
+        if (lock_.held())
+            phase_ = Phase::ReadHead;
+        return;
+
+      case Phase::ReadHead:
+        head_ = r.value;
+        phase_ = Phase::ReadTail;
+        return;
+
+      case Phase::ReadTail:
+        tail_ = r.value;
+        if (role_ == QueueRole::Producer)
+            queueOpPossible_ = (tail_ - head_) < p_.slots;
+        else
+            queueOpPossible_ = head_ < tail_;
+        phase_ = queueOpPossible_ ? Phase::SlotAccess : Phase::Releasing;
+        return;
+
+      case Phase::SlotAccess:
+        if (role_ == QueueRole::Consumer) {
+            received_.push_back(r.value);
+            unsigned from = unsigned(r.value >> 48);
+            std::uint64_t seq = r.value & 0xffffffffffffull;
+            if (from < lastSeqFrom_.size()) {
+                if (seq <= lastSeqFrom_[from])
+                    ++orderErrors_;
+                lastSeqFrom_[from] = seq;
+            }
+        }
+        phase_ = Phase::WriteIndex;
+        return;
+
+      case Phase::WriteIndex:
+        if (role_ == QueueRole::Producer)
+            ++seq_;
+        ++ops_;
+        phase_ = Phase::Releasing;
+        return;
+
+      case Phase::Releasing:
+        lock_.onReleased();
+        phase_ = Phase::Idle;
+        return;
+    }
+}
+
+std::string
+ServiceQueueWorkload::describe() const
+{
+    return csprintf("service-queue(%s, %s, ops=%llu)",
+                    role_ == QueueRole::Producer ? "producer" : "consumer",
+                    lockAlgName(p_.alg),
+                    (unsigned long long)p_.operations);
+}
+
+} // namespace csync

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Service-request queue workload — the paper's second busy-wait scenario
+ * (Sections B.1-B.2, E.4): software-implemented queues whose descriptors
+ * are guarded by busy-wait locks, with "quite a few processes accessing
+ * each queue" generating high contention.
+ *
+ * The queue is a bounded ring: a descriptor block holds {lock, head,
+ * tail}; slot blocks hold the requests.  Producers enqueue request
+ * payloads, consumers dequeue and "service" them.  End-to-end FIFO
+ * integrity is checkable: dequeued payloads per producer must arrive in
+ * increasing sequence order.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_SERVICE_QUEUE_HH
+#define CSYNC_PROC_WORKLOADS_SERVICE_QUEUE_HH
+
+#include <vector>
+
+#include "proc/sync_ops.hh"
+#include "proc/workload.hh"
+#include "sim/random.hh"
+
+namespace csync
+{
+
+/** Shared layout/parameters of one service queue. */
+struct ServiceQueueParams
+{
+    /** Operations (enqueues for producers, dequeues for consumers). */
+    std::uint64_t operations = 100;
+    /** Ring capacity in slots. */
+    unsigned slots = 8;
+    /** Lock algorithm guarding the descriptor. */
+    LockAlg alg = LockAlg::CacheLock;
+    /** Descriptor block base: word0=lock, word1=head, word2=tail. */
+    Addr descBase = 0x200000;
+    /** Slot array base (one word per slot). */
+    Addr slotBase = 0x210000;
+    /** Block size in bytes. */
+    Addr blockBytes = 32;
+    /** Think cycles between queue operations. */
+    Tick interOpThink = 12;
+    /** Think cycles between spin reads. */
+    Tick spinGap = 2;
+    /** Processor id (payload tagging). */
+    unsigned procId = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Enqueue or dequeue role. */
+enum class QueueRole { Producer, Consumer };
+
+/**
+ * One participant hammering the shared service queue.
+ */
+class ServiceQueueWorkload : public Workload
+{
+  public:
+    ServiceQueueWorkload(const ServiceQueueParams &p, QueueRole role);
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override;
+    bool done() const override { return ops_ >= p_.operations; }
+
+    /** Completed queue operations. */
+    std::uint64_t completedOps() const { return ops_; }
+    /** FIFO-order violations observed by this consumer. */
+    std::uint64_t orderErrors() const { return orderErrors_; }
+    /** Dequeued payloads (consumer). */
+    const std::vector<Word> &received() const { return received_; }
+
+    /** Payload encoding: (producer id << 48) | sequence. */
+    static Word payload(unsigned proc_id, std::uint64_t seq);
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        Acquiring,
+        ReadHead,
+        ReadTail,
+        SlotAccess,
+        WriteIndex,
+        Releasing,
+    };
+
+    Addr lockAddr() const { return p_.descBase; }
+    Addr headAddr() const { return p_.descBase + bytesPerWord; }
+    Addr tailAddr() const { return p_.descBase + 2 * bytesPerWord; }
+    Addr slotAddr(Word idx) const
+    {
+        return p_.slotBase + (idx % p_.slots) * p_.blockBytes;
+    }
+
+    ServiceQueueParams p_;
+    QueueRole role_;
+    LockDriver lock_;
+    Phase phase_ = Phase::Idle;
+    std::uint64_t ops_ = 0;
+    std::uint64_t seq_ = 0;
+    Word head_ = 0;
+    Word tail_ = 0;
+    bool queueOpPossible_ = false;
+    std::uint64_t orderErrors_ = 0;
+    std::vector<Word> received_;
+    std::vector<std::uint64_t> lastSeqFrom_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_SERVICE_QUEUE_HH

@@ -1,0 +1,93 @@
+#include "proc/workloads/state_save.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+Word
+StateSaveWorkload::savedValue(std::uint64_t n, unsigned b, unsigned w)
+{
+    return (n + 1) * 100000ull + b * 100ull + w;
+}
+
+NextStatus
+StateSaveWorkload::next(MemOp &op, Tick &think)
+{
+    if (switch_ >= p_.switches)
+        return NextStatus::Finished;
+
+    switch (phase_) {
+      case Phase::SpinTurn:
+        if (!myTurn_) {
+            op = MemOp{OpType::Read, p_.turnAddr, 0, false};
+            think = p_.spinGap;
+            return NextStatus::Op;
+        }
+        myTurn_ = false;
+        phase_ = Phase::Save;
+        block_ = 0;
+        word_ = 0;
+        [[fallthrough]];
+
+      case Phase::Save: {
+        Addr addr = p_.saveBase +
+                    Addr(block_) * p_.blockWords * bytesPerWord +
+                    Addr(word_) * bytesPerWord;
+        Word value = savedValue(turnValue_, block_, word_);
+        // The compiler knows every word of the block will be written
+        // (Feature 9): the first word of each block may claim the block
+        // without fetching it.
+        OpType t = (p_.useWriteNoFetch && word_ == 0)
+                       ? OpType::WriteNoFetch
+                       : OpType::Write;
+        op = MemOp{t, addr, value, false};
+        think = 0;
+        return NextStatus::Op;
+      }
+
+      case Phase::PassTurn:
+        op = MemOp{OpType::Write, p_.turnAddr, turnValue_ + 1, false};
+        think = 0;
+        return NextStatus::Op;
+    }
+    panic("unreachable");
+}
+
+void
+StateSaveWorkload::onResult(const MemOp &op, const AccessResult &r)
+{
+    switch (phase_) {
+      case Phase::SpinTurn:
+        if (op.type == OpType::Read &&
+            r.value % p_.numProcs == p_.procId &&
+            r.value / p_.numProcs == switch_) {
+            myTurn_ = true;
+            turnValue_ = r.value;
+        }
+        return;
+
+      case Phase::Save:
+        if (++word_ >= p_.blockWords) {
+            word_ = 0;
+            if (++block_ >= p_.stateBlocks)
+                phase_ = Phase::PassTurn;
+        }
+        return;
+
+      case Phase::PassTurn:
+        ++switch_;
+        phase_ = Phase::SpinTurn;
+        return;
+    }
+}
+
+std::string
+StateSaveWorkload::describe() const
+{
+    return csprintf("state-save(switches=%llu, blocks=%u, wnf=%d)",
+                    (unsigned long long)p_.switches, p_.stateBlocks,
+                    int(p_.useWriteNoFetch));
+}
+
+} // namespace csync

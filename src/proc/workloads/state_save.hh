@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Process-switch state-save workload (Feature 9).  At a process switch
+ * the outgoing process's registers are written — every word of the state
+ * block(s) — into a save area that was last filled on another processor.
+ * Without write-without-fetch each save block must be fetched (uselessly:
+ * every word is about to be overwritten); with it, a one-cycle claim
+ * suffices.  Two or more processors take turns saving to the same area,
+ * as the Aquarius system's frequent lightweight-process switching would.
+ */
+
+#ifndef CSYNC_PROC_WORKLOADS_STATE_SAVE_HH
+#define CSYNC_PROC_WORKLOADS_STATE_SAVE_HH
+
+#include "proc/workload.hh"
+
+namespace csync
+{
+
+/** Parameters for StateSaveWorkload. */
+struct StateSaveParams
+{
+    /** Process switches to perform. */
+    std::uint64_t switches = 32;
+    /** Save-area blocks written per switch. */
+    unsigned stateBlocks = 2;
+    /** Words per block. */
+    unsigned blockWords = 4;
+    /** Use the WriteNoFetch claim for the first word of each block. */
+    bool useWriteNoFetch = true;
+    /** Turn word address. */
+    Addr turnAddr = 0x500000;
+    /** Save area base. */
+    Addr saveBase = 0x500100;
+    /** Processors taking turns. */
+    unsigned numProcs = 2;
+    unsigned procId = 0;
+    /** Think cycles between turn polls. */
+    Tick spinGap = 3;
+};
+
+/** Alternating state saves into a shared save area. */
+class StateSaveWorkload : public Workload
+{
+  public:
+    explicit StateSaveWorkload(const StateSaveParams &p) : p_(p) {}
+
+    NextStatus next(MemOp &op, Tick &think) override;
+    void onResult(const MemOp &op, const AccessResult &r) override;
+    std::string describe() const override;
+    bool done() const override { return switch_ >= p_.switches; }
+
+    /** Value saved for word @p w of block @p b on global switch @p n. */
+    static Word savedValue(std::uint64_t n, unsigned b, unsigned w);
+
+  private:
+    enum class Phase { SpinTurn, Save, PassTurn };
+
+    StateSaveParams p_;
+    Phase phase_ = Phase::SpinTurn;
+    std::uint64_t switch_ = 0;
+    unsigned block_ = 0;
+    unsigned word_ = 0;
+    bool myTurn_ = false;
+    Word turnValue_ = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_PROC_WORKLOADS_STATE_SAVE_HH

@@ -1,0 +1,45 @@
+#include "sim/event_queue.hh"
+
+namespace csync
+{
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t executed = 0;
+    while (!events_.empty() && events_.top().when <= until) {
+        Entry e = std::move(const_cast<Entry &>(events_.top()));
+        events_.pop();
+        now_ = e.when;
+        e.cb();
+        ++executed;
+    }
+    if (now_ < until && until != maxTick)
+        now_ = until;
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runSteps(std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (!events_.empty() && executed < max_events) {
+        Entry e = std::move(const_cast<Entry &>(events_.top()));
+        events_.pop();
+        now_ = e.when;
+        e.cb();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events_.empty())
+        events_.pop();
+    now_ = 0;
+    seq_ = 0;
+}
+
+} // namespace csync

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.  Events are callbacks scheduled at a
+ * tick with an intra-tick priority; ties are broken FIFO so runs are fully
+ * deterministic for a given seed and configuration.
+ */
+
+#ifndef CSYNC_SIM_EVENT_QUEUE_HH
+#define CSYNC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/**
+ * Intra-tick scheduling priorities.  Lower value runs first.  The ordering
+ * matters: bus arbitration for a cycle must observe every request posted
+ * for that cycle, so requests post at Default and the arbiter runs at
+ * Arbitrate.
+ */
+enum class EventPri : int
+{
+    Default = 0,
+    Arbitrate = 10,
+    Stats = 20
+};
+
+/**
+ * The event queue: a priority queue of (tick, priority, sequence) ordered
+ * callbacks plus the current simulated time.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to run.
+     * @param pri Intra-tick priority.
+     */
+    void
+    schedule(Tick when, Callback cb, EventPri pri = EventPri::Default)
+    {
+        sim_assert(when >= now_, "scheduling into the past: %llu < %llu",
+                   (unsigned long long)when, (unsigned long long)now_);
+        events_.push(Entry{when, int(pri), seq_++, std::move(cb)});
+    }
+
+    /** Schedule a callback @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, EventPri pri = EventPri::Default)
+    {
+        schedule(now_ + delta, std::move(cb), pri);
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p until.  Events scheduled exactly at @p until still run.
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick until = maxTick);
+
+    /**
+     * Run at most @p max_events events (for watchdog-style tests).
+     * @return Number of events executed.
+     */
+    std::uint64_t runSteps(std::uint64_t max_events);
+
+    /** Discard all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int pri;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (pri != o.pri)
+                return pri > o.pri;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,112 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace csync
+{
+
+bool Trace::flags_[unsigned(TraceFlag::NumFlags)] = {};
+Trace::Sink Trace::sink_;
+bool Trace::echo_ = false;
+
+const char *
+traceFlagName(TraceFlag flag)
+{
+    switch (flag) {
+      case TraceFlag::Bus: return "Bus";
+      case TraceFlag::Cache: return "Cache";
+      case TraceFlag::Protocol: return "Protocol";
+      case TraceFlag::Lock: return "Lock";
+      case TraceFlag::Processor: return "Processor";
+      case TraceFlag::Memory: return "Memory";
+      case TraceFlag::Checker: return "Checker";
+      default: return "Unknown";
+    }
+}
+
+void
+Trace::setEnabled(TraceFlag flag, bool on)
+{
+    flags_[unsigned(flag)] = on;
+}
+
+void
+Trace::enableAll()
+{
+    for (auto &f : flags_)
+        f = true;
+}
+
+void
+Trace::reset()
+{
+    for (auto &f : flags_)
+        f = false;
+    sink_ = nullptr;
+    echo_ = false;
+}
+
+void
+Trace::setSink(Sink sink)
+{
+    sink_ = std::move(sink);
+}
+
+void
+Trace::setEcho(bool echo)
+{
+    echo_ = echo;
+}
+
+void
+Trace::emit(std::uint64_t when, TraceFlag flag, const std::string &who,
+            const std::string &what)
+{
+    if (!enabled(flag))
+        return;
+    if (echo_) {
+        std::fprintf(stdout, "%8llu: %-9s %-14s %s\n",
+                     (unsigned long long)when, traceFlagName(flag),
+                     who.c_str(), what.c_str());
+    }
+    if (sink_)
+        sink_(when, flag, who, what);
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::vector<char> buf(n + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), n);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", m.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", m.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace csync

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging: panic/fatal for errors, plus a per-flag
+ * trace facility used to narrate bus and cache activity.  Scenario
+ * reproduction (Figures 1-9) records trace lines through the same channel,
+ * so the narration printed by the figure benches is the narration the
+ * simulator actually executed.
+ */
+
+#ifndef CSYNC_SIM_LOGGING_HH
+#define CSYNC_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace csync
+{
+
+/** Trace categories that can be enabled independently. */
+enum class TraceFlag : unsigned
+{
+    Bus = 0,
+    Cache,
+    Protocol,
+    Lock,
+    Processor,
+    Memory,
+    Checker,
+    NumFlags
+};
+
+/** Return a human-readable name for a trace flag. */
+const char *traceFlagName(TraceFlag flag);
+
+/**
+ * Global trace sink.  By default traces are dropped; tests and the figure
+ * benches install a capture callback, and examples enable stdout echo.
+ */
+class Trace
+{
+  public:
+    using Sink = std::function<void(std::uint64_t when, TraceFlag flag,
+                                    const std::string &who,
+                                    const std::string &what)>;
+
+    /** Enable or disable one category. */
+    static void setEnabled(TraceFlag flag, bool on);
+
+    /** True if the category is enabled (cheap inline check). */
+    static bool enabled(TraceFlag flag) { return flags_[unsigned(flag)]; }
+
+    /** Enable every category. */
+    static void enableAll();
+
+    /** Disable every category and remove the sink. */
+    static void reset();
+
+    /** Install a callback receiving every emitted trace line. */
+    static void setSink(Sink sink);
+
+    /** Echo enabled trace lines to stdout as well. */
+    static void setEcho(bool echo);
+
+    /** Emit one trace record (no-op unless the flag is enabled). */
+    static void emit(std::uint64_t when, TraceFlag flag,
+                     const std::string &who, const std::string &what);
+
+  private:
+    static bool flags_[unsigned(TraceFlag::NumFlags)];
+    static Sink sink_;
+    static bool echo_;
+};
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort the program: an internal simulator bug (never the user's fault).
+ */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &m);
+
+/**
+ * Exit the program: an unusable configuration (the user's fault).
+ */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &m);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+} // namespace csync
+
+#define panic(...) \
+    ::csync::panicImpl(__FILE__, __LINE__, ::csync::csprintf(__VA_ARGS__))
+
+#define fatal(...) \
+    ::csync::fatalImpl(__FILE__, __LINE__, ::csync::csprintf(__VA_ARGS__))
+
+/** Assert a simulator invariant, panicking with a message on failure. */
+#define sim_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            panic("assertion '%s' failed: %s", #cond, \
+                  ::csync::csprintf(__VA_ARGS__).c_str()); \
+    } while (0)
+
+#endif // CSYNC_SIM_LOGGING_HH

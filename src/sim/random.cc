@@ -1,0 +1,19 @@
+#include "sim/random.hh"
+
+namespace csync
+{
+
+std::uint64_t
+Random::geometric(double p, std::uint64_t cap)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return cap;
+    std::uint64_t n = 0;
+    while (n < cap && !chance(p))
+        ++n;
+    return n;
+}
+
+} // namespace csync

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random source.  A thin wrapper over a 64-bit
+ * xorshift* generator so results are reproducible across standard-library
+ * implementations (std::mt19937 distributions are not portable).
+ */
+
+#ifndef CSYNC_SIM_RANDOM_HH
+#define CSYNC_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+/**
+ * xorshift64* PRNG with helper draws used by the workload generators.
+ */
+class Random
+{
+  public:
+    /** @param seed Any value; zero is remapped to a fixed odd constant. */
+    explicit Random(std::uint64_t seed = 1)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        sim_assert(bound > 0, "uniform(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        sim_assert(lo <= hi, "range(%llu, %llu)", (unsigned long long)lo,
+                   (unsigned long long)hi);
+        return lo + uniform(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool chance(double p) { return uniformReal() < p; }
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * per-trial probability @p p, capped at @p cap.
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SIM_RANDOM_HH

@@ -1,0 +1,7 @@
+#include "sim/sim_object.hh"
+
+// SimObject is header-only today; this translation unit anchors the vtable.
+
+namespace csync
+{
+} // namespace csync

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Base class for named simulation components.  A SimObject knows its name
+ * and the event queue of the system it belongs to, and offers convenience
+ * tracing helpers.
+ */
+
+#ifndef CSYNC_SIM_SIM_OBJECT_HH
+#define CSYNC_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+/**
+ * A named component attached to an event queue.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param name Hierarchical instance name (e.g. "cache2").
+     * @param eq Event queue the component schedules on (not owned).
+     */
+    SimObject(std::string name, EventQueue *eq)
+        : name_(std::move(name)), eventq_(eq)
+    {
+        sim_assert(eventq_ != nullptr, "SimObject '%s' needs an event queue",
+                   name_.c_str());
+    }
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Instance name. */
+    const std::string &name() const { return name_; }
+
+    /** Event queue this object schedules on. */
+    EventQueue *eventq() const { return eventq_; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eventq_->now(); }
+
+  protected:
+    /** Emit a trace line attributed to this object. */
+    void
+    trace(TraceFlag flag, const std::string &what) const
+    {
+        Trace::emit(curTick(), flag, name_, what);
+    }
+
+  private:
+    std::string name_;
+    EventQueue *eventq_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SIM_SIM_OBJECT_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Small statistics package in the spirit of gem5's: named scalars,
+ * histograms and derived formulas registered into groups that can be
+ * dumped as aligned text tables.  Every subsystem exposes its counters
+ * through this so benches can print paper-style rows.
+ */
+
+#ifndef CSYNC_SIM_STATS_HH
+#define CSYNC_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace csync
+{
+namespace stats
+{
+
+class Group;
+
+/** Common base: a named, described statistic belonging to a group. */
+class Info
+{
+  public:
+    Info(Group *parent, std::string name, std::string desc);
+    virtual ~Info() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the value(s) into one or more "name value # desc" lines. */
+    virtual void print(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the freshly-constructed value. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A double-valued counter/accumulator. */
+class Scalar : public Info
+{
+  public:
+    using Info::Info;
+
+    Scalar &operator++() { value_ += 1; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** A fixed-bucket histogram with underflow/overflow and moments. */
+class Histogram : public Info
+{
+  public:
+    /**
+     * @param parent Owning group.
+     * @param name Statistic name.
+     * @param desc Description.
+     * @param bucket_size Width of each bucket.
+     * @param buckets Number of buckets starting at zero.
+     */
+    Histogram(Group *parent, std::string name, std::string desc,
+              std::uint64_t bucket_size, std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t bucketSize_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** A lazily evaluated derived value (e.g. a ratio of two scalars). */
+class Formula : public Info
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(Group *parent, std::string name, std::string desc, Fn fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    Fn fn_;
+};
+
+/**
+ * A named collection of statistics, possibly with child groups, mirroring
+ * the SimObject hierarchy.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    virtual ~Group() = default;
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Register a statistic (called by Info's constructor). */
+    void addStat(Info *info);
+
+    /** Register a child group. */
+    void addChild(Group *child);
+
+    /** Dump this group and all children to @p os. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset this group's stats and all children. */
+    void resetStats();
+
+    /** Look up a scalar/formula value by dotted path; 0 if absent. */
+    double lookup(const std::string &stat_name) const;
+
+  private:
+    std::string name_;
+    std::vector<Info *> stats_;
+    std::vector<Group *> children_;
+};
+
+} // namespace stats
+} // namespace csync
+
+#endif // CSYNC_SIM_STATS_HH

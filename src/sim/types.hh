@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the simulator.
+ */
+
+#ifndef CSYNC_SIM_TYPES_HH
+#define CSYNC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace csync
+{
+
+/** Simulated time, measured in bus-clock cycles. */
+using Tick = std::uint64_t;
+
+/** A tick value that is later than any reachable simulation time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Contents of one bus-wide word (the unit of data transfer). */
+using Word = std::uint64_t;
+
+/** Identifier of a cache/processor pair on the bus. -1 == memory/none. */
+using NodeId = int;
+
+/** NodeId naming "no cache" (e.g. data supplied by main memory). */
+constexpr NodeId invalidNode = -1;
+
+/** Number of bytes in one bus-wide word. */
+constexpr Addr bytesPerWord = 8;
+
+/** Align an address down to its containing word. */
+constexpr Addr
+wordAlign(Addr a)
+{
+    return a & ~(bytesPerWord - 1);
+}
+
+} // namespace csync
+
+#endif // CSYNC_SIM_TYPES_HH

@@ -1,0 +1,91 @@
+#include "system/checker.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+Checker::Checker(stats::Group *stats_parent)
+    : statsGroup("checker", stats_parent),
+      readsChecked(&statsGroup, "readsChecked", "reads validated"),
+      writesRecorded(&statsGroup, "writesRecorded", "writes serialized"),
+      lockPairs(&statsGroup, "lockPairs", "lock acquire/release pairs"),
+      violationCount(&statsGroup, "violations", "coherence violations")
+{
+}
+
+void
+Checker::onWrite(NodeId node, Addr word_addr, Word value, Tick when)
+{
+    (void)node;
+    (void)when;
+    ++writesRecorded;
+    last_[word_addr] = value;
+}
+
+void
+Checker::onRead(NodeId node, Addr word_addr, Word value, Tick when)
+{
+    ++readsChecked;
+    auto it = last_.find(word_addr);
+    Word expect = it == last_.end() ? 0 : it->second;
+    if (value != expect) {
+        violation(csprintf(
+            "tick %llu node %d read %llx = %llx, expected %llx",
+            (unsigned long long)when, node, (unsigned long long)word_addr,
+            (unsigned long long)value, (unsigned long long)expect));
+    }
+}
+
+void
+Checker::onLockAcquire(NodeId node, Addr block_addr, Tick when)
+{
+    auto it = lockHolders_.find(block_addr);
+    if (it != lockHolders_.end() && it->second != invalidNode) {
+        violation(csprintf(
+            "tick %llu node %d acquired lock %llx held by node %d",
+            (unsigned long long)when, node,
+            (unsigned long long)block_addr, it->second));
+    }
+    lockHolders_[block_addr] = node;
+}
+
+void
+Checker::onLockRelease(NodeId node, Addr block_addr, Tick when)
+{
+    auto it = lockHolders_.find(block_addr);
+    if (it == lockHolders_.end() || it->second != node) {
+        violation(csprintf(
+            "tick %llu node %d released lock %llx it does not hold",
+            (unsigned long long)when, node,
+            (unsigned long long)block_addr));
+    } else {
+        ++lockPairs;
+        it->second = invalidNode;
+    }
+}
+
+Word
+Checker::expectedValue(Addr word_addr) const
+{
+    auto it = last_.find(word_addr);
+    return it == last_.end() ? 0 : it->second;
+}
+
+NodeId
+Checker::lockHolder(Addr block_addr) const
+{
+    auto it = lockHolders_.find(block_addr);
+    return it == lockHolders_.end() ? invalidNode : it->second;
+}
+
+void
+Checker::violation(const std::string &what)
+{
+    ++violationCount;
+    if (violations_.size() < 64)
+        violations_.push_back(what);
+    Trace::emit(0, TraceFlag::Checker, "checker", what);
+}
+
+} // namespace csync

@@ -1,0 +1,29 @@
+#include "system/config.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+void
+SystemConfig::validate() const
+{
+    if (numProcessors == 0)
+        fatal("system needs at least one processor");
+    if (cache.geom.frames == 0)
+        fatal("cache needs at least one frame");
+    if (cache.geom.blockWords == 0 ||
+        (cache.geom.blockWords & (cache.geom.blockWords - 1)) != 0) {
+        fatal("block words must be a nonzero power of two");
+    }
+    if (cache.geom.ways != 0 && cache.geom.frames % cache.geom.ways != 0)
+        fatal("frames must be a multiple of associativity");
+    if (cache.geom.transferWords != 0 &&
+        (cache.geom.blockWords % cache.geom.transferWords != 0)) {
+        fatal("transfer unit must divide the block size");
+    }
+    if (protocol.empty())
+        fatal("no protocol selected");
+}
+
+} // namespace csync

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Whole-system configuration: protocol choice, processor count, cache
+ * geometry, bus timing, and feature toggles.
+ */
+
+#ifndef CSYNC_SYSTEM_CONFIG_HH
+#define CSYNC_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "mem/timing.hh"
+
+namespace csync
+{
+
+/** Configuration for one simulated system. */
+struct SystemConfig
+{
+    /** Instance name (statistics prefix). */
+    std::string name = "system";
+    /** Registered protocol name ("bitar", "goodman", ...). */
+    std::string protocol = "bitar";
+    /** Number of processor/cache pairs. */
+    unsigned numProcessors = 4;
+    /** Per-cache configuration (geometry, hit latency, directory). */
+    CacheConfig cache;
+    /** Bus/memory timing. */
+    BusTiming timing;
+    /** Attach an I/O device. */
+    bool withIODevice = false;
+    /** Take each cache's directory organization from the protocol's
+     *  Feature 3 entry instead of cache.directory. */
+    bool directoryFromProtocol = true;
+    /** Attach the value-level coherence checker. */
+    bool enableChecker = true;
+
+    /** Sanity-check the configuration (fatal on nonsense). */
+    void validate() const;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SYSTEM_CONFIG_HH

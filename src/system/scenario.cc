@@ -1,0 +1,101 @@
+#include "system/scenario.hh"
+
+namespace csync
+{
+
+Scenario::Scenario(const Options &opts)
+{
+    SystemConfig cfg;
+    cfg.name = "scenario";
+    cfg.protocol = opts.protocol;
+    cfg.numProcessors = opts.processors;
+    cfg.cache.geom.frames = opts.frames;
+    cfg.cache.geom.ways = opts.ways;
+    cfg.cache.geom.blockWords = opts.blockWords;
+    cfg.timing = opts.timing;
+    cfg.enableChecker = opts.enableChecker;
+    sys_ = std::make_unique<System>(cfg);
+    pending_.resize(opts.processors);
+
+    if (opts.collectTrace) {
+        Trace::enableAll();
+        Trace::setSink([this](std::uint64_t when, TraceFlag flag,
+                              const std::string &who,
+                              const std::string &what) {
+            log_.push_back(csprintf("%6llu %-8s %-12s %s",
+                                    (unsigned long long)when,
+                                    traceFlagName(flag), who.c_str(),
+                                    what.c_str()));
+        });
+    }
+}
+
+Scenario::~Scenario()
+{
+    Trace::reset();
+}
+
+void
+Scenario::note(const std::string &line)
+{
+    log_.push_back("       --      --           " + line);
+}
+
+AccessResult
+Scenario::run(unsigned p, const MemOp &op)
+{
+    AccessResult r;
+    if (!tryRun(p, op, &r)) {
+        fatal("scenario: op %s @%llx on cache%u did not complete",
+              opTypeName(op.type), (unsigned long long)op.addr, p);
+    }
+    return r;
+}
+
+bool
+Scenario::tryRun(unsigned p, const MemOp &op, AccessResult *out)
+{
+    PendingOp &slot = pending_.at(p);
+    sim_assert(!slot.issued || slot.completed,
+               "scenario: processor %u already has a pending op", p);
+    slot.issued = true;
+    slot.completed = false;
+
+    note(csprintf("processor %u issues %s @%llx%s", p,
+                  opTypeName(op.type), (unsigned long long)op.addr,
+                  op.type == OpType::Write ||
+                          op.type == OpType::UnlockWrite ||
+                          op.type == OpType::WriteNoFetch ||
+                          op.type == OpType::Rmw
+                      ? csprintf(" value=%llu",
+                                 (unsigned long long)op.value)
+                            .c_str()
+                      : ""));
+
+    sys_->cache(p).access(op, [&slot](const AccessResult &r) {
+        slot.completed = true;
+        slot.result = r;
+    });
+    settle();
+
+    if (slot.completed && out)
+        *out = slot.result;
+    return slot.completed;
+}
+
+bool
+Scenario::pendingCompleted(unsigned p, AccessResult *out)
+{
+    PendingOp &slot = pending_.at(p);
+    if (slot.completed && out)
+        *out = slot.result;
+    return slot.completed;
+}
+
+void
+Scenario::settle()
+{
+    sys_->eventq().run();
+}
+
+} // namespace csync

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Directed scenario engine for reproducing Figures 1-9: drive individual
+ * operations on specific caches, run the event loop to quiescence, and
+ * capture the simulator's own narration (trace lines) plus state/stat
+ * observations.  The narration printed by the figure benches is the
+ * narration the simulator actually executed.
+ */
+
+#ifndef CSYNC_SYSTEM_SCENARIO_HH
+#define CSYNC_SYSTEM_SCENARIO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace csync
+{
+
+/**
+ * A small system plus facilities for step-by-step directed runs.
+ */
+class Scenario
+{
+  public:
+    /** Scenario options. */
+    struct Options
+    {
+        std::string protocol = "bitar";
+        unsigned processors = 3;
+        unsigned blockWords = 4;
+        unsigned frames = 16;
+        unsigned ways = 0;       // fully associative
+        BusTiming timing{};
+        bool enableChecker = true;
+        bool collectTrace = true;
+    };
+
+    explicit Scenario(const Options &opts);
+    ~Scenario();
+
+    System &system() { return *sys_; }
+    Cache &cache(unsigned p) { return sys_->cache(p); }
+
+    /**
+     * Issue @p op on processor @p p and run to quiescence; fatal if the
+     * op does not complete (use tryRun for busy-wait scenarios).
+     */
+    AccessResult run(unsigned p, const MemOp &op);
+
+    /**
+     * Issue @p op on processor @p p and run to quiescence.
+     * @return true if the op completed (result in *out); false if it is
+     *         still pending (busy-waiting on a lock).
+     */
+    bool tryRun(unsigned p, const MemOp &op, AccessResult *out = nullptr);
+
+    /** Check whether an earlier pending op on @p p has completed. */
+    bool pendingCompleted(unsigned p, AccessResult *out = nullptr);
+
+    /** Run the event loop until it drains. */
+    void settle();
+
+    /** Cache state of processor @p p for @p addr. */
+    State state(unsigned p, Addr addr) { return cache(p).stateOf(addr); }
+
+    /** Captured narration. */
+    const std::vector<std::string> &log() const { return log_; }
+    void clearLog() { log_.clear(); }
+
+    /** Insert a narration line of our own. */
+    void note(const std::string &line);
+
+  private:
+    struct PendingOp
+    {
+        bool issued = false;
+        bool completed = false;
+        AccessResult result;
+    };
+
+    std::unique_ptr<System> sys_;
+    std::vector<PendingOp> pending_;
+    std::vector<std::string> log_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SYSTEM_SCENARIO_HH

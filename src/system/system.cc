@@ -1,0 +1,154 @@
+#include "system/system.hh"
+
+#include <map>
+
+namespace csync
+{
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), root_(cfg.name), checker_(&root_)
+{
+    cfg_.validate();
+
+    memory_ = std::make_unique<Memory>("memory", &eq_,
+                                       cfg_.cache.geom.blockWords, &root_);
+    bus_ = std::make_unique<Bus>("bus", &eq_, memory_.get(), cfg_.timing,
+                                 &root_);
+
+    Checker *chk = cfg_.enableChecker ? &checker_ : nullptr;
+    unsigned p = cfg_.numProcessors;
+    for (unsigned i = 0; i < p; ++i) {
+        auto protocol = makeProtocol(cfg_.protocol);
+        CacheConfig cc = cfg_.cache;
+        if (cfg_.directoryFromProtocol)
+            cc.directory = protocol->features().directory;
+        caches_.push_back(std::make_unique<Cache>(
+            csprintf("cache%u", i), &eq_, NodeId(i), NodeId(p + i), cc,
+            std::move(protocol), bus_.get(), chk, &root_));
+    }
+    // Caches first (they win supplier selection), then their busy-wait
+    // registers, then I/O.
+    for (auto &c : caches_)
+        bus_->addClient(c.get());
+    for (auto &c : caches_)
+        bus_->addClient(&c->busyWaitRegister());
+    if (cfg_.withIODevice) {
+        io_ = std::make_unique<IODevice>("io", &eq_, NodeId(2 * p),
+                                         bus_.get(), chk, &root_);
+        bus_->addClient(io_.get());
+    }
+}
+
+unsigned
+System::addProcessor(std::unique_ptr<Workload> workload,
+                     bool work_while_waiting)
+{
+    unsigned idx = unsigned(procs_.size());
+    sim_assert(idx < caches_.size(), "more processors than caches");
+    procs_.push_back(std::make_unique<Processor>(
+        csprintf("proc%u", idx), &eq_, NodeId(idx), caches_[idx].get(),
+        std::move(workload), &root_));
+    if (work_while_waiting)
+        procs_.back()->enableWorkWhileWaiting();
+    return idx;
+}
+
+void
+System::start()
+{
+    for (auto &p : procs_)
+        p->start();
+}
+
+bool
+System::allDone() const
+{
+    for (const auto &p : procs_)
+        if (!p->done())
+            return false;
+    return true;
+}
+
+Tick
+System::run(Tick max_ticks)
+{
+    while (!allDone() && !eq_.empty() && eq_.now() < max_ticks)
+        eq_.runSteps(4096);
+    return eq_.now();
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    root_.dump(os);
+}
+
+unsigned
+System::checkStateInvariants(std::string *why)
+{
+    unsigned violations = 0;
+    auto report = [&](const std::string &what) {
+        ++violations;
+        if (why && why->empty())
+            *why = what;
+    };
+
+    struct Copy
+    {
+        unsigned cache;
+        const Frame *frame;
+    };
+    std::map<Addr, std::vector<Copy>> blocks;
+    for (unsigned i = 0; i < caches_.size(); ++i) {
+        caches_[i]->blocks().forEachValid([&](const Frame &f) {
+            blocks[f.blockAddr].push_back(Copy{i, &f});
+        });
+    }
+
+    for (const auto &[addr, copies] : blocks) {
+        unsigned writable = 0, sources = 0, locked = 0, dirty = 0;
+        for (const auto &c : copies) {
+            if (canWrite(c.frame->state))
+                ++writable;
+            if (isSource(c.frame->state))
+                ++sources;
+            if (isLocked(c.frame->state))
+                ++locked;
+            if (isDirty(c.frame->state))
+                ++dirty;
+        }
+        if (writable > 1) {
+            report(csprintf("block %llx writable in %u caches",
+                            (unsigned long long)addr, writable));
+        }
+        if (sources > 1) {
+            report(csprintf("block %llx has %u sources",
+                            (unsigned long long)addr, sources));
+        }
+        if (locked > 1) {
+            report(csprintf("block %llx locked in %u caches",
+                            (unsigned long long)addr, locked));
+        }
+        if (writable >= 1 && copies.size() > 1) {
+            report(csprintf("block %llx writable with %zu copies",
+                            (unsigned long long)addr, copies.size()));
+        }
+        for (std::size_t i = 1; i < copies.size(); ++i) {
+            if (copies[i].frame->data != copies[0].frame->data) {
+                report(csprintf("block %llx copies differ (cache%u vs "
+                                "cache%u)",
+                                (unsigned long long)addr, copies[0].cache,
+                                copies[i].cache));
+                break;
+            }
+        }
+        if (dirty == 0 &&
+            copies[0].frame->data != memory_->peekBlock(addr)) {
+            report(csprintf("block %llx clean copies differ from memory",
+                            (unsigned long long)addr));
+        }
+    }
+    return violations;
+}
+
+} // namespace csync

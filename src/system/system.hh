@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The whole simulated machine: N processors with private snooping caches
+ * on one full-broadcast bus in front of a simple main memory (Figure 11's
+ * upper switch-memory system), plus the value checker and a structural
+ * invariant scanner.
+ */
+
+#ifndef CSYNC_SYSTEM_SYSTEM_HH
+#define CSYNC_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "mem/bus.hh"
+#include "mem/io_device.hh"
+#include "mem/memory.hh"
+#include "proc/processor.hh"
+#include "system/checker.hh"
+#include "system/config.hh"
+
+namespace csync
+{
+
+/**
+ * One simulated shared-memory multiprocessor.
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    const SystemConfig &config() const { return cfg_; }
+    EventQueue &eventq() { return eq_; }
+    Tick now() const { return eq_.now(); }
+    Bus &bus() { return *bus_; }
+    Memory &memory() { return *memory_; }
+    Checker &checker() { return checker_; }
+    stats::Group &rootStats() { return root_; }
+    IODevice *io() { return io_.get(); }
+
+    unsigned numCaches() const { return unsigned(caches_.size()); }
+    Cache &cache(unsigned i) { return *caches_.at(i); }
+
+    /**
+     * Attach a processor running @p workload to the next free cache.
+     * @return the processor's index.
+     */
+    unsigned addProcessor(std::unique_ptr<Workload> workload,
+                          bool work_while_waiting = false);
+
+    unsigned numProcessors() const { return unsigned(procs_.size()); }
+    Processor &processor(unsigned i) { return *procs_.at(i); }
+
+    /** Start every attached processor. */
+    void start();
+
+    /** True when every processor's workload has finished. */
+    bool allDone() const;
+
+    /**
+     * Run until all processors finish, the event queue drains, or
+     * @p max_ticks is reached.
+     * @return the final simulated time.
+     */
+    Tick run(Tick max_ticks = 50'000'000);
+
+    /** Dump every statistic to @p os. */
+    void dumpStats(std::ostream &os);
+
+    /**
+     * Scan all caches for structural coherence invariants:
+     * at most one writable copy, at most one source, at most one lock
+     * holder per block; all valid copies identical; clean data equal to
+     * memory when no dirty copy exists.
+     *
+     * @param why Optional first-violation description.
+     * @return number of violations found.
+     */
+    unsigned checkStateInvariants(std::string *why = nullptr);
+
+  private:
+    SystemConfig cfg_;
+    EventQueue eq_;
+    stats::Group root_;
+    Checker checker_;
+    std::unique_ptr<Memory> memory_;
+    std::unique_ptr<Bus> bus_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+    std::unique_ptr<IODevice> io_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SYSTEM_SYSTEM_HH

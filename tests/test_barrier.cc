@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the sense-reversing barrier workload: integrity (no
+ * participant passes a barrier twice while another waits at it) across
+ * protocols, lock algorithms, and participant counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proc/workloads/barrier.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct BarrierCase
+{
+    std::string protocol;
+    LockAlg alg;
+    unsigned procs;
+    bool workWhileWaiting;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<BarrierCase> &info)
+{
+    const auto &c = info.param;
+    std::string alg = c.alg == LockAlg::CacheLock ? "cachelock"
+                      : c.alg == LockAlg::TestAndSet ? "tas"
+                                                     : "ttas";
+    return c.protocol + "_" + alg + "_p" + std::to_string(c.procs) +
+           (c.workWhileWaiting ? "_www" : "");
+}
+
+class BarrierProperty : public ::testing::TestWithParam<BarrierCase>
+{
+};
+
+} // namespace
+
+TEST_P(BarrierProperty, AllRoundsCompleteInLockstep)
+{
+    const auto &c = GetParam();
+    SystemConfig cfg;
+    cfg.protocol = c.protocol;
+    cfg.numProcessors = c.procs;
+    cfg.cache.geom.frames = 32;
+    cfg.cache.geom.blockWords = 4;
+    System sys(cfg);
+
+    const std::uint64_t rounds = 15;
+    BarrierParams p;
+    p.rounds = rounds;
+    p.numProcs = c.procs;
+    p.alg = c.alg;
+    for (unsigned i = 0; i < c.procs; ++i) {
+        p.procId = i;
+        sys.addProcessor(std::make_unique<BarrierWorkload>(p),
+                         c.workWhileWaiting);
+    }
+    sys.start();
+    sys.run(50'000'000);
+
+    ASSERT_TRUE(sys.allDone());
+    EXPECT_EQ(sys.checker().violations(), 0u)
+        << (sys.checker().violationLog().empty()
+                ? std::string("?")
+                : sys.checker().violationLog()[0]);
+    for (unsigned i = 0; i < c.procs; ++i) {
+        auto &wl = static_cast<BarrierWorkload &>(
+            sys.processor(i).workload());
+        EXPECT_EQ(wl.completedRounds(), rounds) << "proc " << i;
+        EXPECT_FALSE(wl.integrityViolated()) << "proc " << i;
+    }
+    // The final episode left the counter reset and the sense at the
+    // final round.
+    EXPECT_EQ(sys.checker().expectedValue(p.descBase + bytesPerWord),
+              0u);
+    EXPECT_EQ(sys.checker().expectedValue(p.senseAddr), rounds);
+    std::string why;
+    EXPECT_EQ(sys.checkStateInvariants(&why), 0u) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Barriers, BarrierProperty,
+    ::testing::Values(
+        BarrierCase{"bitar", LockAlg::CacheLock, 2, false},
+        BarrierCase{"bitar", LockAlg::CacheLock, 4, false},
+        BarrierCase{"bitar", LockAlg::CacheLock, 8, false},
+        BarrierCase{"bitar", LockAlg::CacheLock, 4, true},
+        BarrierCase{"bitar", LockAlg::TestTestSet, 4, false},
+        BarrierCase{"illinois", LockAlg::TestTestSet, 4, false},
+        BarrierCase{"illinois", LockAlg::TestAndSet, 6, false},
+        BarrierCase{"berkeley", LockAlg::TestTestSet, 4, false},
+        BarrierCase{"synapse", LockAlg::TestAndSet, 3, false},
+        BarrierCase{"dragon", LockAlg::TestTestSet, 4, false},
+        BarrierCase{"firefly", LockAlg::TestTestSet, 4, false},
+        BarrierCase{"rudolph_segall", LockAlg::TestTestSet, 4, false}),
+    caseName);

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the flag-encoded block states (Section E.1 naming).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/block_state.hh"
+
+using namespace csync;
+
+TEST(BlockState, PaperStateNames)
+{
+    EXPECT_EQ(stateName(Inv), "Invalid");
+    EXPECT_EQ(stateName(Rd), "Read,Clean");
+    EXPECT_EQ(stateName(RdSrcCln), "Read,Source,Clean");
+    EXPECT_EQ(stateName(RdSrcDty), "Read,Source,Dirty");
+    EXPECT_EQ(stateName(WrSrcCln), "Write,Source,Clean");
+    EXPECT_EQ(stateName(WrSrcDty), "Write,Source,Dirty");
+    EXPECT_EQ(stateName(LkSrcDty), "Lock,Source,Dirty");
+    EXPECT_EQ(stateName(LkSrcDtyWt), "Lock,Source,Dirty,Waiter");
+}
+
+TEST(BlockState, Predicates)
+{
+    EXPECT_FALSE(isValid(Inv));
+    EXPECT_TRUE(canRead(Rd));
+    EXPECT_FALSE(canWrite(Rd));
+    EXPECT_TRUE(canWrite(WrSrcCln));
+    EXPECT_TRUE(canWrite(LkSrcDty));
+    EXPECT_TRUE(isLocked(LkSrcDty));
+    EXPECT_FALSE(isLocked(WrSrcDty));
+    EXPECT_TRUE(isDirty(WrSrcDty));
+    EXPECT_FALSE(isDirty(WrSrcCln));
+    EXPECT_TRUE(isSource(RdSrcCln));
+    EXPECT_FALSE(isSource(Rd));
+    EXPECT_TRUE(hasWaiter(LkSrcDtyWt));
+    EXPECT_FALSE(hasWaiter(LkSrcDty));
+}
+
+TEST(BlockState, LockImpliesWritePrivilege)
+{
+    // The paper defines Lock as "read and write privilege, locked by the
+    // cache".
+    EXPECT_TRUE(canWrite(LkSrcDty));
+    EXPECT_TRUE(canRead(LkSrcDty));
+}
+
+TEST(BlockState, HybridBits)
+{
+    State sc = BitValid | BitShared;
+    EXPECT_TRUE(isSharedHint(sc));
+    EXPECT_FALSE(canWrite(sc));
+    State sw = State(sc | BitWroteOnce);
+    EXPECT_TRUE(wroteOnce(sw));
+    EXPECT_NE(stateName(sw).find("WroteOnce"), std::string::npos);
+}
+
+TEST(BlockState, AbbrevRoundTrips)
+{
+    EXPECT_EQ(stateAbbrev(Inv), "I");
+    EXPECT_EQ(stateAbbrev(WrSrcDty), "W.S.D");
+    EXPECT_EQ(stateAbbrev(LkSrcDtyWt), "L.S.D.W");
+}
+
+TEST(BlockState, Table1RowsCoverCanonicalStates)
+{
+    const auto &rows = table1StateRows();
+    EXPECT_GE(rows.size(), 8u);
+    EXPECT_EQ(rows.front(), Inv);
+}

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the broadcast bus: arbitration (round-robin and the
+ * busy-wait priority bit), snoop aggregation, data routing from caches
+ * vs. memory, locked responses, and piggybacked write-backs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+using namespace csync;
+
+namespace
+{
+
+/** Scriptable bus client. */
+struct MockClient : public BusClient
+{
+    NodeId id;
+    Bus *bus = nullptr;
+    BusMsg toSend;
+    bool decline = false;
+    SnoopReply reply;
+    std::vector<BusMsg> snooped;
+    std::vector<SnoopResult> completions;
+    Tick lastCompleteTick = 0;
+    EventQueue *eq = nullptr;
+
+    explicit MockClient(NodeId i) : id(i) {}
+
+    NodeId nodeId() const override { return id; }
+
+    bool
+    busGrant(BusMsg &msg) override
+    {
+        if (decline)
+            return false;
+        msg = toSend;
+        return true;
+    }
+
+    SnoopReply snoop(const BusMsg &msg) override
+    {
+        snooped.push_back(msg);
+        return reply;
+    }
+
+    void
+    busComplete(const BusMsg &, const SnoopResult &res) override
+    {
+        completions.push_back(res);
+        lastCompleteTick = eq->now();
+    }
+};
+
+struct BusTest : public ::testing::Test
+{
+    EventQueue eq;
+    stats::Group root{"root"};
+    Memory mem{"memory", &eq, 4, &root};
+    BusTiming timing{};
+    Bus bus{"bus", &eq, &mem, timing, &root};
+    std::vector<std::unique_ptr<MockClient>> clients;
+
+    MockClient *
+    addClient(NodeId id)
+    {
+        clients.push_back(std::make_unique<MockClient>(id));
+        clients.back()->bus = &bus;
+        clients.back()->eq = &eq;
+        bus.addClient(clients.back().get());
+        return clients.back().get();
+    }
+
+    BusMsg
+    fetch(Addr a, BusReq req = BusReq::ReadShared)
+    {
+        BusMsg m;
+        m.req = req;
+        m.blockAddr = a;
+        return m;
+    }
+};
+
+} // namespace
+
+TEST_F(BusTest, MemorySuppliesWhenNoCacheDoes)
+{
+    auto *c0 = addClient(0);
+    addClient(1);
+    mem.writeBlock(0x1000, {7, 8, 9, 10});
+    c0->toSend = fetch(0x1000);
+    bus.request(c0);
+    eq.run();
+    ASSERT_EQ(c0->completions.size(), 1u);
+    EXPECT_EQ(c0->completions[0].supplier, invalidNode);
+    EXPECT_EQ(c0->completions[0].data,
+              (std::vector<Word>{7, 8, 9, 10}));
+    EXPECT_DOUBLE_EQ(bus.memSupplies.value(), 1.0);
+    EXPECT_FALSE(c0->completions[0].hit);
+}
+
+TEST_F(BusTest, CacheSupplierWins)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    c1->reply.hasCopy = true;
+    c1->reply.source = true;
+    c1->reply.supplyData = true;
+    c1->reply.dirty = true;
+    c1->reply.data = {4, 3, 2, 1};
+    c0->toSend = fetch(0x1000);
+    bus.request(c0);
+    eq.run();
+    ASSERT_EQ(c0->completions.size(), 1u);
+    EXPECT_EQ(c0->completions[0].supplier, 1);
+    EXPECT_TRUE(c0->completions[0].hit);
+    EXPECT_TRUE(c0->completions[0].sourceDirty);
+    EXPECT_EQ(c0->completions[0].data, (std::vector<Word>{4, 3, 2, 1}));
+    EXPECT_DOUBLE_EQ(bus.cacheSupplies.value(), 1.0);
+    EXPECT_DOUBLE_EQ(bus.memSupplies.value(), 0.0);
+}
+
+TEST_F(BusTest, FlushToMemoryRidesTransfer)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    c1->reply.hasCopy = true;
+    c1->reply.supplyData = true;
+    c1->reply.flushToMemory = true;
+    c1->reply.data = {11, 12, 13, 14};
+    c0->toSend = fetch(0x1000);
+    bus.request(c0);
+    eq.run();
+    EXPECT_EQ(mem.peekBlock(0x1000), (std::vector<Word>{11, 12, 13, 14}));
+}
+
+TEST_F(BusTest, MultipleSuppliersArbitrate)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    auto *c2 = addClient(2);
+    for (auto *c : {c1, c2}) {
+        c->reply.hasCopy = true;
+        c->reply.supplyData = true;
+        c->reply.data = {1, 1, 1, 1};
+    }
+    c0->toSend = fetch(0x1000);
+    bus.request(c0);
+    eq.run();
+    EXPECT_DOUBLE_EQ(bus.sourceArbitrations.value(), 1.0);
+    EXPECT_EQ(c0->completions[0].supplier, 1);
+    EXPECT_EQ(c0->completions[0].copies, 2);
+}
+
+TEST_F(BusTest, LockedResponseCarriesNoData)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    c1->reply.hasCopy = true;
+    c1->reply.locked = true;
+    c0->toSend = fetch(0x1000, BusReq::ReadLock);
+    bus.request(c0);
+    eq.run();
+    ASSERT_EQ(c0->completions.size(), 1u);
+    EXPECT_TRUE(c0->completions[0].locked);
+    EXPECT_TRUE(c0->completions[0].data.empty());
+    EXPECT_DOUBLE_EQ(bus.lockedResponses.value(), 1.0);
+}
+
+TEST_F(BusTest, RoundRobinArbitration)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    auto *c2 = addClient(2);
+    for (auto *c : {c0, c1, c2})
+        c->toSend = fetch(0x1000);
+    bus.request(c1);
+    bus.request(c0);
+    bus.request(c2);
+    eq.run();
+    // First grant goes to node 0 (round-robin from -1), then 1, then 2.
+    EXPECT_LT(c0->lastCompleteTick, c1->lastCompleteTick);
+    EXPECT_LT(c1->lastCompleteTick, c2->lastCompleteTick);
+}
+
+TEST_F(BusTest, BusyWaitPriorityBeatsRoundRobin)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    auto *c2 = addClient(2);
+    for (auto *c : {c0, c1, c2})
+        c->toSend = fetch(0x1000);
+    // Occupy the bus with c0, then queue c1 (normal) and c2 (priority).
+    bus.request(c0);
+    bus.request(c1);
+    bus.request(c2, BusPriority::BusyWait);
+    eq.run();
+    EXPECT_LT(c2->lastCompleteTick, c1->lastCompleteTick);
+    EXPECT_DOUBLE_EQ(bus.highPriorityGrants.value(), 1.0);
+}
+
+TEST_F(BusTest, DeclinedGrantPassesToNext)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    c0->decline = true;
+    c0->toSend = fetch(0x1000);
+    c1->toSend = fetch(0x2000);
+    bus.request(c0);
+    bus.request(c1);
+    eq.run();
+    EXPECT_EQ(c0->completions.size(), 0u);
+    EXPECT_EQ(c1->completions.size(), 1u);
+}
+
+TEST_F(BusTest, CancelRemovesRequest)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    c0->toSend = fetch(0x1000);
+    c1->toSend = fetch(0x2000);
+    bus.request(c0);
+    bus.request(c1);
+    bus.cancel(c1);
+    eq.run();
+    EXPECT_EQ(c1->completions.size(), 0u);
+    EXPECT_EQ(c0->completions.size(), 1u);
+}
+
+TEST_F(BusTest, PiggybackedWritebackLandsInMemory)
+{
+    auto *c0 = addClient(0);
+    addClient(1);
+    BusMsg m = fetch(0x1000);
+    m.wbValid = true;
+    m.wbAddr = 0x2000;
+    m.wbData = {9, 9, 9, 9};
+    c0->toSend = m;
+    bus.request(c0);
+    eq.run();
+    EXPECT_EQ(mem.peekBlock(0x2000), (std::vector<Word>{9, 9, 9, 9}));
+    ASSERT_EQ(c0->completions.size(), 1u);
+}
+
+TEST_F(BusTest, WriteWordUpdatesMemory)
+{
+    auto *c0 = addClient(0);
+    auto *c1 = addClient(1);
+    BusMsg m;
+    m.req = BusReq::WriteWord;
+    m.blockAddr = 0x1000;
+    m.wordAddr = 0x1008;
+    m.wordData = 42;
+    c0->toSend = m;
+    bus.request(c0);
+    eq.run();
+    EXPECT_EQ(mem.readWord(0x1008), 42u);
+    ASSERT_EQ(c1->snooped.size(), 1u);
+    EXPECT_EQ(c1->snooped[0].wordData, 42u);
+}
+
+TEST_F(BusTest, UpdateWordRespectsUpdateMemoryFlag)
+{
+    auto *c0 = addClient(0);
+    addClient(1);
+    BusMsg m;
+    m.req = BusReq::UpdateWord;
+    m.blockAddr = 0x1000;
+    m.wordAddr = 0x1000;
+    m.wordData = 7;
+    m.updateMemory = false;
+    c0->toSend = m;
+    bus.request(c0);
+    eq.run();
+    EXPECT_EQ(mem.readWord(0x1000), 0u);
+
+    m.updateMemory = true;
+    c0->toSend = m;
+    bus.request(c0);
+    eq.run();
+    EXPECT_EQ(mem.readWord(0x1000), 7u);
+}
+
+TEST_F(BusTest, MemoryLockTagRefusesFetchAndRecordsWaiter)
+{
+    auto *c0 = addClient(0);
+    addClient(1);
+    mem.setMemLock(0x1000, true, /*holder=*/5);
+    c0->toSend = fetch(0x1000);
+    bus.request(c0);
+    eq.run();
+    EXPECT_TRUE(c0->completions[0].locked);
+    EXPECT_TRUE(mem.memWaiter(0x1000));
+}
+
+TEST_F(BusTest, MemoryLockHolderMayFetch)
+{
+    auto *c0 = addClient(0);
+    addClient(1);
+    mem.setMemLock(0x1000, true, /*holder=*/0);
+    mem.writeBlock(0x1000, {1, 2, 3, 4});
+    c0->toSend = fetch(0x1000, BusReq::ReadLock);
+    bus.request(c0);
+    eq.run();
+    EXPECT_FALSE(c0->completions[0].locked);
+    EXPECT_EQ(c0->completions[0].data, (std::vector<Word>{1, 2, 3, 4}));
+}
+
+TEST_F(BusTest, UnlockBroadcastClearsHolderLockTag)
+{
+    auto *c0 = addClient(0);
+    addClient(1);
+    mem.setMemLock(0x1000, true, /*holder=*/0);
+    BusMsg m;
+    m.req = BusReq::UnlockBroadcast;
+    m.blockAddr = 0x1000;
+    c0->toSend = m;
+    bus.request(c0);
+    eq.run();
+    EXPECT_FALSE(mem.memLocked(0x1000));
+}
+
+TEST_F(BusTest, BusyCyclesAccumulate)
+{
+    auto *c0 = addClient(0);
+    c0->toSend = fetch(0x1000);
+    bus.request(c0);
+    eq.run();
+    // arb(1) + addr(1) + memLatency(4) + 4 data cycles = 10.
+    EXPECT_DOUBLE_EQ(bus.busyCycles.value(), 10.0);
+    EXPECT_EQ(c0->lastCompleteTick, 10u);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for protocol-independent cache mechanics: hit/miss accounting,
+ * eviction with piggybacked write-back, LRU across sets, the directory
+ * interference model (Feature 3), and latency behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(CacheMechanics, HitAndMissCounters)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));
+    s.run(0, rd(X));
+    s.run(0, rd(X + 8));    // same block: hit
+    EXPECT_DOUBLE_EQ(s.cache(0).missesBus.value(), 1.0);
+    EXPECT_DOUBLE_EQ(s.cache(0).hitsLocal.value(), 2.0);
+}
+
+TEST(CacheMechanics, EvictionPiggybacksWriteback)
+{
+    Scenario s(opts("illinois", 2, 4, 2));    // 2 frames
+    s.run(0, wr(X, 1));                       // dirty
+    s.run(0, wr(0x2000, 2));                  // dirty
+    double bus_tx = s.system().bus().transactions.value();
+    s.run(0, rd(0x3000));                     // evicts X (LRU, dirty)
+    // One transaction carried both the fetch and the victim flush.
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), bus_tx + 1);
+    EXPECT_DOUBLE_EQ(s.cache(0).writebacks.value(), 1.0);
+    EXPECT_EQ(s.system().memory().readWord(X), 1u);
+}
+
+TEST(CacheMechanics, VictimDataSurvivesThroughMemory)
+{
+    Scenario s(opts("illinois", 2, 4, 2));
+    s.run(0, wr(X, 77));
+    s.run(0, rd(0x2000));
+    s.run(0, rd(0x3000));    // X evicted
+    ASSERT_EQ(s.state(0, X), Inv);
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 77u);
+}
+
+TEST(CacheMechanics, CleanEvictionCarriesNoWriteback)
+{
+    Scenario s(opts("illinois", 2, 4, 2));
+    s.run(0, rd(X));         // E, clean
+    s.run(0, rd(0x2000));
+    s.run(0, rd(0x3000));
+    EXPECT_DOUBLE_EQ(s.cache(0).writebacks.value(), 0.0);
+}
+
+TEST(CacheMechanics, SetAssociativeConflictEviction)
+{
+    // 4 frames, 2 ways, 32B blocks: addresses 2 blocks apart collide.
+    Scenario s(opts("illinois", 2, 4, 4, 2));
+    s.run(0, rd(0x1000));
+    s.run(0, rd(0x1040));
+    s.run(0, rd(0x1080));    // same set: evicts 0x1000
+    EXPECT_EQ(s.state(0, 0x1000), Inv);
+    EXPECT_NE(s.state(0, 0x1040), Inv);
+    // 0x1020 maps to the other set: untouched capacity.
+    s.run(0, rd(0x1020));
+    EXPECT_NE(s.state(0, 0x1080), Inv);
+}
+
+TEST(CacheMechanics, WriteHitToCleanTracked)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));          // E (clean)
+    s.run(0, wr(X, 1));       // write hit to clean block
+    s.run(0, wr(X, 2));       // hit to dirty: not counted
+    EXPECT_DOUBLE_EQ(
+        s.cache(0).directory().writeHitsToClean.value(), 1.0);
+}
+
+TEST(CacheMechanics, DirectoryInterferenceModel)
+{
+    // Identical-dual directories: every dirty-status change interferes.
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));
+    s.run(0, wr(X, 1));
+    EXPECT_GT(s.cache(0).directory().interferenceEvents(), 0.0);
+}
+
+TEST(CacheMechanics, NidDirectoryEliminatesInterference)
+{
+    // The Bitar proposal uses non-identical directories (Feature 3).
+    Scenario s(opts("bitar"));
+    s.run(0, rd(X));
+    s.run(0, wr(X, 1));
+    EXPECT_EQ(s.cache(0).directory().kind(),
+              DirectoryKind::NonIdenticalDual);
+    EXPECT_DOUBLE_EQ(s.cache(0).directory().interferenceEvents(), 0.0);
+}
+
+TEST(CacheMechanics, OpLatencyHitVsMiss)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));    // miss: bus latency
+    Tick t0 = s.system().now();
+    s.run(0, rd(X));    // hit: hitLatency only
+    Tick t1 = s.system().now();
+    EXPECT_LE(t1 - t0, 2u);
+    EXPECT_GE(s.cache(0).opLatency.max(), 5u);
+}
+
+TEST(CacheMechanics, PeekersDoNotDisturbState)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, wr(X, 5));
+    State before = s.state(0, X);
+    (void)s.cache(0).peekWord(X);
+    (void)s.cache(0).peekFrame(X);
+    EXPECT_EQ(s.state(0, X), before);
+}

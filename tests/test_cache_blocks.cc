@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the tag/data store and its LRU replacement, including
+ * the prefer-unlocked-victim rule behind the paper's locked-block purge
+ * fallback (Section E.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_blocks.hh"
+
+using namespace csync;
+
+namespace
+{
+
+CacheGeometry
+geom(unsigned frames, unsigned ways, unsigned words = 4)
+{
+    CacheGeometry g;
+    g.frames = frames;
+    g.ways = ways;
+    g.blockWords = words;
+    return g;
+}
+
+} // namespace
+
+TEST(CacheBlocks, BlockAlign)
+{
+    CacheBlocks cb(geom(4, 0, 4));    // 32-byte blocks
+    EXPECT_EQ(cb.blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(cb.blockAlign(0x101f), 0x1000u);
+    EXPECT_EQ(cb.blockAlign(0x1020), 0x1020u);
+}
+
+TEST(CacheBlocks, FindMissesOnEmpty)
+{
+    CacheBlocks cb(geom(4, 0));
+    EXPECT_EQ(cb.find(0x1000), nullptr);
+    EXPECT_EQ(cb.validCount(), 0u);
+}
+
+TEST(CacheBlocks, VictimPrefersInvalid)
+{
+    CacheBlocks cb(geom(2, 0));
+    Frame *a = cb.victim(0x1000);
+    a->blockAddr = 0x1000;
+    a->state = Rd;
+    Frame *b = cb.victim(0x2000);
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(b->valid());
+}
+
+TEST(CacheBlocks, VictimIsLruAmongValid)
+{
+    CacheBlocks cb(geom(2, 0));
+    Frame *a = cb.victim(0x1000);
+    a->blockAddr = 0x1000;
+    a->state = Rd;
+    cb.touch(*a, 10);
+    Frame *b = cb.victim(0x2000);
+    b->blockAddr = 0x2000;
+    b->state = Rd;
+    cb.touch(*b, 20);
+    EXPECT_EQ(cb.victim(0x3000), a);
+    cb.touch(*a, 30);
+    EXPECT_EQ(cb.victim(0x3000), b);
+}
+
+TEST(CacheBlocks, VictimAvoidsLockedFrames)
+{
+    CacheBlocks cb(geom(2, 0));
+    Frame *a = cb.victim(0x1000);
+    a->blockAddr = 0x1000;
+    a->state = LkSrcDty;
+    cb.touch(*a, 1);    // locked frame is the LRU one
+    Frame *b = cb.victim(0x2000);
+    b->blockAddr = 0x2000;
+    b->state = Rd;
+    cb.touch(*b, 50);
+    EXPECT_EQ(cb.victim(0x3000), b);
+}
+
+TEST(CacheBlocks, VictimPicksLockedWhenAllLocked)
+{
+    CacheBlocks cb(geom(2, 0));
+    for (Addr a : {Addr(0x1000), Addr(0x2000)}) {
+        Frame *f = cb.victim(a);
+        f->blockAddr = a;
+        f->state = LkSrcDty;
+        cb.touch(*f, a);
+    }
+    Frame *v = cb.victim(0x3000);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(isLocked(v->state));
+    EXPECT_EQ(v->blockAddr, 0x1000u);    // LRU among locked
+}
+
+TEST(CacheBlocks, SetAssociativeMapping)
+{
+    // 4 frames, 2 ways => 2 sets; 32-byte blocks.
+    CacheBlocks cb(geom(4, 2));
+    EXPECT_EQ(cb.geometry().sets(), 2u);
+    // Blocks 0x1000 and 0x1040 map to the same set (stride 2 blocks).
+    EXPECT_EQ(cb.setIndex(0x1000), cb.setIndex(0x1040));
+    EXPECT_NE(cb.setIndex(0x1000), cb.setIndex(0x1020));
+}
+
+TEST(CacheBlocks, SetConflictEvictsWithinSet)
+{
+    CacheBlocks cb(geom(4, 2));
+    // Fill one set with two conflicting blocks.
+    Frame *a = cb.victim(0x1000);
+    a->blockAddr = 0x1000;
+    a->state = Rd;
+    cb.touch(*a, 1);
+    Frame *b = cb.victim(0x1040);
+    b->blockAddr = 0x1040;
+    b->state = Rd;
+    cb.touch(*b, 2);
+    // Third conflicting block must displace the LRU of that set.
+    Frame *v = cb.victim(0x1080);
+    EXPECT_EQ(v, a);
+}
+
+TEST(CacheBlocks, ForEachValidVisitsAll)
+{
+    CacheBlocks cb(geom(8, 0));
+    for (Addr a = 0x1000; a < 0x1000 + 3 * 32; a += 32) {
+        Frame *f = cb.victim(a);
+        f->blockAddr = a;
+        f->state = Rd;
+    }
+    unsigned n = 0;
+    cb.forEachValid([&](const Frame &) { ++n; });
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(cb.validCount(), 3u);
+}

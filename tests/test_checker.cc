@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the value-level coherence checker itself (positive and
+ * negative: it must catch deliberate violations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/checker.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct CheckerTest : public ::testing::Test
+{
+    stats::Group root{"root"};
+    Checker chk{&root};
+};
+
+} // namespace
+
+TEST_F(CheckerTest, FreshWordsReadZero)
+{
+    chk.onRead(0, 0x1000, 0, 1);
+    EXPECT_EQ(chk.violations(), 0u);
+    chk.onRead(0, 0x1000, 7, 2);
+    EXPECT_EQ(chk.violations(), 1u);
+}
+
+TEST_F(CheckerTest, ReadsSeeLastSerializedWrite)
+{
+    chk.onWrite(0, 0x1000, 42, 1);
+    chk.onRead(1, 0x1000, 42, 2);
+    EXPECT_EQ(chk.violations(), 0u);
+    chk.onWrite(2, 0x1000, 43, 3);
+    chk.onRead(1, 0x1000, 42, 4);    // stale
+    EXPECT_EQ(chk.violations(), 1u);
+    EXPECT_NE(chk.violationLog()[0].find("expected"), std::string::npos);
+}
+
+TEST_F(CheckerTest, ExpectedValueTracksWrites)
+{
+    EXPECT_EQ(chk.expectedValue(0x2000), 0u);
+    chk.onWrite(0, 0x2000, 5, 1);
+    EXPECT_EQ(chk.expectedValue(0x2000), 5u);
+}
+
+TEST_F(CheckerTest, LockPairing)
+{
+    chk.onLockAcquire(0, 0x1000, 1);
+    EXPECT_EQ(chk.lockHolder(0x1000), 0);
+    chk.onLockRelease(0, 0x1000, 2);
+    EXPECT_EQ(chk.lockHolder(0x1000), invalidNode);
+    EXPECT_DOUBLE_EQ(chk.lockPairs.value(), 1.0);
+    EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST_F(CheckerTest, DoubleAcquireIsViolation)
+{
+    chk.onLockAcquire(0, 0x1000, 1);
+    chk.onLockAcquire(1, 0x1000, 2);
+    EXPECT_EQ(chk.violations(), 1u);
+}
+
+TEST_F(CheckerTest, ReleaseWithoutHoldIsViolation)
+{
+    chk.onLockRelease(3, 0x1000, 1);
+    EXPECT_EQ(chk.violations(), 1u);
+    chk.onLockAcquire(0, 0x2000, 2);
+    chk.onLockRelease(1, 0x2000, 3);    // wrong node
+    EXPECT_EQ(chk.violations(), 2u);
+}
+
+TEST_F(CheckerTest, StatsCount)
+{
+    chk.onWrite(0, 0x1000, 1, 1);
+    chk.onRead(0, 0x1000, 1, 2);
+    EXPECT_DOUBLE_EQ(chk.writesRecorded.value(), 1.0);
+    EXPECT_DOUBLE_EQ(chk.readsChecked.value(), 1.0);
+}
+
+TEST_F(CheckerTest, ViolationLogCapped)
+{
+    for (int i = 0; i < 100; ++i)
+        chk.onRead(0, 0x1000, Word(i + 1), Tick(i));
+    EXPECT_EQ(chk.violations(), 100u);
+    EXPECT_LE(chk.violationLog().size(), 64u);
+}

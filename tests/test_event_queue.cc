@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+using namespace csync;
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityOrdersWithinTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3, [&] { order.push_back(2); }, EventPri::Arbitrate);
+    eq.schedule(3, [&] { order.push_back(1); }, EventPri::Default);
+    eq.schedule(3, [&] { order.push_back(3); }, EventPri::Stats);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(5, [&] { ++ran; });
+    eq.schedule(10, [&] { ++ran; });
+    eq.schedule(15, [&] { ++ran; });
+    EXPECT_EQ(eq.run(10), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] {
+        ++count;
+        eq.scheduleIn(1, [&] { ++count; });
+    });
+    eq.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 2u);
+}
+
+TEST(EventQueue, RunStepsBoundsExecution)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(Tick(i), [&] { ++count; });
+    EXPECT_EQ(eq.runSteps(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling into the past");
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Negative tests that *measure the historical weaknesses* the paper
+ * attributes to earlier schemes — the blanks in Table 1 are as much a
+ * claim as the check marks:
+ *
+ *  - Goodman 1983 and Yen et al. do not serialize processor atomic
+ *    read-modify-writes (Feature 6 blank): concurrent test-and-set
+ *    genuinely loses updates on them;
+ *  - write-through for actively shared data pays a bus transaction per
+ *    write (the Section D motivation);
+ *  - without the busy-wait register, lock hand-offs put retries on the
+ *    bus (the Section E.4 ablation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "proc/workloads/critical_section.hh"
+#include "system/system.hh"
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+
+/** Drive contended TAS increments; return lost updates. */
+std::int64_t
+lostUpdates(const std::string &proto)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.numProcessors = 3;
+    cfg.cache.geom.frames = 32;
+    cfg.cache.geom.blockWords = 4;
+    System sys(cfg);
+
+    const std::uint64_t iters = 50;
+    CriticalSectionParams p;
+    p.iterations = iters;
+    p.alg = LockAlg::TestAndSet;
+    p.numLocks = 1;
+    p.wordsPerCs = 1;
+    p.outsideThink = 2;
+    for (unsigned i = 0; i < 3; ++i) {
+        p.procId = i;
+        sys.addProcessor(std::make_unique<CriticalSectionWorkload>(p));
+    }
+    sys.start();
+    sys.run(50'000'000);
+    if (!sys.allDone())
+        return -1;    // deadlocked outright
+    Word final_count = sys.checker().expectedValue(
+        CriticalSectionWorkload::dataWordAddr(p, 0, 0));
+    return std::int64_t(3 * iters) - std::int64_t(final_count);
+}
+
+} // namespace
+
+TEST(HistoricalFlawsDeath, GoodmanRefusesTestAndSet)
+{
+    // Feature 6 is blank for Goodman in Table 1: the protocol's
+    // publication defines no serialized read-modify-write, and the
+    // write-once sequence cannot provide one (its premise dies under
+    // contention).  The implementation makes the contract explicit.
+    EXPECT_DEATH(lostUpdates("goodman"), "does not serialize");
+}
+
+TEST(HistoricalFlawsDeath, YenAndClassicRefuseTestAndSetToo)
+{
+    EXPECT_DEATH(lostUpdates("yen"), "does not serialize");
+    EXPECT_DEATH(lostUpdates("classic_wt"), "does not serialize");
+}
+
+TEST(HistoricalFlaws, ProtocolsWithFeature6AreExact)
+{
+    for (const char *proto :
+         {"bitar", "synapse", "illinois", "berkeley"}) {
+        EXPECT_EQ(lostUpdates(proto), 0) << proto;
+    }
+}
+
+TEST(HistoricalFlaws, WriteThroughPaysPerWrite)
+{
+    // Section D: under classic write-through, every write is a bus
+    // transaction; under write-in, repeated writes to an owned block
+    // are free.
+    Scenario wt(opts("classic_wt", 2));
+    wt.run(0, rd(0x1000));
+    double tx0 = wt.system().bus().transactions.value();
+    for (int i = 0; i < 16; ++i)
+        wt.run(0, wr(0x1000, Word(i)));
+    EXPECT_DOUBLE_EQ(wt.system().bus().transactions.value() - tx0, 16.0);
+
+    Scenario wi(opts("bitar", 2));
+    wi.run(0, wr(0x1000, 0));
+    double tx1 = wi.system().bus().transactions.value();
+    for (int i = 0; i < 16; ++i)
+        wi.run(0, wr(0x1000, Word(i)));
+    EXPECT_DOUBLE_EQ(wi.system().bus().transactions.value() - tx1, 0.0);
+}
+
+TEST(HistoricalFlaws, NoRegisterMeansBusRetries)
+{
+    // Section E.4 ablation: lock states without the busy-wait register
+    // still serialize correctly, but denied requests retry on the bus.
+    SystemConfig cfg;
+    cfg.protocol = "bitar";
+    cfg.numProcessors = 3;
+    cfg.cache.geom.frames = 32;
+    cfg.cache.geom.blockWords = 4;
+    cfg.cache.useBusyWaitRegister = false;
+    System sys(cfg);
+
+    CriticalSectionParams p;
+    p.iterations = 30;
+    p.alg = LockAlg::CacheLock;
+    p.numLocks = 1;
+    p.wordsPerCs = 1;
+    for (unsigned i = 0; i < 3; ++i) {
+        p.procId = i;
+        sys.addProcessor(std::make_unique<CriticalSectionWorkload>(p));
+    }
+    sys.start();
+    sys.run(50'000'000);
+    ASSERT_TRUE(sys.allDone());
+    EXPECT_EQ(sys.checker().violations(), 0u);
+    double retries = 0;
+    for (unsigned i = 0; i < 3; ++i)
+        retries += sys.cache(i).lockRetries.value();
+    EXPECT_GT(retries, 0.0);
+    // And mutual exclusion still holds.
+    EXPECT_EQ(sys.checker().expectedValue(
+                  CriticalSectionWorkload::dataWordAddr(p, 0, 0)),
+              90u);
+}

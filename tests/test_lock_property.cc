@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lock property tests: for every (protocol × lock algorithm × processor
+ * count) combination that claims serialized atomic operations, contended
+ * critical sections must preserve exact mutual exclusion, terminate,
+ * and — for the paper's cache-lock scheme — generate zero unsuccessful
+ * retries on the bus (claim Q5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "proc/workloads/critical_section.hh"
+#include "system/system.hh"
+
+using namespace csync;
+
+namespace
+{
+
+struct LockCase
+{
+    std::string protocol;
+    LockAlg alg;
+    unsigned procs;
+    unsigned numLocks;
+    bool workWhileWaiting;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<LockCase> &info)
+{
+    const auto &c = info.param;
+    std::string alg = c.alg == LockAlg::CacheLock ? "cachelock"
+                      : c.alg == LockAlg::TestAndSet ? "tas"
+                                                     : "ttas";
+    return c.protocol + "_" + alg + "_p" + std::to_string(c.procs) +
+           "_l" + std::to_string(c.numLocks) +
+           (c.workWhileWaiting ? "_www" : "");
+}
+
+class LockProperty : public ::testing::TestWithParam<LockCase>
+{
+};
+
+std::vector<LockCase>
+makeCases()
+{
+    std::vector<LockCase> cases;
+    for (unsigned procs : {2u, 4u, 7u}) {
+        for (unsigned locks : {1u, 3u}) {
+            cases.push_back({"bitar", LockAlg::CacheLock, procs, locks,
+                             false});
+            cases.push_back({"bitar", LockAlg::TestTestSet, procs,
+                             locks, false});
+            cases.push_back({"bitar", LockAlg::TestAndSet, procs, locks,
+                             false});
+            cases.push_back({"illinois", LockAlg::TestTestSet, procs,
+                             locks, false});
+            cases.push_back({"synapse", LockAlg::TestAndSet, procs,
+                             locks, false});
+            cases.push_back({"berkeley", LockAlg::TestTestSet, procs,
+                             locks, false});
+            cases.push_back({"dragon", LockAlg::TestTestSet, procs,
+                             locks, false});
+            cases.push_back({"firefly", LockAlg::TestAndSet, procs,
+                             locks, false});
+            cases.push_back({"rudolph_segall", LockAlg::TestTestSet,
+                             procs, locks, false});
+        }
+    }
+    // Work-while-waiting (Section E.4's second purpose).
+    cases.push_back({"bitar", LockAlg::CacheLock, 4, 1, true});
+    cases.push_back({"bitar", LockAlg::CacheLock, 6, 2, true});
+    return cases;
+}
+
+} // namespace
+
+TEST_P(LockProperty, MutualExclusionExact)
+{
+    const auto &c = GetParam();
+    SystemConfig cfg;
+    cfg.protocol = c.protocol;
+    cfg.numProcessors = c.procs;
+    cfg.cache.geom.frames = 32;
+    cfg.cache.geom.blockWords = 4;
+    System sys(cfg);
+
+    const std::uint64_t iters = 30;
+    CriticalSectionParams p;
+    p.iterations = iters;
+    p.alg = c.alg;
+    p.numLocks = c.numLocks;
+    p.wordsPerCs = 2;
+    for (unsigned i = 0; i < c.procs; ++i) {
+        p.procId = i;
+        p.seed = 99 + i;
+        sys.addProcessor(std::make_unique<CriticalSectionWorkload>(p),
+                         c.workWhileWaiting);
+    }
+    sys.start();
+    sys.run(40'000'000);
+
+    ASSERT_TRUE(sys.allDone());
+    EXPECT_EQ(sys.checker().violations(), 0u)
+        << (sys.checker().violationLog().empty()
+                ? std::string("?")
+                : sys.checker().violationLog()[0]);
+
+    Word sum = 0;
+    for (unsigned l = 0; l < p.numLocks; ++l)
+        for (unsigned w = 0; w < p.wordsPerCs; ++w)
+            sum += sys.checker().expectedValue(
+                CriticalSectionWorkload::dataWordAddr(p, l, w));
+    EXPECT_EQ(sum, Word(c.procs) * iters * p.wordsPerCs);
+
+    if (c.alg == LockAlg::CacheLock) {
+        // Q5: the wait scheme eliminates ALL unsuccessful retries.
+        double retries = 0;
+        for (unsigned i = 0; i < c.procs; ++i)
+            retries += sys.cache(i).lockRetries.value();
+        EXPECT_DOUBLE_EQ(retries, 0.0);
+    }
+    std::string why;
+    EXPECT_EQ(sys.checkStateInvariants(&why), 0u) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Locks, LockProperty,
+                         ::testing::ValuesIn(makeCases()), caseName);

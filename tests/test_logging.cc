@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for logging: csprintf formatting, the trace facility, and
+ * the panic path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace csync;
+
+TEST(Logging, CsprintfFormats)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 7, "abc"), "x=7 y=abc");
+    EXPECT_EQ(csprintf("%llx", 0xdeadbeefULL), "deadbeef");
+    EXPECT_EQ(csprintf("plain"), "plain");
+    // Long strings exceed any fixed stack buffer.
+    std::string long_out = csprintf("%s", std::string(5000, 'a').c_str());
+    EXPECT_EQ(long_out.size(), 5000u);
+}
+
+TEST(Logging, TraceFlagNames)
+{
+    EXPECT_STREQ(traceFlagName(TraceFlag::Bus), "Bus");
+    EXPECT_STREQ(traceFlagName(TraceFlag::Lock), "Lock");
+    EXPECT_STREQ(traceFlagName(TraceFlag::Checker), "Checker");
+}
+
+TEST(Logging, TraceSinkReceivesOnlyEnabledFlags)
+{
+    Trace::reset();
+    std::vector<std::string> got;
+    Trace::setSink([&](std::uint64_t, TraceFlag, const std::string &,
+                       const std::string &what) { got.push_back(what); });
+    Trace::setEnabled(TraceFlag::Bus, true);
+    Trace::emit(1, TraceFlag::Bus, "bus", "visible");
+    Trace::emit(2, TraceFlag::Cache, "cache", "hidden");
+    EXPECT_EQ(got, (std::vector<std::string>{"visible"}));
+    Trace::reset();
+    Trace::emit(3, TraceFlag::Bus, "bus", "after reset");
+    EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(Logging, EnableAllCoversEveryFlag)
+{
+    Trace::reset();
+    Trace::enableAll();
+    for (unsigned i = 0; i < unsigned(TraceFlag::NumFlags); ++i)
+        EXPECT_TRUE(Trace::enabled(TraceFlag(i)));
+    Trace::reset();
+    for (unsigned i = 0; i < unsigned(TraceFlag::NumFlags); ++i)
+        EXPECT_FALSE(Trace::enabled(TraceFlag(i)));
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, SimAssertCarriesMessage)
+{
+    EXPECT_DEATH(sim_assert(1 == 2, "ctx %s", "info"),
+                 "assertion '1 == 2' failed");
+}

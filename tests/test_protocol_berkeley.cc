@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the Katz et al. (Berkeley) protocol (1985): the dirty read
+ * (owned) state, no flush on transfer, single source with memory
+ * fallback, and the static unshared-data hint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(Berkeley, DirtyReadStateAfterSupplyingReader)
+{
+    Scenario s(opts("berkeley"));
+    s.run(0, wr(X, 6));
+    ASSERT_EQ(s.state(0, X), WrSrcDty);
+    double flushes = s.system().memory().blockWrites.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 6u);
+    // No flush; owner converts to the dirty read state; the requester
+    // never takes source status.
+    EXPECT_DOUBLE_EQ(s.system().memory().blockWrites.value(), flushes);
+    EXPECT_EQ(s.state(0, X), RdSrcDty);
+    EXPECT_EQ(s.state(1, X), Rd);
+}
+
+TEST(Berkeley, OwnerKeepsSupplyingReaders)
+{
+    Scenario s(opts("berkeley", 4));
+    s.run(0, wr(X, 6));
+    s.run(1, rd(X));
+    double sup0 = s.cache(0).blocksSupplied.value();
+    s.run(2, rd(X));
+    // Single source: the owner supplies again (not the last fetcher).
+    EXPECT_DOUBLE_EQ(s.cache(0).blocksSupplied.value(), sup0 + 1);
+    EXPECT_EQ(s.state(0, X), RdSrcDty);
+}
+
+TEST(Berkeley, SourcePurgeFallsBackToMemory)
+{
+    Scenario s(opts("berkeley", 3, 4, 2));    // 2 frames per cache
+    s.run(0, wr(X, 6));
+    s.run(1, rd(X));
+    ASSERT_EQ(s.state(0, X), RdSrcDty);
+    // Evict the owner's copy (dirty -> flush).
+    s.run(0, rd(0x2000));
+    s.run(0, rd(0x3000));
+    EXPECT_EQ(s.state(0, X), Inv);
+    EXPECT_EQ(s.system().memory().readWord(X), 6u);
+    double mem = s.system().bus().memSupplies.value();
+    auto r = s.run(2, rd(X));
+    EXPECT_EQ(r.value, 6u);
+    EXPECT_DOUBLE_EQ(s.system().bus().memSupplies.value(), mem + 1);
+}
+
+TEST(Berkeley, HintedReadGetsCleanWriteState)
+{
+    Scenario s(opts("berkeley"));
+    s.run(0, rd(X, true));
+    EXPECT_EQ(s.state(0, X), WrSrcCln);
+    // Never written: eviction needs no writeback.
+    double wb = s.cache(0).writebacks.value();
+    s.run(0, rd(0x2000));
+    (void)wb;
+    EXPECT_DOUBLE_EQ(s.cache(0).writebacks.value(), 0.0);
+}
+
+TEST(Berkeley, OwnershipMovesOnWrite)
+{
+    Scenario s(opts("berkeley"));
+    s.run(0, wr(X, 1));
+    s.run(1, wr(X, 2));
+    EXPECT_EQ(s.state(1, X), WrSrcDty);
+    EXPECT_EQ(s.state(0, X), Inv);
+    auto r = s.run(2, rd(X));
+    EXPECT_EQ(r.value, 2u);
+    EXPECT_EQ(s.state(1, X), RdSrcDty);
+}
+
+TEST(Berkeley, UpgradeFromOwnedState)
+{
+    Scenario s(opts("berkeley"));
+    s.run(0, wr(X, 1));
+    s.run(1, rd(X));             // cache0 -> RdSrcDty
+    double up = s.system().bus().typeCount(BusReq::Upgrade);
+    s.run(0, wr(X, 2));          // owned, but shared: one-cycle upgrade
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::Upgrade), up + 1);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+    EXPECT_EQ(s.state(1, X), Inv);
+}
+
+TEST(Berkeley, PingPongCoherent)
+{
+    Scenario s(opts("berkeley"));
+    for (int i = 0; i < 20; ++i) {
+        unsigned p = i % 3;
+        s.run(p, wr(X, Word(i + 1)));
+        auto r = s.run((p + 1) % 3, rd(X));
+        EXPECT_EQ(r.value, Word(i + 1));
+    }
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+    EXPECT_EQ(s.system().checkStateInvariants(), 0u);
+}

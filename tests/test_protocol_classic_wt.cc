@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the classic pre-1978 write-through scheme (Section F.1):
+ * every write goes through to memory and broadcasts an invalidation;
+ * memory is always current; no cache-to-cache transfer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(ClassicWt, EveryWriteGoesToMemory)
+{
+    Scenario s(opts("classic_wt"));
+    s.run(0, rd(X));
+    for (int i = 1; i <= 3; ++i) {
+        s.run(0, wr(X, Word(i)));
+        EXPECT_EQ(s.system().memory().readWord(X), Word(i));
+    }
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::WriteWord), 3.0);
+}
+
+TEST(ClassicWt, WriteInvalidatesOtherCopies)
+{
+    Scenario s(opts("classic_wt"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    s.run(2, rd(X));
+    s.run(0, wr(X, 5));
+    EXPECT_EQ(s.state(1, X), Inv);
+    EXPECT_EQ(s.state(2, X), Inv);
+    EXPECT_EQ(s.state(0, X), Rd);    // own copy stays valid
+    EXPECT_EQ(s.cache(0).peekWord(X), 5u);
+}
+
+TEST(ClassicWt, WriteMissDoesNotAllocate)
+{
+    Scenario s(opts("classic_wt"));
+    s.run(0, wr(X, 9));
+    EXPECT_EQ(s.state(0, X), Inv);
+    EXPECT_EQ(s.system().memory().readWord(X), 9u);
+}
+
+TEST(ClassicWt, MemoryAlwaysSupplies)
+{
+    Scenario s(opts("classic_wt"));
+    s.run(0, rd(X));
+    double c2c = s.system().bus().cacheSupplies.value();
+    s.run(1, rd(X));
+    EXPECT_DOUBLE_EQ(s.system().bus().cacheSupplies.value(), c2c);
+    EXPECT_GE(s.system().bus().memSupplies.value(), 2.0);
+}
+
+TEST(ClassicWt, EvictionIsSilent)
+{
+    Scenario s(opts("classic_wt", 3, 4, 2));
+    s.run(0, rd(X));
+    s.run(0, wr(X, 1));
+    double wb = s.cache(0).writebacks.value();
+    s.run(0, rd(0x2000));
+    s.run(0, rd(0x3000));
+    EXPECT_DOUBLE_EQ(s.cache(0).writebacks.value(), wb);
+}
+
+TEST(ClassicWt, PingPongCoherent)
+{
+    Scenario s(opts("classic_wt"));
+    for (int i = 0; i < 20; ++i) {
+        unsigned p = i % 3;
+        s.run(p, wr(X, Word(i + 1)));
+        auto r = s.run((p + 1) % 3, rd(X));
+        EXPECT_EQ(r.value, Word(i + 1));
+    }
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+    EXPECT_EQ(s.system().checkStateInvariants(), 0u);
+}
+
+TEST(ClassicWt, HighWriteTrafficCost)
+{
+    // The motivation for write-in (Section D): write-through pays a bus
+    // transaction for every write.
+    Scenario s(opts("classic_wt"));
+    s.run(0, rd(X));
+    double tx = s.system().bus().transactions.value();
+    for (int i = 0; i < 10; ++i)
+        s.run(0, wr(X, Word(i)));
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx + 10);
+}

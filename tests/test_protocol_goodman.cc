@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for Goodman's write-once protocol (1983): the Valid/Reserved/
+ * Dirty progression, the invalidating write-through (no bus invalidate
+ * signal on the Multibus), and flush-on-transfer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(Goodman, ReadMissGivesValidOnly)
+{
+    Scenario s(opts("goodman"));
+    s.run(0, rd(X));
+    EXPECT_EQ(s.state(0, X), Rd);    // no fetch-for-write (Feature 5)
+}
+
+TEST(Goodman, WriteOnceProgression)
+{
+    Scenario s(opts("goodman"));
+    s.run(0, rd(X));
+    double ww = s.system().bus().typeCount(BusReq::WriteWord);
+    // First write: write-through word to memory (write-once), block
+    // becomes Reserved (clean, write privilege).
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::WriteWord),
+                     ww + 1);
+    EXPECT_EQ(s.state(0, X), WrCln);
+    EXPECT_EQ(s.system().memory().readWord(X), 1u);    // memory current
+    // Second write: silent, block becomes Dirty (source).
+    double tx = s.system().bus().transactions.value();
+    s.run(0, wr(X, 2));
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+}
+
+TEST(Goodman, WriteThroughInvalidatesOtherCopies)
+{
+    Scenario s(opts("goodman"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    ASSERT_EQ(s.state(1, X), Rd);
+    s.run(0, wr(X, 1));
+    EXPECT_EQ(s.state(1, X), Inv);
+    EXPECT_DOUBLE_EQ(s.cache(1).invalidationsReceived.value(), 1.0);
+}
+
+TEST(Goodman, WriteMissFetchesThenWritesOnce)
+{
+    Scenario s(opts("goodman"));
+    double ww = s.system().bus().typeCount(BusReq::WriteWord);
+    double rs = s.system().bus().typeCount(BusReq::ReadShared);
+    s.run(0, wr(X, 5));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::ReadShared),
+                     rs + 1);
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::WriteWord),
+                     ww + 1);
+    EXPECT_EQ(s.state(0, X), WrCln);
+    EXPECT_EQ(s.cache(0).peekWord(X), 5u);
+}
+
+TEST(Goodman, DirtyBlockFlushedWhenTransferred)
+{
+    Scenario s(opts("goodman"));
+    s.run(0, wr(X, 1));
+    s.run(0, wr(X, 2));    // Dirty
+    ASSERT_EQ(s.state(0, X), WrSrcDty);
+    double flushes = s.system().memory().blockWrites.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 2u);
+    // Transferred AND flushed: both copies now clean Valid.
+    EXPECT_GT(s.system().memory().blockWrites.value(), flushes);
+    EXPECT_EQ(s.state(0, X), Rd);
+    EXPECT_EQ(s.state(1, X), Rd);
+    EXPECT_EQ(s.system().memory().readWord(X), 2u);
+}
+
+TEST(Goodman, ReservedDowngradesWhenAnotherReads)
+{
+    Scenario s(opts("goodman"));
+    s.run(0, wr(X, 1));    // Reserved
+    s.run(1, rd(X));
+    EXPECT_EQ(s.state(0, X), Rd);
+    EXPECT_EQ(s.state(1, X), Rd);
+}
+
+TEST(Goodman, NoUpgradeSignalEverUsed)
+{
+    Scenario s(opts("goodman"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    s.run(0, wr(X, 1));
+    s.run(1, wr(X, 2));
+    s.run(0, wr(X + 8, 3));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::Upgrade), 0.0);
+}
+
+TEST(Goodman, ValuesStayCoherentAcrossPingPong)
+{
+    Scenario s(opts("goodman"));
+    for (int i = 0; i < 20; ++i) {
+        unsigned p = i % 3;
+        s.run(p, wr(X, Word(i)));
+        auto r = s.run((p + 1) % 3, rd(X));
+        EXPECT_EQ(r.value, Word(i));
+    }
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+    EXPECT_EQ(s.system().checkStateInvariants(), 0u);
+}

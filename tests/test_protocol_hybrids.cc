@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the write-in/write-through hybrids of Section D: Dragon,
+ * Firefly, and Rudolph & Segall.  The defining behaviors: writes to
+ * shared blocks update the other copies instead of invalidating them;
+ * sharing is determined dynamically; and (RS) a second uninterleaved
+ * write switches the block to write-in.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+constexpr State SharedClean = BitValid | BitShared;
+} // namespace
+
+TEST(Dragon, WriteToSharedBroadcastsUpdate)
+{
+    Scenario s(opts("dragon"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    ASSERT_TRUE(isSharedHint(s.state(0, X)));
+    double upd = s.system().bus().typeCount(BusReq::UpdateWord);
+    s.run(0, wr(X, 42));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::UpdateWord),
+                     upd + 1);
+    // Other copy stays valid and sees the new value without a miss.
+    double tx = s.system().bus().transactions.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 42u);
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+}
+
+TEST(Dragon, MemoryNotUpdatedBySharedWrite)
+{
+    Scenario s(opts("dragon"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    s.run(0, wr(X, 42));
+    // Dragon: the writer becomes the owner; memory stays stale.
+    EXPECT_EQ(s.system().memory().readWord(X), 0u);
+    EXPECT_TRUE(isDirty(s.state(0, X)));
+    EXPECT_TRUE(isSource(s.state(0, X)));
+}
+
+TEST(Dragon, UnsharedWriteIsSilentWriteIn)
+{
+    Scenario s(opts("dragon"));
+    s.run(0, rd(X));
+    ASSERT_EQ(s.state(0, X), WrSrcCln);    // exclusive clean
+    double tx = s.system().bus().transactions.value();
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+}
+
+TEST(Dragon, OwnerSuppliesAndWritebackOnEvict)
+{
+    Scenario s(opts("dragon", 3, 4, 2));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    s.run(0, wr(X, 7));    // cache0 owner (shared-modified)
+    // Evict the owner's block: it must write back (memory was stale).
+    s.run(0, rd(0x2000));
+    s.run(0, rd(0x3000));
+    EXPECT_EQ(s.system().memory().readWord(X), 7u);
+    // The other cache still reads the right value.
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 7u);
+}
+
+TEST(Dragon, UpdateDropsToExclusiveWhenLastSharerLeaves)
+{
+    Scenario s(opts("dragon", 3, 4, 2));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    // Push X out of cache 1.
+    s.run(1, rd(0x2000));
+    s.run(1, rd(0x3000));
+    ASSERT_EQ(s.state(1, X), Inv);
+    s.run(0, wr(X, 5));
+    // The update broadcast saw no sharers: the block goes private.
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+    double tx = s.system().bus().transactions.value();
+    s.run(0, wr(X, 6));    // now silent write-in
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+}
+
+TEST(Firefly, SharedWriteUpdatesMemoryToo)
+{
+    Scenario s(opts("firefly"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    s.run(0, wr(X, 42));
+    // Firefly writes through to memory for shared data.
+    EXPECT_EQ(s.system().memory().readWord(X), 42u);
+    EXPECT_FALSE(isDirty(s.state(0, X)));
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 42u);
+}
+
+TEST(Firefly, DirtySupplierFlushesOnRead)
+{
+    Scenario s(opts("firefly"));
+    s.run(0, rd(X));
+    s.run(0, wr(X, 3));    // exclusive -> modified (write-in)
+    ASSERT_EQ(s.state(0, X), WrSrcDty);
+    double flushes = s.system().memory().blockWrites.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 3u);
+    EXPECT_GT(s.system().memory().blockWrites.value(), flushes);
+    EXPECT_EQ(s.state(0, X), SharedClean);
+    EXPECT_EQ(s.state(1, X), SharedClean);
+}
+
+TEST(RudolphSegall, FirstWriteUpdatesSecondInvalidates)
+{
+    Scenario s(opts("rudolph_segall", 3, 1));    // one-word blocks
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    double upd = s.system().bus().typeCount(BusReq::UpdateWord);
+    double up = s.system().bus().typeCount(BusReq::Upgrade);
+    // First write: broadcast write-through; other copies update.
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::UpdateWord),
+                     upd + 1);
+    EXPECT_EQ(s.cache(1).peekWord(X), 1u);
+    EXPECT_EQ(s.system().memory().readWord(X), 1u);    // through to mem
+    // Second write, no intervening access: invalidate and go private.
+    s.run(0, wr(X, 2));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::Upgrade), up + 1);
+    EXPECT_EQ(s.state(1, X), Inv);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+    // Third write is pure write-in: no bus.
+    double tx = s.system().bus().transactions.value();
+    s.run(0, wr(X, 3));
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+}
+
+TEST(RudolphSegall, InterveningBusAccessResetsDetector)
+{
+    // "A block is unshared if a processor writes it twice while no
+    // other processor accesses it" — accesses are bus-visible, so a
+    // read *miss* by another processor resets the detector.
+    Scenario s(opts("rudolph_segall", 3, 1));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    s.run(0, wr(X, 1));     // first write: update broadcast
+    s.run(2, rd(X));        // bus read by a third processor
+    double upd = s.system().bus().typeCount(BusReq::UpdateWord);
+    s.run(0, wr(X, 2));
+    // Interleaved bus access seen: still the "first" write — update
+    // again rather than invalidate.
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::UpdateWord),
+                     upd + 1);
+    EXPECT_EQ(s.cache(1).peekWord(X), 2u);
+    EXPECT_EQ(s.cache(2).peekWord(X), 2u);
+}
+
+TEST(RudolphSegall, BusyWaitNotification)
+{
+    // Section E.4's two cases for Rudolph-Segall busy waiting.
+    // Case A: a waiter performs a bus read of the set bit before it is
+    // cleared, so the clearing write is broadcast (write-through) and
+    // the waiter sees it in its cache with no refetch.
+    {
+        Scenario s(opts("rudolph_segall", 3, 1));
+        s.run(0, rd(X));
+        s.run(0, wr(X, 1));            // set (write on exclusive copy)
+        s.run(1, rd(X));               // waiter reads via the bus
+        double tx = s.system().bus().transactions.value();
+        s.run(0, wr(X, 0));            // clear: write-through update
+        EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx + 1);
+        auto r = s.run(1, rd(X));      // spin read hits in cache
+        EXPECT_EQ(r.value, 0u);
+        EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx + 1);
+    }
+    // Case B: no waiter bus access between the set and the clear: the
+    // second write invalidates, and waiters are "indirectly notified
+    // by write-in (invalidation) when the bit is cleared".
+    {
+        Scenario s(opts("rudolph_segall", 3, 1));
+        s.run(0, rd(X));
+        s.run(1, rd(X));               // waiter caches the word early
+        s.run(0, wr(X, 1));            // first write: update broadcast
+        EXPECT_EQ(s.cache(1).peekWord(X), 1u);
+        auto spin = s.run(1, rd(X));   // in-cache spin (not a bus access)
+        EXPECT_EQ(spin.value, 1u);
+        s.run(0, wr(X, 0));            // second write: invalidation
+        EXPECT_EQ(s.state(1, X), Inv);
+        auto r = s.run(1, rd(X));      // refetch sees the cleared bit
+        EXPECT_EQ(r.value, 0u);
+    }
+}
+
+TEST(Hybrids, AllValuesCoherentAcrossMixedTraffic)
+{
+    for (const char *proto : {"dragon", "firefly", "rudolph_segall"}) {
+        Scenario s(opts(proto, 4, 1));
+        for (int i = 0; i < 60; ++i) {
+            unsigned p = i % 4;
+            Addr a = X + Addr(i % 5) * 0x100;
+            if (i % 3 == 0)
+                s.run(p, wr(a, Word(i)));
+            else
+                s.run(p, rd(a));
+        }
+        EXPECT_EQ(s.system().checkStateInvariants(), 0u) << proto;
+        EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(),
+                         0.0)
+            << proto;
+    }
+}

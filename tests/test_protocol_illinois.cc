@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the Papamarcos & Patel (Illinois) protocol: the MESI state
+ * progression, dynamic fetch-for-write via the hit line (Feature 5 'D'),
+ * cache supply of clean blocks with source arbitration (Feature 8 ARB),
+ * and flush-on-transfer (Feature 7 'F').
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(Illinois, ReadMissAloneGetsExclusiveClean)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));
+    EXPECT_EQ(s.state(0, X), WrSrcCln);    // E
+    // Subsequent write is silent (E -> M).
+    double tx = s.system().bus().transactions.value();
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);    // M
+}
+
+TEST(Illinois, ReadMissWithCopiesGetsShared)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    EXPECT_EQ(s.state(1, X), Rd);          // S
+    EXPECT_EQ(s.state(0, X), Rd);          // E downgraded to S
+}
+
+TEST(Illinois, CleanBlocksSuppliedCacheToCache)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));    // E, clean
+    double c2c = s.system().bus().cacheSupplies.value();
+    s.run(1, rd(X));
+    // Supplied by cache 0 even though clean (Illinois hallmark).
+    EXPECT_DOUBLE_EQ(s.system().bus().cacheSupplies.value(), c2c + 1);
+}
+
+TEST(Illinois, MultipleSharersArbitrateToSupply)
+{
+    Scenario s(opts("illinois", 4));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    double arb = s.system().bus().sourceArbitrations.value();
+    s.run(2, rd(X));
+    // Two S holders both offered the block: arbitration was needed.
+    EXPECT_DOUBLE_EQ(s.system().bus().sourceArbitrations.value(),
+                     arb + 1);
+}
+
+TEST(Illinois, DirtyTransferFlushesToMemory)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, wr(X, 9));    // M
+    double flushes = s.system().memory().blockWrites.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 9u);
+    EXPECT_GT(s.system().memory().blockWrites.value(), flushes);
+    EXPECT_EQ(s.state(0, X), Rd);
+    EXPECT_EQ(s.state(1, X), Rd);
+    EXPECT_EQ(s.system().memory().readWord(X), 9u);
+}
+
+TEST(Illinois, WriteHitOnSharedUsesOneCycleUpgrade)
+{
+    Scenario s(opts("illinois"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    double up = s.system().bus().typeCount(BusReq::Upgrade);
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::Upgrade), up + 1);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+    EXPECT_EQ(s.state(1, X), Inv);
+}
+
+TEST(Illinois, RmwIsAtomicUnderContention)
+{
+    Scenario s(opts("illinois"));
+    // Interleaved test-and-set pairs: exactly one winner per round.
+    for (int round = 0; round < 10; ++round) {
+        auto r0 = s.run(0, rmw(X, 1));
+        auto r1 = s.run(1, rmw(X, 1));
+        // The first swap must win (see 0), the second must lose (see 1).
+        EXPECT_EQ(r0.value, 0u);
+        EXPECT_EQ(r1.value, 1u);
+        (void)round;
+        s.run(r0.value == 0 ? 0 : 1, wr(X, 0));
+        s.run(2, rd(X));
+    }
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+}
+
+TEST(Illinois, InvariantsHoldAfterMixedTraffic)
+{
+    Scenario s(opts("illinois", 4));
+    for (int i = 0; i < 40; ++i) {
+        unsigned p = i % 4;
+        Addr a = X + Addr(i % 3) * 0x100;
+        if (i % 2)
+            s.run(p, wr(a, Word(i)));
+        else
+            s.run(p, rd(a));
+    }
+    EXPECT_EQ(s.system().checkStateInvariants(), 0u);
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for Frank's Synapse protocol (1984): the memory source bit, the
+ * flush-then-refetch retry on read requests to dirty blocks (Table 1
+ * note 1), direct transfer for write-privilege requests (NF), and the
+ * one-cycle invalidate signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(Synapse, WriteSetsMemorySourceBit)
+{
+    Scenario s(opts("synapse"));
+    EXPECT_FALSE(s.system().memory().cacheOwned(X));
+    s.run(0, wr(X, 1));
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+    EXPECT_TRUE(s.system().memory().cacheOwned(X));
+}
+
+TEST(Synapse, ReadOfDirtyBlockFlushesAndRetries)
+{
+    Scenario s(opts("synapse"));
+    s.run(0, wr(X, 7));
+    double retries = s.system().bus().retries.value();
+    double c2c = s.system().bus().cacheSupplies.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 7u);
+    // The owner flushed first; memory supplied on the retry; no direct
+    // cache-to-cache transfer for a read-privilege request.
+    EXPECT_DOUBLE_EQ(s.system().bus().retries.value(), retries + 1);
+    EXPECT_DOUBLE_EQ(s.system().bus().cacheSupplies.value(), c2c);
+    EXPECT_EQ(s.state(0, X), Rd);
+    EXPECT_EQ(s.state(1, X), Rd);
+    EXPECT_FALSE(s.system().memory().cacheOwned(X));
+    EXPECT_EQ(s.system().memory().readWord(X), 7u);
+}
+
+TEST(Synapse, WritePrivilegeRequestGetsDirectTransfer)
+{
+    Scenario s(opts("synapse"));
+    s.run(0, wr(X, 7));
+    double c2c = s.system().bus().cacheSupplies.value();
+    double flushes = s.system().memory().blockWrites.value();
+    s.run(1, wr(X, 8));
+    // Source provides data for a write-privilege request, without a
+    // flush (Feature 7 NF); ownership moves.
+    EXPECT_DOUBLE_EQ(s.system().bus().cacheSupplies.value(), c2c + 1);
+    EXPECT_DOUBLE_EQ(s.system().memory().blockWrites.value(), flushes);
+    EXPECT_EQ(s.state(0, X), Inv);
+    EXPECT_EQ(s.state(1, X), WrSrcDty);
+    EXPECT_TRUE(s.system().memory().cacheOwned(X));
+}
+
+TEST(Synapse, UpgradeUsesInvalidateSignal)
+{
+    Scenario s(opts("synapse"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    double up = s.system().bus().typeCount(BusReq::Upgrade);
+    double ww = s.system().bus().typeCount(BusReq::WriteWord);
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::Upgrade), up + 1);
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::WriteWord), ww);
+    EXPECT_EQ(s.state(1, X), Inv);
+}
+
+TEST(Synapse, EvictionClearsSourceBit)
+{
+    Scenario s(opts("synapse", 3, 4, 2));    // 2 frames
+    s.run(0, wr(X, 1));
+    ASSERT_TRUE(s.system().memory().cacheOwned(X));
+    s.run(0, rd(0x2000));
+    s.run(0, rd(0x3000));    // evicts X (dirty -> writeback)
+    EXPECT_EQ(s.state(0, X), Inv);
+    EXPECT_FALSE(s.system().memory().cacheOwned(X));
+    EXPECT_EQ(s.system().memory().readWord(X), 1u);
+}
+
+TEST(Synapse, NoFetchForWriteOnReadMiss)
+{
+    Scenario s(opts("synapse"));
+    s.run(0, rd(X, true));    // hint ignored by Synapse
+    EXPECT_EQ(s.state(0, X), Rd);
+}
+
+TEST(Synapse, PingPongCoherent)
+{
+    Scenario s(opts("synapse"));
+    for (int i = 0; i < 20; ++i) {
+        unsigned p = i % 3;
+        s.run(p, wr(X, Word(i + 1)));
+        auto r = s.run((p + 1) % 3, rd(X));
+        EXPECT_EQ(r.value, Word(i + 1));
+    }
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+    EXPECT_EQ(s.system().checkStateInvariants(), 0u);
+}

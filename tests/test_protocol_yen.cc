@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the Yen, Yen & Fu protocol (1985): Goodman's states plus the
+ * bus invalidate signal and the *static* (compiler-declared) fetch of
+ * unshared data for write privilege.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+namespace
+{
+constexpr Addr X = 0x1000;
+} // namespace
+
+TEST(Yen, PlainReadMissStaysReadOnly)
+{
+    Scenario s(opts("yen"));
+    s.run(0, rd(X));    // no hint
+    EXPECT_EQ(s.state(0, X), Rd);
+}
+
+TEST(Yen, HintedReadMissFetchesWritePrivilege)
+{
+    Scenario s(opts("yen"));
+    s.run(0, rd(X, /*hint=*/true));
+    // Static declaration: write privilege, clean (no flush needed if
+    // never written).
+    EXPECT_EQ(s.state(0, X), WrCln);
+    double tx = s.system().bus().transactions.value();
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().transactions.value(), tx);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);
+}
+
+TEST(Yen, HintOnlyAffectsMisses)
+{
+    Scenario s(opts("yen"));
+    s.run(0, rd(X));          // Valid, read-only
+    s.run(0, rd(X, true));    // hit: hint must not upgrade
+    EXPECT_EQ(s.state(0, X), Rd);
+}
+
+TEST(Yen, WriteHitUsesInvalidateSignalNotWriteThrough)
+{
+    Scenario s(opts("yen"));
+    s.run(0, rd(X));
+    s.run(1, rd(X));
+    double up = s.system().bus().typeCount(BusReq::Upgrade);
+    double ww = s.system().bus().typeCount(BusReq::WriteWord);
+    s.run(0, wr(X, 1));
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::Upgrade), up + 1);
+    EXPECT_DOUBLE_EQ(s.system().bus().typeCount(BusReq::WriteWord), ww);
+    EXPECT_EQ(s.state(0, X), WrSrcDty);    // straight to dirty
+    EXPECT_EQ(s.state(1, X), Inv);
+}
+
+TEST(Yen, DirtyTransferFlushes)
+{
+    Scenario s(opts("yen"));
+    s.run(0, wr(X, 3));
+    ASSERT_EQ(s.state(0, X), WrSrcDty);
+    double flushes = s.system().memory().blockWrites.value();
+    auto r = s.run(1, rd(X));
+    EXPECT_EQ(r.value, 3u);
+    EXPECT_GT(s.system().memory().blockWrites.value(), flushes);
+    EXPECT_EQ(s.state(0, X), Rd);
+}
+
+TEST(Yen, CleanWriteStateIsNotSource)
+{
+    Scenario s(opts("yen"));
+    s.run(0, rd(X, true));    // WrCln
+    double c2c = s.system().bus().cacheSupplies.value();
+    s.run(1, rd(X));
+    // The clean write state is non-source: memory supplies.
+    EXPECT_DOUBLE_EQ(s.system().bus().cacheSupplies.value(), c2c);
+    EXPECT_EQ(s.state(0, X), Rd);
+}
+
+TEST(Yen, PingPongCoherent)
+{
+    Scenario s(opts("yen"));
+    for (int i = 0; i < 20; ++i) {
+        unsigned p = i % 3;
+        s.run(p, wr(X, Word(i + 1)));
+        auto r = s.run((p + 1) % 3, rd(X));
+        EXPECT_EQ(r.value, Word(i + 1));
+    }
+    EXPECT_DOUBLE_EQ(s.system().checker().violationCount.value(), 0.0);
+    EXPECT_EQ(s.system().checkStateInvariants(), 0u);
+}

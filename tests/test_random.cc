@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace csync;
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= (a.next() != b.next());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, UniformInBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.uniform(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(9);
+    bool low = false, high = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        low |= (v == 3);
+        high |= (v == 5);
+    }
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, UniformRealInUnitInterval)
+{
+    Random r(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Random r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.02);
+}
+
+TEST(Random, GeometricCapped)
+{
+    Random r(19);
+    EXPECT_EQ(r.geometric(0.0, 5), 5u);
+    EXPECT_EQ(r.geometric(1.0), 0u);
+    EXPECT_LE(r.geometric(0.5, 100), 100u);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the directed scenario engine used by the figure benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+using namespace csync;
+using namespace csync::test;
+
+TEST(Scenario, RunCompletesAndReturnsValue)
+{
+    Scenario s(opts("bitar"));
+    s.run(0, wr(0x1000, 5));
+    auto r = s.run(1, rd(0x1000));
+    EXPECT_EQ(r.value, 5u);
+}
+
+TEST(Scenario, TryRunReportsPendingLockOps)
+{
+    Scenario s(opts("bitar"));
+    s.run(0, lockRd(0x1000));
+    AccessResult r;
+    EXPECT_FALSE(s.tryRun(1, lockRd(0x1000), &r));
+    EXPECT_FALSE(s.pendingCompleted(1));
+    s.run(0, unlockWr(0x1000, 3));
+    EXPECT_TRUE(s.pendingCompleted(1, &r));
+    EXPECT_EQ(r.value, 3u);
+}
+
+TEST(Scenario, CollectsTraceNarration)
+{
+    Scenario::Options o;
+    o.protocol = "bitar";
+    o.processors = 2;
+    o.collectTrace = true;
+    {
+        Scenario s(o);
+        s.run(0, wr(0x1000, 1));
+        EXPECT_FALSE(s.log().empty());
+        bool has_grant = false;
+        for (const auto &line : s.log())
+            has_grant |= line.find("grant") != std::string::npos;
+        EXPECT_TRUE(has_grant);
+        s.clearLog();
+        EXPECT_TRUE(s.log().empty());
+        s.note("hello");
+        ASSERT_EQ(s.log().size(), 1u);
+        EXPECT_NE(s.log()[0].find("hello"), std::string::npos);
+    }
+    // Destructor must reset tracing.
+    EXPECT_FALSE(Trace::enabled(TraceFlag::Bus));
+}
+
+TEST(Scenario, StateInspection)
+{
+    Scenario s(opts("illinois"));
+    EXPECT_EQ(s.state(0, 0x1000), Inv);
+    s.run(0, rd(0x1000));
+    EXPECT_EQ(s.state(0, 0x1000), WrSrcCln);
+}

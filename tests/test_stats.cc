@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace csync;
+using namespace csync::stats;
+
+TEST(Stats, ScalarAccumulates)
+{
+    Group g("g");
+    Scalar s(&g, "s", "a scalar");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    Group g("g");
+    Scalar a(&g, "a", "numerator");
+    Scalar b(&g, "b", "denominator");
+    Formula f(&g, "ratio", "a/b", [&] {
+        return b.value() ? a.value() / b.value() : 0.0;
+    });
+    a += 6;
+    b += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+    b += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 1.0);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    Group g("g");
+    Histogram h(&g, "h", "samples", 10, 4);
+    h.sample(5);
+    h.sample(15);
+    h.sample(100);    // overflow
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+}
+
+TEST(Stats, GroupDumpContainsAllStats)
+{
+    Group root("root");
+    Group child("child", &root);
+    Scalar a(&root, "a", "top-level");
+    Scalar b(&child, "b", "nested");
+    a += 1;
+    b += 2;
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("root.a"), std::string::npos);
+    EXPECT_NE(out.find("root.child.b"), std::string::npos);
+}
+
+TEST(Stats, LookupByDottedPath)
+{
+    Group root("root");
+    Group child("child", &root);
+    Scalar a(&root, "a", "top-level");
+    Scalar b(&child, "b", "nested");
+    a += 7;
+    b += 9;
+    EXPECT_DOUBLE_EQ(root.lookup("a"), 7.0);
+    EXPECT_DOUBLE_EQ(root.lookup("child.b"), 9.0);
+    EXPECT_DOUBLE_EQ(root.lookup("missing"), 0.0);
+}
+
+TEST(Stats, ResetStatsRecurses)
+{
+    Group root("root");
+    Group child("child", &root);
+    Scalar a(&root, "a", "top-level");
+    Scalar b(&child, "b", "nested");
+    a += 1;
+    b += 1;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Figure 10 transition enumerator: the arcs observed from
+ * live systems must include the paper's named transitions and never an
+ * arc the figure calls a bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/protocol.hh"
+#include "core/transitions.hh"
+
+using namespace csync;
+
+namespace
+{
+
+bool
+hasArc(const std::vector<Transition> &arcs, State from, State to,
+       bool proc_side, const std::string &label_substr)
+{
+    for (const auto &t : arcs) {
+        if (t.from == from && t.to == to &&
+            t.processorSide == proc_side &&
+            t.label.find(label_substr) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Transitions, BitarCoversThePaperArcs)
+{
+    auto arcs = enumerateTransitions("bitar");
+    ASSERT_FALSE(arcs.empty());
+
+    // Figure 1: read miss, no other copy -> Write,Source,Clean.
+    EXPECT_TRUE(hasArc(arcs, Inv, WrSrcCln, true, "Read : ReadShared : I"));
+    // Figure 2: read miss, copies but no source -> Read,Source,Clean.
+    EXPECT_TRUE(
+        hasArc(arcs, Inv, RdSrcCln, true, "Read : ReadShared : R(no-src)"));
+    // Figure 4: read miss with a source -> Read,Source (status travels).
+    EXPECT_TRUE(
+        hasArc(arcs, Inv, RdSrcCln, true, "Read : ReadShared : R(src)"));
+    EXPECT_TRUE(
+        hasArc(arcs, Inv, RdSrcDty, true, "Read : ReadShared : W.D"));
+    // Figure 5: write hit on a read copy -> one-cycle upgrade.
+    EXPECT_TRUE(hasArc(arcs, Rd, WrSrcDty, true, "Write : Upgrade"));
+    // Figure 6: lock rides the fetch.
+    EXPECT_TRUE(
+        hasArc(arcs, Inv, LkSrcDty, true, "LockRead : ReadLock"));
+    // Zero-time lock on an owned block (no bus request at all).
+    EXPECT_TRUE(hasArc(arcs, WrSrcDty, LkSrcDty, true, "LockRead : -"));
+    // Zero-time unlock without waiter.
+    EXPECT_TRUE(
+        hasArc(arcs, LkSrcDty, WrSrcDty, true, "UnlockWrite : -"));
+    // Unlock with waiter broadcasts.
+    EXPECT_TRUE(hasArc(arcs, LkSrcDtyWt, WrSrcDty, true,
+                       "UnlockWrite : UnlockBroadcast"));
+    // Silent write on a clean owned block.
+    EXPECT_TRUE(hasArc(arcs, WrSrcCln, WrSrcDty, true, "Write : -"));
+}
+
+TEST(Transitions, BitarBusSideArcs)
+{
+    auto arcs = enumerateTransitions("bitar");
+    // Snooped read takes our source status away (last fetcher wins).
+    EXPECT_TRUE(hasArc(arcs, WrSrcDty, Rd, false, "ReadShared"));
+    EXPECT_TRUE(hasArc(arcs, RdSrcCln, Rd, false, "ReadShared"));
+    // Snooped write/lock invalidates.
+    EXPECT_TRUE(hasArc(arcs, Rd, Inv, false, "ReadExclusive"));
+    EXPECT_TRUE(hasArc(arcs, WrSrcDty, Inv, false, "ReadLock"));
+    // A lock request against our locked block records the waiter.
+    EXPECT_TRUE(hasArc(arcs, LkSrcDty, LkSrcDtyWt, false, "ReadLock"));
+}
+
+TEST(Transitions, BitarNeverProducesIllegalStates)
+{
+    auto arcs = enumerateTransitions("bitar");
+    auto proto = makeProtocol("bitar");
+    auto legal = proto->statesUsed();
+    for (const auto &t : arcs) {
+        EXPECT_NE(std::find(legal.begin(), legal.end(), t.to),
+                  legal.end())
+            << "illegal state " << stateName(t.to) << " via " << t.label;
+    }
+}
+
+TEST(Transitions, RenderMentionsLabelsAndNotes)
+{
+    auto arcs = enumerateTransitions("bitar");
+    std::string out = renderTransitions(arcs, "bitar");
+    EXPECT_NE(out.find("Processor-induced arcs"), std::string::npos);
+    EXPECT_NE(out.find("Bus-induced"), std::string::npos);
+    EXPECT_NE(out.find("busy wait"), std::string::npos);
+    EXPECT_NE(out.find("Lock,Source,Dirty,Waiter"), std::string::npos);
+}
+
+TEST(Transitions, WorksForClassicMesiToo)
+{
+    auto arcs = enumerateTransitions("illinois");
+    EXPECT_TRUE(hasArc(arcs, Inv, WrSrcCln, true, "Read : ReadShared : I"));
+    EXPECT_TRUE(hasArc(arcs, Inv, Rd, true, "Read : ReadShared : R"));
+    EXPECT_TRUE(hasArc(arcs, WrSrcCln, WrSrcDty, true, "Write : -"));
+    EXPECT_TRUE(hasArc(arcs, Rd, Inv, false, "ReadExclusive"));
+}
