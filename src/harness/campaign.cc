@@ -1,0 +1,158 @@
+#include "harness/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "harness/workload_factory.hh"
+#include "sim/stats_json.hh"
+#include "system/system.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(steady_clock::now() - t0).count();
+}
+
+} // anonymous namespace
+
+unsigned
+CampaignResult::failures() const
+{
+    unsigned n = 0;
+    for (const auto &r : rows)
+        n += r.ok() ? 0 : 1;
+    return n;
+}
+
+JobResult
+CampaignRunner::runJob(const JobSpec &spec)
+{
+    JobResult r;
+    r.name = spec.name;
+    r.protocol = spec.config.protocol;
+    r.workload = spec.workload;
+    r.procs = spec.config.numProcessors;
+    r.blockWords = spec.config.cache.geom.blockWords;
+    r.frames = spec.config.cache.geom.frames;
+    r.seed = spec.seed;
+
+    auto t0 = std::chrono::steady_clock::now();
+    // Isolate this thread's narration and convert fatal() into a
+    // catchable failure: a broken config produces an error row, not an
+    // exit, and never interleaves output with concurrent jobs.
+    ScopedThreadTrace quiet(nullptr);
+    ScopedFatalThrow capture;
+    try {
+        spec.config.validate();
+        System sys(spec.config);
+        for (unsigned i = 0; i < spec.config.numProcessors; ++i) {
+            WorkloadSlot slot;
+            slot.procId = i;
+            slot.numProcs = spec.config.numProcessors;
+            slot.ops = spec.ops;
+            slot.seed = spec.seed;
+            slot.blockBytes =
+                Addr(spec.config.cache.geom.blockWords) * bytesPerWord;
+            slot.protocol = spec.config.protocol;
+            std::string werr;
+            auto w = makeWorkload(spec.workload, slot, &werr);
+            if (!w)
+                throw FatalError(werr);
+            sys.addProcessor(std::move(w));
+        }
+        sys.start();
+        r.ticks = sys.run(spec.maxTicks);
+
+        for (unsigned i = 0; i < sys.numCaches(); ++i)
+            r.memOps += std::uint64_t(sys.cache(i).accesses.value());
+        r.checkerViolations = sys.checker().violations();
+        std::string why;
+        r.invariantViolations = sys.checkStateInvariants(&why);
+        stats::flatten(sys.rootStats(), r.stats);
+
+        if (r.checkerViolations || r.invariantViolations) {
+            r.status = "error";
+            r.error = csprintf(
+                "coherence violated (%u value, %u structural%s%s)",
+                r.checkerViolations, r.invariantViolations,
+                why.empty() ? "" : ": ", why.c_str());
+        } else if (!sys.allDone()) {
+            r.status = "timeout";
+            r.error = csprintf("workloads unfinished after %llu ticks",
+                               (unsigned long long)spec.maxTicks);
+        }
+    } catch (const FatalError &e) {
+        r.status = "error";
+        r.error = e.what();
+    } catch (const std::exception &e) {
+        r.status = "error";
+        r.error = csprintf("exception: %s", e.what());
+    }
+    r.wallMs = msSince(t0);
+    if (r.wallMs > 0)
+        r.hostMops = double(r.memOps) / 1e6 / (r.wallMs / 1e3);
+    return r;
+}
+
+CampaignResult
+CampaignRunner::run(const std::vector<JobSpec> &jobs, const Options &opts)
+{
+    CampaignResult result;
+    result.rows.resize(jobs.size());
+
+    unsigned workers = opts.jobs ? opts.jobs
+                                 : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    workers = unsigned(
+        std::min<std::size_t>(workers, std::max<std::size_t>(
+                                           jobs.size(), 1)));
+    result.workers = workers;
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex reportMutex;
+
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            JobResult row = runJob(jobs[i]);
+            std::size_t finished = done.fetch_add(1) + 1;
+            if (opts.onJobDone) {
+                std::lock_guard<std::mutex> lock(reportMutex);
+                opts.onJobDone(finished, jobs.size(), row);
+            }
+            result.rows[i] = std::move(row);
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    result.wallMs = msSince(t0);
+    return result;
+}
+
+} // namespace harness
+} // namespace csync

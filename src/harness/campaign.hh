@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The campaign engine: run a list of expanded sweep jobs — independent,
+ * deterministic simulations — across a pool of worker threads, collect
+ * per-job statistics, wall-clock and throughput accounting, and capture
+ * per-job failures as error rows instead of letting one bad
+ * configuration kill the whole campaign.
+ *
+ * Result rows land in job-list order regardless of which worker ran
+ * what, so a campaign's output is identical at any --jobs level (the
+ * simulations themselves are single-threaded and deterministic; the
+ * pool only schedules them).
+ */
+
+#ifndef CSYNC_HARNESS_CAMPAIGN_HH
+#define CSYNC_HARNESS_CAMPAIGN_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** Outcome of one campaign job. */
+struct JobResult
+{
+    /** Row key (JobSpec::name). */
+    std::string name;
+    /** @name Axis echo (so a row is self-describing) */
+    /// @{
+    std::string protocol;
+    std::string workload;
+    unsigned procs = 0;
+    unsigned blockWords = 0;
+    unsigned frames = 0;
+    std::uint64_t seed = 0;
+    /// @}
+
+    /** "ok", "timeout", or "error". */
+    std::string status = "ok";
+    /** Failure description when status == "error". */
+    std::string error;
+
+    /** Final simulated time. */
+    Tick ticks = 0;
+    /** Total processor memory references issued. */
+    std::uint64_t memOps = 0;
+    /** Value-checker violations observed. */
+    unsigned checkerViolations = 0;
+    /** Structural invariant violations at end of run. */
+    unsigned invariantViolations = 0;
+
+    /** Host wall-clock for this job, milliseconds. */
+    double wallMs = 0;
+    /** Host throughput, million simulated memory ops per second. */
+    double hostMops = 0;
+
+    /** Flattened statistics (stats::flatten of the system root). */
+    std::map<std::string, double> stats;
+
+    bool ok() const { return status == "ok"; }
+};
+
+/** A finished campaign. */
+struct CampaignResult
+{
+    std::string name;
+    /** Spec echo for the manifest (may be Null for ad-hoc job lists). */
+    Json specJson;
+    /** Worker threads actually used. */
+    unsigned workers = 0;
+    /** Whole-campaign wall clock, milliseconds. */
+    double wallMs = 0;
+    /** One row per job, in job-list order. */
+    std::vector<JobResult> rows;
+
+    unsigned failures() const;
+};
+
+/** Executes job lists on a worker pool. */
+class CampaignRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 = hardware_concurrency. */
+        unsigned jobs = 0;
+        /** Invoked (serialized) as each job finishes: done count,
+         *  total, and the finished row. */
+        std::function<void(std::size_t, std::size_t, const JobResult &)>
+            onJobDone;
+    };
+
+    /**
+     * Run one job synchronously on the calling thread.  Never throws
+     * for configuration/workload errors — they come back as an error
+     * row.
+     */
+    static JobResult runJob(const JobSpec &spec);
+
+    /** Run @p jobs on the pool and collect every row. */
+    CampaignResult run(const std::vector<JobSpec> &jobs,
+                       const Options &opts);
+
+    CampaignResult
+    run(const std::vector<JobSpec> &jobs)
+    {
+        return run(jobs, Options());
+    }
+};
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_CAMPAIGN_HH

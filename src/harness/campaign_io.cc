@@ -1,0 +1,194 @@
+#include "harness/campaign_io.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/stats_json.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+Json
+campaignToJson(const CampaignResult &result)
+{
+    Json doc = Json::object();
+    doc.set("csync_campaign", kCampaignVersion);
+    doc.set("name", result.name);
+    if (!result.specJson.isNull())
+        doc.set("spec", result.specJson);
+    doc.set("jobs", double(result.rows.size()));
+    doc.set("workers", result.workers);
+    doc.set("wall_ms", result.wallMs);
+    doc.set("failures", result.failures());
+
+    Json rows = Json::array();
+    for (const auto &r : result.rows) {
+        Json row = Json::object();
+        row.set("name", r.name);
+        row.set("protocol", r.protocol);
+        row.set("workload", r.workload);
+        row.set("procs", r.procs);
+        row.set("block_words", r.blockWords);
+        row.set("frames", r.frames);
+        row.set("seed", r.seed);
+        row.set("status", r.status);
+        if (!r.error.empty())
+            row.set("error", r.error);
+        row.set("ticks", r.ticks);
+        row.set("mem_ops", r.memOps);
+        row.set("checker_violations", r.checkerViolations);
+        row.set("invariant_violations", r.invariantViolations);
+        row.set("wall_ms", r.wallMs);
+        row.set("host_mops", r.hostMops);
+        Json stats = Json::object();
+        for (const auto &kv : r.stats)
+            stats.set(kv.first, kv.second);
+        row.set("stats", stats);
+        rows.push(std::move(row));
+    }
+    doc.set("rows", std::move(rows));
+    return doc;
+}
+
+bool
+campaignFromJson(const Json &doc, CampaignResult *out, std::string *err)
+{
+    auto loadError = [&](const std::string &what) {
+        if (err)
+            *err = "campaign document: " + what;
+        return false;
+    };
+    if (!doc.isObject() || !doc["csync_campaign"].isNumber())
+        return loadError("missing \"csync_campaign\" version marker");
+    if (int(doc["csync_campaign"].asNumber()) != kCampaignVersion) {
+        return loadError(csprintf("unsupported version %d",
+                                  int(doc["csync_campaign"].asNumber())));
+    }
+    if (!doc["rows"].isArray())
+        return loadError("missing \"rows\" array");
+
+    CampaignResult result;
+    result.name = doc["name"].asString();
+    result.specJson = doc["spec"];
+    result.workers = unsigned(doc["workers"].asNumber());
+    result.wallMs = doc["wall_ms"].asNumber();
+    for (std::size_t i = 0; i < doc["rows"].size(); ++i) {
+        const Json &row = doc["rows"].at(i);
+        if (!row.isObject() || !row["name"].isString())
+            return loadError(csprintf("row %zu has no \"name\"", i));
+        JobResult r;
+        r.name = row["name"].asString();
+        r.protocol = row["protocol"].asString();
+        r.workload = row["workload"].asString();
+        r.procs = unsigned(row["procs"].asNumber());
+        r.blockWords = unsigned(row["block_words"].asNumber());
+        r.frames = unsigned(row["frames"].asNumber());
+        r.seed = std::uint64_t(row["seed"].asNumber());
+        r.status = row["status"].isString() ? row["status"].asString()
+                                            : "ok";
+        r.error = row["error"].asString();
+        r.ticks = Tick(row["ticks"].asNumber());
+        r.memOps = std::uint64_t(row["mem_ops"].asNumber());
+        r.checkerViolations =
+            unsigned(row["checker_violations"].asNumber());
+        r.invariantViolations =
+            unsigned(row["invariant_violations"].asNumber());
+        r.wallMs = row["wall_ms"].asNumber();
+        r.hostMops = row["host_mops"].asNumber();
+        if (!row["stats"].isNull() && !row["stats"].isObject())
+            return loadError(csprintf("row %zu \"stats\" is not an "
+                                      "object", i));
+        for (const auto &kv : row["stats"].members()) {
+            if (!kv.second.isNumber()) {
+                return loadError(csprintf(
+                    "row %zu stat \"%s\" is not a number", i,
+                    kv.first.c_str()));
+            }
+            r.stats[kv.first] = kv.second.asNumber();
+        }
+        result.rows.push_back(std::move(r));
+    }
+    *out = std::move(result);
+    return true;
+}
+
+void
+campaignToCsv(const CampaignResult &result, std::ostream &os)
+{
+    std::set<std::string> keys;
+    for (const auto &r : result.rows)
+        for (const auto &kv : r.stats)
+            keys.insert(kv.first);
+
+    auto quote = [](const std::string &s) {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        return out + "\"";
+    };
+
+    os << "name,protocol,workload,procs,block_words,frames,seed,status,"
+          "ticks,mem_ops,wall_ms,host_mops";
+    for (const auto &k : keys)
+        os << "," << quote(k);
+    os << "\n";
+    for (const auto &r : result.rows) {
+        os << quote(r.name) << "," << quote(r.protocol) << ","
+           << quote(r.workload) << "," << r.procs << "," << r.blockWords
+           << "," << r.frames << "," << r.seed << "," << r.status << ","
+           << r.ticks << "," << r.memOps << ","
+           << stats::jsonNumber(r.wallMs) << ","
+           << stats::jsonNumber(r.hostMops);
+        for (const auto &k : keys) {
+            os << ",";
+            auto it = r.stats.find(k);
+            if (it != r.stats.end())
+                os << stats::jsonNumber(it->second);
+        }
+        os << "\n";
+    }
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content,
+          std::string *err)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (err)
+            *err = "cannot write " + path;
+        return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+        if (err)
+            *err = "write failed for " + path;
+        return false;
+    }
+    return true;
+}
+
+} // namespace harness
+} // namespace csync

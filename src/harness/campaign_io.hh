@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Campaign serialization: one JSON document per campaign (manifest +
+ * per-job stat rows), a CSV exporter for spreadsheet work, and the
+ * loader the comparison gate uses.  The document format is versioned
+ * ("csync_campaign": 1) and deterministic apart from the host timing
+ * fields, which the comparison gate ignores.
+ */
+
+#ifndef CSYNC_HARNESS_CAMPAIGN_IO_HH
+#define CSYNC_HARNESS_CAMPAIGN_IO_HH
+
+#include <ostream>
+#include <string>
+
+#include "harness/campaign.hh"
+#include "harness/json.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** Current campaign document version. */
+constexpr int kCampaignVersion = 1;
+
+/** Serialize a finished campaign into its JSON document. */
+Json campaignToJson(const CampaignResult &result);
+
+/**
+ * Reconstruct the comparable portion of a campaign from its document
+ * (rows with status, ticks, and stats; host timing is dropped).
+ * @return false with *err set if @p doc is not a campaign document.
+ */
+bool campaignFromJson(const Json &doc, CampaignResult *out,
+                      std::string *err);
+
+/**
+ * Export rows as CSV: job metadata columns followed by the sorted
+ * union of every stat key (absent stats are empty cells).
+ */
+void campaignToCsv(const CampaignResult &result, std::ostream &os);
+
+/** Read a whole file. @return false with *err set on I/O failure. */
+bool readFile(const std::string &path, std::string *out,
+              std::string *err);
+
+/** Write a whole file. @return false with *err set on I/O failure. */
+bool writeFile(const std::string &path, const std::string &content,
+               std::string *err);
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_CAMPAIGN_IO_HH

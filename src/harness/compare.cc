@@ -1,0 +1,150 @@
+#include "harness/compare.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sim/logging.hh"
+#include "sim/stats_json.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+namespace
+{
+
+/** Relative drift between two values, in percent. */
+double
+driftPct(double a, double b)
+{
+    if (a == b)
+        return 0.0;
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) / scale * 100.0;
+}
+
+class Report
+{
+  public:
+    explicit Report(unsigned max_lines) : maxLines_(max_lines) {}
+
+    void
+    line(const std::string &s)
+    {
+        if (lines_ < maxLines_)
+            text_ += "  " + s + "\n";
+        else if (lines_ == maxLines_)
+            text_ += "  ... (further detail suppressed)\n";
+        ++lines_;
+    }
+
+    std::string take() { return std::move(text_); }
+
+  private:
+    unsigned maxLines_;
+    unsigned lines_ = 0;
+    std::string text_;
+};
+
+} // anonymous namespace
+
+CompareReport
+compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
+                 const CompareOptions &opts)
+{
+    CompareReport rep;
+    Report out(opts.maxReportLines);
+
+    std::map<std::string, const JobResult *> newRows;
+    for (const auto &r : newc.rows)
+        newRows[r.name] = &r;
+    std::map<std::string, const JobResult *> oldRows;
+    for (const auto &r : oldc.rows)
+        oldRows[r.name] = &r;
+
+    for (const auto &r : newc.rows) {
+        if (!oldRows.count(r.name)) {
+            ++rep.missing;
+            out.line(csprintf("job %s: only in new campaign",
+                              r.name.c_str()));
+        }
+    }
+
+    for (const auto &oldRow : oldc.rows) {
+        auto it = newRows.find(oldRow.name);
+        if (it == newRows.end()) {
+            ++rep.missing;
+            out.line(csprintf("job %s: missing from new campaign",
+                              oldRow.name.c_str()));
+            continue;
+        }
+        const JobResult &newRow = *it->second;
+
+        if (oldRow.status != newRow.status) {
+            ++rep.statusChanges;
+            out.line(csprintf("job %s: status %s -> %s%s%s",
+                              oldRow.name.c_str(), oldRow.status.c_str(),
+                              newRow.status.c_str(),
+                              newRow.error.empty() ? "" : ": ",
+                              newRow.error.c_str()));
+            continue;
+        }
+
+        // Simulated time is a first-class comparable value.
+        ++rep.compared;
+        double tickDrift = driftPct(double(oldRow.ticks),
+                                    double(newRow.ticks));
+        if (tickDrift > opts.tolerancePct) {
+            ++rep.drifted;
+            out.line(csprintf(
+                "job %s: ticks %llu -> %llu (%.3f%% drift)",
+                oldRow.name.c_str(),
+                (unsigned long long)oldRow.ticks,
+                (unsigned long long)newRow.ticks, tickDrift));
+        }
+
+        for (const auto &kv : oldRow.stats) {
+            auto ns = newRow.stats.find(kv.first);
+            if (ns == newRow.stats.end()) {
+                ++rep.missing;
+                out.line(csprintf("job %s: stat %s missing from new "
+                                  "campaign", oldRow.name.c_str(),
+                                  kv.first.c_str()));
+                continue;
+            }
+            ++rep.compared;
+            double d = driftPct(kv.second, ns->second);
+            if (d > opts.tolerancePct) {
+                ++rep.drifted;
+                out.line(csprintf(
+                    "job %s: %s %s -> %s (%.3f%% drift)",
+                    oldRow.name.c_str(), kv.first.c_str(),
+                    stats::jsonNumber(kv.second).c_str(),
+                    stats::jsonNumber(ns->second).c_str(), d));
+            }
+        }
+        for (const auto &kv : newRow.stats) {
+            if (!oldRow.stats.count(kv.first)) {
+                ++rep.missing;
+                out.line(csprintf("job %s: stat %s only in new campaign",
+                                  oldRow.name.c_str(),
+                                  kv.first.c_str()));
+            }
+        }
+    }
+
+    rep.ok = rep.drifted == 0 && rep.missing == 0 &&
+             rep.statusChanges == 0;
+    std::string summary = csprintf(
+        "compared %u values across %zu reference jobs: %u drifted "
+        "beyond %.3f%%, %u missing, %u status changes -> %s\n",
+        rep.compared, oldc.rows.size(), rep.drifted, opts.tolerancePct,
+        rep.missing, rep.statusChanges, rep.ok ? "OK" : "FAIL");
+    rep.text = summary + out.take();
+    return rep;
+}
+
+} // namespace harness
+} // namespace csync

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The campaign regression gate: diff two campaign documents stat by
+ * stat and fail on drift beyond a relative tolerance.  This is what
+ * turns campaign JSON files into machine-checkable golden results —
+ * CI runs a fresh campaign and compares it against the committed one.
+ *
+ * Host-dependent fields (wall clock, host throughput) are never
+ * compared; everything the simulator itself computed is.
+ */
+
+#ifndef CSYNC_HARNESS_COMPARE_HH
+#define CSYNC_HARNESS_COMPARE_HH
+
+#include <string>
+
+#include "harness/campaign.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** Comparison knobs. */
+struct CompareOptions
+{
+    /** Allowed relative drift per stat, in percent (0 = exact). */
+    double tolerancePct = 0.0;
+    /** Maximum detail lines in the report text. */
+    unsigned maxReportLines = 40;
+};
+
+/** Outcome of comparing two campaigns. */
+struct CompareReport
+{
+    /** True when nothing drifted beyond tolerance. */
+    bool ok = true;
+    /** Stats beyond tolerance. */
+    unsigned drifted = 0;
+    /** Rows/stats present in one campaign but not the other. */
+    unsigned missing = 0;
+    /** Rows whose status changed (ok -> error etc.). */
+    unsigned statusChanges = 0;
+    /** Stats compared in total. */
+    unsigned compared = 0;
+    /** Human-readable diff report. */
+    std::string text;
+};
+
+/**
+ * Compare @p oldc (the reference) against @p newc (the candidate).
+ */
+CompareReport compareCampaigns(const CampaignResult &oldc,
+                               const CampaignResult &newc,
+                               const CompareOptions &opts = {});
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_COMPARE_HH

@@ -1,0 +1,235 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+
+#include "coherence/protocol.hh"
+#include "harness/workload_factory.hh"
+#include "sim/logging.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+namespace
+{
+
+bool
+parseError(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = "sweep spec: " + what;
+    return false;
+}
+
+/** Read a JSON array of strings into @p out. */
+bool
+stringAxis(const Json &doc, const char *key,
+           std::vector<std::string> *out, std::string *err)
+{
+    const Json &v = doc[key];
+    if (v.isNull())
+        return true;
+    if (!v.isArray())
+        return parseError(err, csprintf("\"%s\" must be an array of "
+                                        "strings", key));
+    out->clear();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (!v.at(i).isString()) {
+            return parseError(err, csprintf("\"%s\"[%zu] is not a string",
+                                            key, i));
+        }
+        out->push_back(v.at(i).asString());
+    }
+    return true;
+}
+
+/** Read a JSON array of non-negative integers into @p out. */
+template <typename T>
+bool
+numberAxis(const Json &doc, const char *key, std::vector<T> *out,
+           std::string *err)
+{
+    const Json &v = doc[key];
+    if (v.isNull())
+        return true;
+    if (!v.isArray())
+        return parseError(err, csprintf("\"%s\" must be an array of "
+                                        "numbers", key));
+    out->clear();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (!v.at(i).isNumber() || v.at(i).asNumber() < 0) {
+            return parseError(
+                err, csprintf("\"%s\"[%zu] is not a non-negative number",
+                              key, i));
+        }
+        out->push_back(T(v.at(i).asNumber()));
+    }
+    return true;
+}
+
+template <typename T>
+bool
+scalarNumber(const Json &doc, const char *key, T *out, std::string *err)
+{
+    const Json &v = doc[key];
+    if (v.isNull())
+        return true;
+    if (!v.isNumber() || v.asNumber() < 0)
+        return parseError(err, csprintf("\"%s\" must be a non-negative "
+                                        "number", key));
+    *out = T(v.asNumber());
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
+{
+    if (!doc.isObject())
+        return parseError(err, "document is not a JSON object");
+
+    static const char *known[] = {
+        "name", "protocols", "workloads", "processors", "block_words",
+        "frames", "seeds", "ops_per_processor", "max_ticks", "ways",
+        "enable_checker",
+    };
+    for (const auto &kv : doc.members()) {
+        if (std::find_if(std::begin(known), std::end(known),
+                         [&](const char *k) { return kv.first == k; }) ==
+            std::end(known)) {
+            return parseError(err, csprintf("unknown key \"%s\"",
+                                            kv.first.c_str()));
+        }
+    }
+
+    SweepSpec spec;
+    if (doc.has("name")) {
+        if (!doc["name"].isString())
+            return parseError(err, "\"name\" must be a string");
+        spec.name = doc["name"].asString();
+    }
+    if (!stringAxis(doc, "protocols", &spec.protocols, err) ||
+        !stringAxis(doc, "workloads", &spec.workloads, err) ||
+        !numberAxis(doc, "processors", &spec.processorCounts, err) ||
+        !numberAxis(doc, "block_words", &spec.blockWords, err) ||
+        !numberAxis(doc, "frames", &spec.frames, err) ||
+        !numberAxis(doc, "seeds", &spec.seeds, err) ||
+        !scalarNumber(doc, "ops_per_processor", &spec.opsPerProcessor,
+                      err) ||
+        !scalarNumber(doc, "max_ticks", &spec.maxTicks, err) ||
+        !scalarNumber(doc, "ways", &spec.ways, err)) {
+        return false;
+    }
+    if (doc.has("enable_checker")) {
+        if (!doc["enable_checker"].isBool())
+            return parseError(err, "\"enable_checker\" must be a bool");
+        spec.enableChecker = doc["enable_checker"].asBool();
+    }
+    if (spec.protocols.empty())
+        return parseError(err, "\"protocols\" axis is missing or empty");
+    if (spec.workloads.empty())
+        return parseError(err, "\"workloads\" axis is missing or empty");
+    *out = std::move(spec);
+    return true;
+}
+
+bool
+SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
+{
+    auto axisError = [&](const std::string &what) {
+        if (err)
+            *err = "sweep spec: " + what;
+        return false;
+    };
+
+    if (protocols.empty() || workloads.empty() ||
+        processorCounts.empty() || blockWords.empty() || frames.empty() ||
+        seeds.empty()) {
+        return axisError("every axis needs at least one value");
+    }
+    auto registered = ProtocolRegistry::names();
+    for (const auto &p : protocols) {
+        if (std::find(registered.begin(), registered.end(), p) ==
+            registered.end()) {
+            std::string known;
+            for (const auto &r : registered)
+                known += std::string(known.empty() ? "" : ", ") + r;
+            return axisError(csprintf("unknown protocol '%s' (known: %s)",
+                                      p.c_str(), known.c_str()));
+        }
+    }
+    for (const auto &w : workloads) {
+        if (!workloadKnown(w)) {
+            std::string msg;
+            makeWorkload(w, WorkloadSlot{}, &msg);
+            return axisError(msg);
+        }
+    }
+
+    out->clear();
+    for (const auto &proto : protocols) {
+        for (const auto &wl : workloads) {
+            for (unsigned procs : processorCounts) {
+                for (unsigned bw : blockWords) {
+                    for (unsigned fr : frames) {
+                        for (std::uint64_t seed : seeds) {
+                            JobSpec job;
+                            job.name = csprintf(
+                                "%s/%s/p%u/bw%u/f%u/s%llu",
+                                proto.c_str(), wl.c_str(), procs, bw, fr,
+                                (unsigned long long)seed);
+                            job.config.name = "system";
+                            job.config.protocol = proto;
+                            job.config.numProcessors = procs;
+                            job.config.cache.geom.blockWords = bw;
+                            job.config.cache.geom.frames = fr;
+                            job.config.cache.geom.ways = ways;
+                            job.config.enableChecker = enableChecker;
+                            job.workload = wl;
+                            job.seed = seed;
+                            job.ops = opsPerProcessor;
+                            job.maxTicks = maxTicks;
+                            out->push_back(std::move(job));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+Json
+SweepSpec::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("name", name);
+    auto strings = [](const std::vector<std::string> &v) {
+        Json a = Json::array();
+        for (const auto &s : v)
+            a.push(s);
+        return a;
+    };
+    auto numbers = [](const auto &v) {
+        Json a = Json::array();
+        for (auto n : v)
+            a.push(double(n));
+        return a;
+    };
+    doc.set("protocols", strings(protocols));
+    doc.set("workloads", strings(workloads));
+    doc.set("processors", numbers(processorCounts));
+    doc.set("block_words", numbers(blockWords));
+    doc.set("frames", numbers(frames));
+    doc.set("seeds", numbers(seeds));
+    doc.set("ops_per_processor", double(opsPerProcessor));
+    doc.set("max_ticks", double(maxTicks));
+    doc.set("ways", ways);
+    doc.set("enable_checker", enableChecker);
+    return doc;
+}
+
+} // namespace harness
+} // namespace csync

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Declarative experiment campaigns: a SweepSpec names axes — protocol,
+ * workload, processor count, cache geometry, seed — and expands their
+ * cartesian product into a flat list of fully-specified jobs (one
+ * SystemConfig + workload recipe each).  Specs parse from JSON with
+ * actionable error messages; expansion validates every axis value
+ * against the protocol registry and workload factory up front, so a
+ * campaign never discovers a typo 500 jobs in.
+ */
+
+#ifndef CSYNC_HARNESS_SWEEP_HH
+#define CSYNC_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+#include "system/config.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** One fully-expanded campaign job. */
+struct JobSpec
+{
+    /** Unique row key, e.g. "bitar/barrier/p4/bw4/f128/s1". */
+    std::string name;
+    /** System under test. */
+    SystemConfig config;
+    /** Workload recipe name (workload_factory). */
+    std::string workload;
+    /** Campaign seed for this job. */
+    std::uint64_t seed = 1;
+    /** Operations per processor (recipe-scaled). */
+    std::uint64_t ops = 2000;
+    /** Simulated-time budget; exceeding it marks the job "timeout". */
+    Tick maxTicks = 50'000'000;
+};
+
+/** A declarative cartesian experiment grid. */
+struct SweepSpec
+{
+    /** Campaign name (manifest). */
+    std::string name = "campaign";
+
+    /** @name Axes (each must be non-empty; the grid is their product) */
+    /// @{
+    std::vector<std::string> protocols;
+    std::vector<std::string> workloads;
+    std::vector<unsigned> processorCounts{4};
+    std::vector<unsigned> blockWords{4};
+    std::vector<unsigned> frames{128};
+    std::vector<std::uint64_t> seeds{1};
+    /// @}
+
+    /** @name Per-job constants */
+    /// @{
+    std::uint64_t opsPerProcessor = 2000;
+    Tick maxTicks = 50'000'000;
+    unsigned ways = 0; // fully associative
+    bool enableChecker = true;
+    /// @}
+
+    /**
+     * Parse a spec from a JSON document (see EXPERIMENTS.md for the
+     * schema).  @return false with *err set on malformed input.
+     */
+    static bool fromJson(const Json &doc, SweepSpec *out,
+                         std::string *err);
+
+    /**
+     * Expand the grid into jobs, axis order: protocol (outermost), then
+     * workload, processors, blockWords, frames, seed.
+     * @return false with *err set if any axis value is invalid.
+     */
+    bool expand(std::vector<JobSpec> *out, std::string *err) const;
+
+    /** Echo the spec as JSON (campaign manifest). */
+    Json toJson() const;
+};
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_SWEEP_HH

@@ -1,0 +1,194 @@
+#include "harness/workload_factory.hh"
+
+#include <algorithm>
+
+#include "coherence/protocol.hh"
+#include "proc/workloads/barrier.hh"
+#include "proc/workloads/critical_section.hh"
+#include "proc/workloads/migration.hh"
+#include "proc/workloads/producer_consumer.hh"
+#include "proc/workloads/random_sharing.hh"
+#include "sim/logging.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+namespace
+{
+
+/**
+ * Lock algorithm a protocol can actually run: the paper's cache-lock
+ * states where supported, test-and-test-and-set where the protocol at
+ * least serializes atomic read-modify-writes (Feature 6).  Protocols
+ * with neither (Goodman, Yen, classic write-through) cannot express a
+ * lock at all; lock-based recipes report that instead of panicking.
+ */
+bool
+lockAlgFor(const std::string &protocol, const char *recipe, LockAlg *alg,
+           std::string *err)
+{
+    auto p = makeProtocol(protocol);
+    if (p->supportsLockOps()) {
+        *alg = LockAlg::CacheLock;
+        return true;
+    }
+    if (p->features().atomicRmw) {
+        *alg = LockAlg::TestTestSet;
+        return true;
+    }
+    if (err) {
+        *err = csprintf("workload '%s' needs a lock, but protocol '%s' "
+                        "has neither cache locking nor atomic "
+                        "read-modify-write (Feature 6)",
+                        recipe, protocol.c_str());
+    }
+    return false;
+}
+
+bool
+wantsPrivateHints(const std::string &protocol)
+{
+    return makeProtocol(protocol)->features().fetchUnsharedForWrite == 'S';
+}
+
+std::unique_ptr<Workload>
+makeRandom(const WorkloadSlot &s, double shared_frac,
+           double write_frac)
+{
+    RandomSharingParams p;
+    p.ops = s.ops;
+    p.procId = s.procId;
+    p.seed = s.seed * 1000003 + s.procId + 1;
+    p.sharedBlocks = 16;
+    p.privateBlocks = 64;
+    p.sharedFraction = shared_frac;
+    p.writeFraction = write_frac;
+    p.blockBytes = s.blockBytes;
+    p.privateHints = wantsPrivateHints(s.protocol);
+    return std::make_unique<RandomSharingWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeCriticalSection(const WorkloadSlot &s, std::string *err)
+{
+    CriticalSectionParams p;
+    if (!lockAlgFor(s.protocol, "critical_section", &p.alg, err))
+        return nullptr;
+    // One critical section is ~6 memory ops (acquire, 2x read+write,
+    // release); scale iterations so job cost tracks s.ops.
+    p.iterations = std::max<std::uint64_t>(1, s.ops / 8);
+    p.numLocks = 1;
+    p.wordsPerCs = 2;
+    p.blockBytes = s.blockBytes;
+    p.seed = s.seed * 1000003 + s.procId + 1;
+    p.procId = s.procId;
+    return std::make_unique<CriticalSectionWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeMigration(const WorkloadSlot &s, std::string *)
+{
+    MigrationParams p;
+    p.rounds = std::max<std::uint64_t>(1, s.ops / 32);
+    p.stateWords = 8;
+    p.numProcs = s.numProcs;
+    p.procId = s.procId;
+    return std::make_unique<MigrationWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeBarrier(const WorkloadSlot &s, std::string *err)
+{
+    BarrierParams p;
+    if (!lockAlgFor(s.protocol, "barrier", &p.alg, err))
+        return nullptr;
+    p.rounds = std::max<std::uint64_t>(1, s.ops / 32);
+    p.numProcs = s.numProcs;
+    p.procId = s.procId;
+    return std::make_unique<BarrierWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeProducerConsumer(const WorkloadSlot &s, std::string *)
+{
+    // Processors pair up: 2k produces for 2k+1, each pair on its own
+    // flag/data blocks.  An odd trailing processor runs private
+    // background traffic instead of half a pair.
+    if (s.numProcs % 2 != 0 && s.procId == s.numProcs - 1)
+        return makeRandom(s, 0.0, 0.3);
+    unsigned pair = s.procId / 2;
+    ProducerConsumerParams p;
+    p.items = std::max<std::uint64_t>(1, s.ops / 16);
+    p.dataWords = 4;
+    p.flagAddr = 0x100000 + Addr(pair) * 0x10000;
+    p.dataBase = p.flagAddr + 0x100;
+    if (s.procId % 2 == 0)
+        return std::make_unique<ProducerWorkload>(p);
+    return std::make_unique<ConsumerWorkload>(p);
+}
+
+struct Recipe
+{
+    const char *name;
+    std::unique_ptr<Workload> (*make)(const WorkloadSlot &,
+                                      std::string *);
+};
+
+const Recipe kRecipes[] = {
+    {"barrier", makeBarrier},
+    {"critical_section", makeCriticalSection},
+    {"migration", makeMigration},
+    {"producer_consumer", makeProducerConsumer},
+    {"random_contended",
+     [](const WorkloadSlot &s, std::string *) {
+         return makeRandom(s, 0.6, 0.4);
+     }},
+    {"random_sharing",
+     [](const WorkloadSlot &s, std::string *) {
+         return makeRandom(s, 0.3, 0.3);
+     }},
+};
+
+} // anonymous namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &r : kRecipes)
+        names.push_back(r.name);
+    return names;
+}
+
+bool
+workloadKnown(const std::string &name)
+{
+    for (const auto &r : kRecipes) {
+        if (name == r.name)
+            return true;
+    }
+    return false;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadSlot &slot,
+             std::string *err)
+{
+    for (const auto &r : kRecipes) {
+        if (name == r.name)
+            return r.make(slot, err);
+    }
+    if (err) {
+        std::string known;
+        for (const auto &r : kRecipes)
+            known += std::string(known.empty() ? "" : ", ") + r.name;
+        *err = csprintf("unknown workload '%s' (known: %s)", name.c_str(),
+                        known.c_str());
+    }
+    return nullptr;
+}
+
+} // namespace harness
+} // namespace csync

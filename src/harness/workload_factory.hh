@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload construction by name for the campaign harness.  Each named
+ * workload is a recipe that, given a processor's slot in the machine
+ * and the campaign seed, produces the Workload object for that slot —
+ * so a sweep spec can say just "critical_section" and get a sensible,
+ * deterministic multi-processor instantiation on any machine size.
+ */
+
+#ifndef CSYNC_HARNESS_WORKLOAD_FACTORY_HH
+#define CSYNC_HARNESS_WORKLOAD_FACTORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proc/workload.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** Everything a recipe needs to build one processor's workload. */
+struct WorkloadSlot
+{
+    /** This processor's index. */
+    unsigned procId = 0;
+    /** Processors in the system. */
+    unsigned numProcs = 1;
+    /** Operations (or iterations, scaled per recipe) per processor. */
+    std::uint64_t ops = 2000;
+    /** Campaign seed (mixed with procId per recipe). */
+    std::uint64_t seed = 1;
+    /** Block size in bytes (address layout). */
+    std::uint64_t blockBytes = 32;
+    /** Protocol the system runs (selects lock algorithm / hints). */
+    std::string protocol = "bitar";
+};
+
+/** Registered workload names, sorted (the sweep "workloads" axis). */
+std::vector<std::string> workloadNames();
+
+/** True if @p name is a registered workload recipe. */
+bool workloadKnown(const std::string &name);
+
+/**
+ * Build the workload @p name for one processor slot.
+ * @return nullptr with *err set if the name is unknown.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadSlot &slot,
+                                       std::string *err);
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_WORKLOAD_FACTORY_HH

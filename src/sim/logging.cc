@@ -1,6 +1,7 @@
 #include "sim/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace csync
@@ -9,6 +10,22 @@ namespace csync
 bool Trace::flags_[unsigned(TraceFlag::NumFlags)] = {};
 Trace::Sink Trace::sink_;
 bool Trace::echo_ = false;
+thread_local Trace::Sink Trace::threadSink_;
+
+namespace
+{
+
+/** Serializes the global echo/sink path across threads. */
+std::mutex &
+traceMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local bool fatalThrows = false;
+
+} // anonymous namespace
 
 const char *
 traceFlagName(TraceFlag flag)
@@ -54,6 +71,12 @@ Trace::setSink(Sink sink)
 }
 
 void
+Trace::setThreadSink(Sink sink)
+{
+    threadSink_ = std::move(sink);
+}
+
+void
 Trace::setEcho(bool echo)
 {
     echo_ = echo;
@@ -65,6 +88,11 @@ Trace::emit(std::uint64_t when, TraceFlag flag, const std::string &who,
 {
     if (!enabled(flag))
         return;
+    if (threadSink_) {
+        threadSink_(when, flag, who, what);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(traceMutex());
     if (echo_) {
         std::fprintf(stdout, "%8llu: %-9s %-14s %s\n",
                      (unsigned long long)when, traceFlagName(flag),
@@ -72,6 +100,22 @@ Trace::emit(std::uint64_t when, TraceFlag flag, const std::string &who,
     }
     if (sink_)
         sink_(when, flag, who, what);
+}
+
+ScopedThreadTrace::ScopedThreadTrace(Trace::Sink sink)
+{
+    if (!sink) {
+        // Swallow: a non-null sink that drops everything still diverts
+        // this thread away from the shared global channel.
+        sink = [](std::uint64_t, TraceFlag, const std::string &,
+                  const std::string &) {};
+    }
+    Trace::setThreadSink(std::move(sink));
+}
+
+ScopedThreadTrace::~ScopedThreadTrace()
+{
+    Trace::setThreadSink(nullptr);
 }
 
 std::string
@@ -96,9 +140,27 @@ panicImpl(const char *file, int line, const std::string &m)
     std::abort();
 }
 
+ScopedFatalThrow::ScopedFatalThrow() : prev_(fatalThrows)
+{
+    fatalThrows = true;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    fatalThrows = prev_;
+}
+
+bool
+ScopedFatalThrow::active()
+{
+    return fatalThrows;
+}
+
 void
 fatalImpl(const char *file, int line, const std::string &m)
 {
+    if (fatalThrows)
+        throw FatalError(m);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", m.c_str(), file, line);
     std::exit(1);
 }

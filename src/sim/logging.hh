@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 namespace csync
@@ -37,6 +38,16 @@ const char *traceFlagName(TraceFlag flag);
 /**
  * Global trace sink.  By default traces are dropped; tests and the figure
  * benches install a capture callback, and examples enable stdout echo.
+ *
+ * Concurrency: the global sink/echo path is serialized with a mutex so
+ * trace lines from different threads never interleave mid-line.  A
+ * thread can additionally claim its output entirely for itself with
+ * setThreadSink(): while a thread-local sink is installed, that thread's
+ * emissions go only to it (no echo, no global sink, no lock), which is
+ * how parallel campaign jobs keep concurrent System instances from
+ * racing on the shared channel.  Flag configuration (setEnabled /
+ * enableAll / reset) is not synchronized and must happen while no other
+ * thread is emitting.
  */
 class Trace
 {
@@ -60,6 +71,13 @@ class Trace
     /** Install a callback receiving every emitted trace line. */
     static void setSink(Sink sink);
 
+    /**
+     * Install a sink private to the calling thread.  While set, this
+     * thread's emissions bypass the global sink and echo entirely.
+     * Pass nullptr to restore the global path.
+     */
+    static void setThreadSink(Sink sink);
+
     /** Echo enabled trace lines to stdout as well. */
     static void setEcho(bool echo);
 
@@ -71,6 +89,22 @@ class Trace
     static bool flags_[unsigned(TraceFlag::NumFlags)];
     static Sink sink_;
     static bool echo_;
+    static thread_local Sink threadSink_;
+};
+
+/**
+ * RAII guard that isolates the calling thread's trace output into a
+ * caller-provided sink (or swallows it when @p sink is nullptr) for the
+ * guard's lifetime.  Used by the campaign runner's worker threads.
+ */
+class ScopedThreadTrace
+{
+  public:
+    explicit ScopedThreadTrace(Trace::Sink sink);
+    ~ScopedThreadTrace();
+
+    ScopedThreadTrace(const ScopedThreadTrace &) = delete;
+    ScopedThreadTrace &operator=(const ScopedThreadTrace &) = delete;
 };
 
 /** printf-style formatting into a std::string. */
@@ -78,12 +112,46 @@ std::string csprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
+ * Thrown instead of exiting when the calling thread is inside a
+ * ScopedFatalThrow region.  Carries the fatal() message.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard switching fatal() on the calling thread from exit(1) to
+ * throwing FatalError.  Lets embedders (the campaign runner, tests of
+ * rejection paths) survive an unusable configuration: the job that hit
+ * it fails, the process does not.  panic() still aborts — an internal
+ * simulator bug is never recoverable.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+    /** True if the calling thread currently converts fatal() to throw. */
+    static bool active();
+
+  private:
+    bool prev_;
+};
+
+/**
  * Abort the program: an internal simulator bug (never the user's fault).
  */
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &m);
 
 /**
- * Exit the program: an unusable configuration (the user's fault).
+ * Exit the program — or throw FatalError under ScopedFatalThrow: an
+ * unusable configuration (the user's fault).
  */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &m);
 

@@ -84,6 +84,9 @@ class Histogram : public Info
     double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
+    std::uint64_t bucketSize() const { return bucketSize_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
@@ -144,6 +147,12 @@ class Group
 
     /** Look up a scalar/formula value by dotted path; 0 if absent. */
     double lookup(const std::string &stat_name) const;
+
+    /** Registered statistics, in registration order (serializers). */
+    const std::vector<Info *> &statsList() const { return stats_; }
+
+    /** Child groups, in registration order (serializers). */
+    const std::vector<Group *> &childGroups() const { return children_; }
 
   private:
     std::string name_;

@@ -1,0 +1,164 @@
+#include "sim/stats_json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace csync
+{
+namespace stats
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integers (the overwhelmingly common case for counters) print
+    // exactly; anything fractional gets round-trip precision.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace
+{
+
+std::string
+pad(int indent)
+{
+    return std::string(std::size_t(indent), ' ');
+}
+
+void
+dumpHistogram(const Histogram &h, std::ostream &os, int indent)
+{
+    std::string in = pad(indent + 2);
+    os << "{\n";
+    os << in << "\"count\": " << jsonNumber(double(h.count())) << ",\n";
+    os << in << "\"mean\": " << jsonNumber(h.mean()) << ",\n";
+    os << in << "\"min\": " << jsonNumber(double(h.min())) << ",\n";
+    os << in << "\"max\": " << jsonNumber(double(h.max())) << ",\n";
+    os << in << "\"bucket_size\": " << jsonNumber(double(h.bucketSize()))
+       << ",\n";
+    os << in << "\"buckets\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+        if (h.buckets()[i] == 0)
+            continue;
+        os << (first ? "" : ", ") << "\"" << i
+           << "\": " << jsonNumber(double(h.buckets()[i]));
+        first = false;
+    }
+    os << "},\n";
+    os << in << "\"overflow\": " << jsonNumber(double(h.overflow()))
+       << "\n";
+    os << pad(indent) << "}";
+}
+
+void
+dumpGroupBody(const Group &g, std::ostream &os, int indent)
+{
+    std::string in = pad(indent + 2);
+    os << "{";
+    bool first = true;
+    auto sep = [&]() {
+        os << (first ? "\n" : ",\n") << in;
+        first = false;
+    };
+    for (const Info *s : g.statsList()) {
+        sep();
+        os << "\"" << jsonEscape(s->name()) << "\": ";
+        if (const auto *sc = dynamic_cast<const Scalar *>(s))
+            os << jsonNumber(sc->value());
+        else if (const auto *f = dynamic_cast<const Formula *>(s))
+            os << jsonNumber(f->value());
+        else if (const auto *h = dynamic_cast<const Histogram *>(s))
+            dumpHistogram(*h, os, indent + 2);
+        else
+            os << "null";
+    }
+    for (const Group *c : g.childGroups()) {
+        sep();
+        os << "\"" << jsonEscape(c->groupName()) << "\": ";
+        dumpGroupBody(*c, os, indent + 2);
+    }
+    if (!first)
+        os << "\n" << pad(indent);
+    os << "}";
+}
+
+} // anonymous namespace
+
+void
+dumpJson(const Group &g, std::ostream &os, int indent)
+{
+    os << pad(indent) << "{\n"
+       << pad(indent + 2) << "\"" << jsonEscape(g.groupName()) << "\": ";
+    dumpGroupBody(g, os, indent + 2);
+    os << "\n" << pad(indent) << "}\n";
+}
+
+void
+flatten(const Group &g, std::map<std::string, double> &out,
+        const std::string &prefix)
+{
+    std::string p = prefix.empty() ? g.groupName() + "."
+                                   : prefix + g.groupName() + ".";
+    for (const Info *s : g.statsList()) {
+        const std::string base = p + s->name();
+        if (const auto *sc = dynamic_cast<const Scalar *>(s)) {
+            out[base] = sc->value();
+        } else if (const auto *f = dynamic_cast<const Formula *>(s)) {
+            out[base] = f->value();
+        } else if (const auto *h = dynamic_cast<const Histogram *>(s)) {
+            out[base + ".count"] = double(h->count());
+            out[base + ".mean"] = h->mean();
+            out[base + ".min"] = double(h->min());
+            out[base + ".max"] = double(h->max());
+            for (std::size_t i = 0; i < h->buckets().size(); ++i) {
+                if (h->buckets()[i])
+                    out[base + ".bucket" + std::to_string(i)] =
+                        double(h->buckets()[i]);
+            }
+            if (h->overflow())
+                out[base + ".overflow"] = double(h->overflow());
+        }
+    }
+    for (const Group *c : g.childGroups())
+        flatten(*c, out, p);
+}
+
+} // namespace stats
+} // namespace csync

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * JSON export for the statistics hierarchy — the machine-readable twin
+ * of stats::Group::dump().  No external dependencies: a self-contained
+ * writer emitting a deterministic document (registration order, fixed
+ * number formatting) so two runs of the same configuration produce
+ * byte-identical output, which is what campaign diffing relies on.
+ */
+
+#ifndef CSYNC_SIM_STATS_JSON_HH
+#define CSYNC_SIM_STATS_JSON_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace csync
+{
+namespace stats
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format @p v the way every csync JSON document does: integral values
+ * as integers, everything else with enough digits to round-trip a
+ * double exactly.  NaN/inf (illegal in JSON) are emitted as null.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Dump @p g as a nested JSON object mirroring the group hierarchy.
+ * Scalars and formulas become numbers; histograms become objects with
+ * count/mean/min/max and a sparse "buckets" map.
+ *
+ * @param indent Spaces of indentation for the opening brace's content;
+ *               the document is pretty-printed with two-space steps.
+ */
+void dumpJson(const Group &g, std::ostream &os, int indent = 0);
+
+/**
+ * Flatten @p g into dotted-path → value rows ("system.cache0.accesses"
+ * → 123).  Histograms contribute .count/.mean/.min/.max rows plus one
+ * .bucketN row per populated bucket.  This is the representation
+ * campaign files store and the comparison gate diffs.
+ */
+void flatten(const Group &g, std::map<std::string, double> &out,
+             const std::string &prefix = "");
+
+} // namespace stats
+} // namespace csync
+
+#endif // CSYNC_SIM_STATS_JSON_HH

@@ -1,5 +1,6 @@
 #include "system/config.hh"
 
+#include "coherence/protocol.hh"
 #include "sim/logging.hh"
 
 namespace csync
@@ -10,11 +11,19 @@ SystemConfig::validate() const
 {
     if (numProcessors == 0)
         fatal("system needs at least one processor");
+    if (numProcessors > kMaxProcessors) {
+        fatal("%u processors exceed the single-bus limit of %u",
+              numProcessors, kMaxProcessors);
+    }
     if (cache.geom.frames == 0)
         fatal("cache needs at least one frame");
     if (cache.geom.blockWords == 0 ||
         (cache.geom.blockWords & (cache.geom.blockWords - 1)) != 0) {
         fatal("block words must be a nonzero power of two");
+    }
+    if (cache.geom.blockWords > kMaxBlockWords) {
+        fatal("block size of %u words is absurd (limit %u)",
+              cache.geom.blockWords, kMaxBlockWords);
     }
     if (cache.geom.ways != 0 && cache.geom.frames % cache.geom.ways != 0)
         fatal("frames must be a multiple of associativity");
@@ -24,6 +33,11 @@ SystemConfig::validate() const
     }
     if (protocol.empty())
         fatal("no protocol selected");
+    bool known = false;
+    for (const auto &name : ProtocolRegistry::names())
+        known = known || name == protocol;
+    if (!known)
+        fatal("unknown protocol '%s'", protocol.c_str());
 }
 
 } // namespace csync

@@ -18,6 +18,10 @@ namespace csync
 /** Configuration for one simulated system. */
 struct SystemConfig
 {
+    /** Hard sanity limits enforced by validate(). */
+    static constexpr unsigned kMaxProcessors = 256;
+    static constexpr unsigned kMaxBlockWords = 1024;
+
     /** Instance name (statistics prefix). */
     std::string name = "system";
     /** Registered protocol name ("bitar", "goodman", ...). */

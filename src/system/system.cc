@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "sim/stats_json.hh"
+
 namespace csync
 {
 
@@ -81,6 +83,12 @@ void
 System::dumpStats(std::ostream &os)
 {
     root_.dump(os);
+}
+
+void
+System::dumpStatsJson(std::ostream &os)
+{
+    stats::dumpJson(root_, os);
 }
 
 unsigned

@@ -70,6 +70,9 @@ class System
     /** Dump every statistic to @p os. */
     void dumpStats(std::ostream &os);
 
+    /** Dump every statistic to @p os as a JSON document. */
+    void dumpStatsJson(std::ostream &os);
+
     /**
      * Scan all caches for structural coherence invariants:
      * at most one writable copy, at most one source, at most one lock

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the campaign runner and the comparison gate: identical
+ * rows at any worker count (the determinism contract the pool relies
+ * on), graceful per-job failure capture, JSON document round trips,
+ * CSV export, and drift detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/campaign.hh"
+#include "harness/campaign_io.hh"
+#include "harness/compare.hh"
+
+using namespace csync;
+using namespace csync::harness;
+
+namespace
+{
+
+std::vector<JobSpec>
+smallGrid()
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar", "illinois"};
+    spec.workloads = {"random_sharing", "migration"};
+    spec.processorCounts = {2};
+    spec.opsPerProcessor = 200;
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_TRUE(spec.expand(&jobs, &err)) << err;
+    return jobs;
+}
+
+} // namespace
+
+TEST(Campaign, RowsIdenticalAtAnyWorkerCount)
+{
+    auto jobs = smallGrid();
+    CampaignRunner runner;
+    CampaignRunner::Options serial;
+    serial.jobs = 1;
+    CampaignRunner::Options parallel;
+    parallel.jobs = 4;
+
+    CampaignResult a = runner.run(jobs, serial);
+    CampaignResult b = runner.run(jobs, parallel);
+    ASSERT_EQ(a.rows.size(), jobs.size());
+    ASSERT_EQ(b.rows.size(), jobs.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].name, b.rows[i].name);
+        EXPECT_EQ(a.rows[i].status, "ok") << a.rows[i].error;
+        EXPECT_EQ(a.rows[i].status, b.rows[i].status);
+        EXPECT_EQ(a.rows[i].ticks, b.rows[i].ticks);
+        EXPECT_EQ(a.rows[i].memOps, b.rows[i].memOps);
+        EXPECT_EQ(a.rows[i].stats, b.rows[i].stats) << a.rows[i].name;
+    }
+}
+
+TEST(Campaign, CapturesBadJobsAsErrorRows)
+{
+    auto jobs = smallGrid();
+    // A config the validator rejects...
+    JobSpec bad;
+    bad.name = "bad/zero-procs";
+    bad.config.numProcessors = 0;
+    bad.workload = "random_sharing";
+    jobs.push_back(bad);
+    // ...and a workload/protocol combination the factory rejects.
+    JobSpec locked;
+    locked.name = "bad/goodman-lock";
+    locked.config.protocol = "goodman";
+    locked.config.numProcessors = 2;
+    locked.workload = "critical_section";
+    jobs.push_back(locked);
+
+    CampaignRunner::Options opts;
+    opts.jobs = 2;
+    CampaignResult result = CampaignRunner().run(jobs, opts);
+    ASSERT_EQ(result.rows.size(), jobs.size());
+    EXPECT_EQ(result.failures(), 2u);
+
+    const JobResult &zero = result.rows[result.rows.size() - 2];
+    EXPECT_EQ(zero.status, "error");
+    EXPECT_NE(zero.error.find("at least one processor"),
+              std::string::npos)
+        << zero.error;
+    const JobResult &lock = result.rows.back();
+    EXPECT_EQ(lock.status, "error");
+    EXPECT_NE(lock.error.find("Feature 6"), std::string::npos)
+        << lock.error;
+    // The good jobs still completed.
+    for (std::size_t i = 0; i + 2 < result.rows.size(); ++i)
+        EXPECT_EQ(result.rows[i].status, "ok")
+            << result.rows[i].name << ": " << result.rows[i].error;
+}
+
+TEST(Campaign, TimeoutReportedWhenBudgetTooSmall)
+{
+    auto jobs = smallGrid();
+    jobs.resize(1);
+    // Enough work that the event queue's 4096-step batches cannot
+    // complete the job before the tick budget is checked.
+    jobs[0].ops = 50000;
+    jobs[0].maxTicks = 50;
+    JobResult r = CampaignRunner::runJob(jobs[0]);
+    EXPECT_EQ(r.status, "timeout");
+    EXPECT_NE(r.error.find("unfinished"), std::string::npos);
+}
+
+TEST(Campaign, JsonDocumentRoundTrips)
+{
+    auto jobs = smallGrid();
+    jobs.resize(2);
+    CampaignResult result = CampaignRunner().run(jobs);
+    result.name = "roundtrip";
+
+    Json doc = campaignToJson(result);
+    std::string err;
+    Json reparsed = Json::parse(doc.dump(0), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    CampaignResult loaded;
+    ASSERT_TRUE(campaignFromJson(reparsed, &loaded, &err)) << err;
+    EXPECT_EQ(loaded.name, "roundtrip");
+    ASSERT_EQ(loaded.rows.size(), result.rows.size());
+    for (std::size_t i = 0; i < loaded.rows.size(); ++i) {
+        EXPECT_EQ(loaded.rows[i].name, result.rows[i].name);
+        EXPECT_EQ(loaded.rows[i].ticks, result.rows[i].ticks);
+        EXPECT_EQ(loaded.rows[i].stats, result.rows[i].stats);
+    }
+}
+
+TEST(Campaign, LoaderRejectsNonCampaignDocuments)
+{
+    CampaignResult out;
+    std::string err;
+    EXPECT_FALSE(campaignFromJson(Json::parse("{}", &err), &out, &err));
+    EXPECT_NE(err.find("csync_campaign"), std::string::npos) << err;
+    Json doc = Json::object();
+    doc.set("csync_campaign", 99);
+    EXPECT_FALSE(campaignFromJson(doc, &out, &err));
+    EXPECT_NE(err.find("unsupported version"), std::string::npos) << err;
+}
+
+TEST(Campaign, CsvHasHeaderAndOneLinePerJob)
+{
+    auto jobs = smallGrid();
+    jobs.resize(2);
+    CampaignResult result = CampaignRunner().run(jobs);
+    std::ostringstream csv;
+    campaignToCsv(result, csv);
+    std::istringstream in(csv.str());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("name,protocol,workload"), std::string::npos);
+    EXPECT_NE(header.find("system.bus.transactions"),
+              std::string::npos);
+    unsigned lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(Compare, IdenticalCampaignsPass)
+{
+    auto jobs = smallGrid();
+    jobs.resize(2);
+    CampaignResult a = CampaignRunner().run(jobs);
+    CampaignResult b = CampaignRunner().run(jobs);
+    CompareReport rep = compareCampaigns(a, b);
+    EXPECT_TRUE(rep.ok) << rep.text;
+    EXPECT_EQ(rep.drifted, 0u);
+    EXPECT_GT(rep.compared, 10u);
+}
+
+TEST(Compare, DetectsDriftAndHonorsTolerance)
+{
+    auto jobs = smallGrid();
+    jobs.resize(1);
+    CampaignResult a = CampaignRunner().run(jobs);
+    CampaignResult b = a;
+    auto it = b.rows[0].stats.find("system.bus.transactions");
+    ASSERT_NE(it, b.rows[0].stats.end());
+    it->second *= 1.02; // 2% drift
+
+    CompareReport strict = compareCampaigns(a, b);
+    EXPECT_FALSE(strict.ok);
+    EXPECT_EQ(strict.drifted, 1u);
+    EXPECT_NE(strict.text.find("system.bus.transactions"),
+              std::string::npos)
+        << strict.text;
+
+    CompareOptions loose;
+    loose.tolerancePct = 5.0;
+    EXPECT_TRUE(compareCampaigns(a, b, loose).ok);
+}
+
+TEST(Compare, DetectsMissingJobsAndStatusChanges)
+{
+    auto jobs = smallGrid();
+    jobs.resize(2);
+    CampaignResult a = CampaignRunner().run(jobs);
+    CampaignResult b = a;
+    b.rows[1].status = "error";
+    b.rows[1].error = "synthetic failure";
+    CompareReport rep = compareCampaigns(a, b);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_EQ(rep.statusChanges, 1u);
+    EXPECT_NE(rep.text.find("synthetic failure"), std::string::npos);
+
+    CampaignResult c = a;
+    c.rows.pop_back();
+    CompareReport rep2 = compareCampaigns(a, c);
+    EXPECT_FALSE(rep2.ok);
+    EXPECT_GE(rep2.missing, 1u);
+    EXPECT_NE(rep2.text.find("missing from new campaign"),
+              std::string::npos);
+}

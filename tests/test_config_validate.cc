@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Negative-path tests for SystemConfig::validate(): every class of
+ * unusable configuration must be rejected with a readable message.
+ * Uses ScopedFatalThrow so rejections surface as catchable FatalError
+ * exceptions — the same mechanism the campaign runner uses to turn a
+ * bad job into an error row instead of a dead process.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "system/config.hh"
+
+using namespace csync;
+
+namespace
+{
+
+SystemConfig
+goodConfig()
+{
+    SystemConfig cfg;
+    cfg.protocol = "bitar";
+    cfg.numProcessors = 4;
+    cfg.cache.geom.frames = 16;
+    cfg.cache.geom.blockWords = 4;
+    return cfg;
+}
+
+/** Validate under ScopedFatalThrow; returns the failure message. */
+std::string
+rejectionMessage(const SystemConfig &cfg)
+{
+    ScopedFatalThrow guard;
+    try {
+        cfg.validate();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(ConfigValidate, AcceptsSaneConfig)
+{
+    EXPECT_EQ(rejectionMessage(goodConfig()), "");
+}
+
+TEST(ConfigValidate, RejectsZeroProcessors)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.numProcessors = 0;
+    EXPECT_NE(rejectionMessage(cfg).find("at least one processor"),
+              std::string::npos);
+}
+
+TEST(ConfigValidate, RejectsAbsurdProcessorCount)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.numProcessors = 100000;
+    EXPECT_NE(rejectionMessage(cfg).find("single-bus limit"),
+              std::string::npos);
+}
+
+TEST(ConfigValidate, RejectsUnknownProtocol)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.protocol = "klingon";
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("unknown protocol 'klingon'"), std::string::npos)
+        << msg;
+
+    cfg.protocol = "";
+    EXPECT_NE(rejectionMessage(cfg).find("no protocol selected"),
+              std::string::npos);
+}
+
+TEST(ConfigValidate, RejectsAbsurdBlockSize)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.cache.geom.blockWords = 0;
+    EXPECT_NE(rejectionMessage(cfg).find("power of two"),
+              std::string::npos);
+
+    cfg.cache.geom.blockWords = 3; // not a power of two
+    EXPECT_NE(rejectionMessage(cfg).find("power of two"),
+              std::string::npos);
+
+    cfg.cache.geom.blockWords = 1u << 20; // a 8 MiB cache block
+    EXPECT_NE(rejectionMessage(cfg).find("absurd"), std::string::npos);
+}
+
+TEST(ConfigValidate, RejectsBrokenGeometry)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.cache.geom.frames = 0;
+    EXPECT_NE(rejectionMessage(cfg).find("at least one frame"),
+              std::string::npos);
+
+    cfg = goodConfig();
+    cfg.cache.geom.frames = 10;
+    cfg.cache.geom.ways = 4; // 10 % 4 != 0
+    EXPECT_NE(rejectionMessage(cfg).find("multiple of associativity"),
+              std::string::npos);
+
+    cfg = goodConfig();
+    cfg.cache.geom.blockWords = 4;
+    cfg.cache.geom.transferWords = 3;
+    EXPECT_NE(rejectionMessage(cfg).find("divide the block size"),
+              std::string::npos);
+}
+
+TEST(ConfigValidate, FatalStillExitsOutsideGuard)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.numProcessors = 0;
+    // Without ScopedFatalThrow, fatal() exits with status 1.
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "at least one processor");
+}

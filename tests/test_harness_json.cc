@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the harness JSON model: parsing (including every error
+ * path's message quality), document building, key-order preservation,
+ * and serialization round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/json.hh"
+
+using csync::harness::Json;
+
+namespace
+{
+
+Json
+parseOk(const std::string &text)
+{
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    return doc;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    EXPECT_FALSE(err.empty()) << "expected a parse error for: " << text;
+    EXPECT_TRUE(doc.isNull());
+    return err;
+}
+
+} // namespace
+
+TEST(HarnessJson, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_EQ(parseOk("true").asBool(), true);
+    EXPECT_EQ(parseOk("false").asBool(false), false);
+    EXPECT_EQ(parseOk("42").asNumber(), 42);
+    EXPECT_EQ(parseOk("-3.5e2").asNumber(), -350);
+    EXPECT_EQ(parseOk("\"hi\\nthere\"").asString(), "hi\nthere");
+    EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+}
+
+TEST(HarnessJson, ParsesContainers)
+{
+    Json doc = parseOk(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc["a"].size(), 3u);
+    EXPECT_EQ(doc["a"].at(0).asNumber(), 1);
+    EXPECT_EQ(doc["a"].at(2)["b"].asBool(), true);
+    EXPECT_EQ(doc["c"].asString(), "x");
+    EXPECT_TRUE(doc["missing"].isNull());
+    EXPECT_TRUE(doc.has("a"));
+    EXPECT_FALSE(doc.has("missing"));
+}
+
+TEST(HarnessJson, ErrorMessagesNameLineAndProblem)
+{
+    EXPECT_NE(parseErr("").find("unexpected end"), std::string::npos);
+    EXPECT_NE(parseErr("{\"a\": }").find("line 1"), std::string::npos);
+    EXPECT_NE(parseErr("[1, 2").find("']'"), std::string::npos);
+    EXPECT_NE(parseErr("{\"a\" 1}").find("':'"), std::string::npos);
+    EXPECT_NE(parseErr("tru").find("true"), std::string::npos);
+    EXPECT_NE(parseErr("{} trailing").find("trailing"),
+              std::string::npos);
+    EXPECT_NE(parseErr("\"unterminated").find("unterminated"),
+              std::string::npos);
+    // Errors past a newline report the right line.
+    EXPECT_NE(parseErr("{\n\"a\": [1,\n bad]}").find("line 3"),
+              std::string::npos);
+}
+
+TEST(HarnessJson, BuildAndDumpRoundTrip)
+{
+    Json doc = Json::object();
+    doc.set("zeta", 1);
+    doc.set("alpha", Json::array());
+    doc.set("nested", Json::object());
+    Json arr = Json::array();
+    arr.push("x");
+    arr.push(2.5);
+    arr.push(nullptr);
+    doc.set("alpha", std::move(arr));
+
+    std::string compact = doc.dump(-1);
+    // Insertion order is preserved (deterministic documents).
+    EXPECT_EQ(compact,
+              "{\"zeta\": 1,\"alpha\": [\"x\",2.5,null],"
+              "\"nested\": {}}");
+
+    Json again = parseOk(doc.dump(0));
+    EXPECT_EQ(again["zeta"].asNumber(), 1);
+    EXPECT_EQ(again["alpha"].at(1).asNumber(), 2.5);
+    EXPECT_TRUE(again["alpha"].at(2).isNull());
+    EXPECT_EQ(again.members().front().first, "zeta");
+}
+
+TEST(HarnessJson, SetReplacesExistingKey)
+{
+    Json doc = Json::object();
+    doc.set("k", 1);
+    doc.set("k", 2);
+    EXPECT_EQ(doc.size(), 1u);
+    EXPECT_EQ(doc["k"].asNumber(), 2);
+}

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "sim/logging.hh"
 
 using namespace csync;
@@ -62,4 +65,101 @@ TEST(LoggingDeath, SimAssertCarriesMessage)
 {
     EXPECT_DEATH(sim_assert(1 == 2, "ctx %s", "info"),
                  "assertion '1 == 2' failed");
+}
+
+TEST(Logging, ThreadSinkDivertsOnlyThisThread)
+{
+    Trace::reset();
+    Trace::setEnabled(TraceFlag::Bus, true);
+    std::vector<std::string> global_got, thread_got;
+    Trace::setSink([&](std::uint64_t, TraceFlag, const std::string &,
+                       const std::string &what) {
+        global_got.push_back(what);
+    });
+    {
+        ScopedThreadTrace divert([&](std::uint64_t, TraceFlag,
+                                     const std::string &,
+                                     const std::string &what) {
+            thread_got.push_back(what);
+        });
+        Trace::emit(1, TraceFlag::Bus, "bus", "diverted");
+    }
+    Trace::emit(2, TraceFlag::Bus, "bus", "global again");
+    EXPECT_EQ(thread_got, (std::vector<std::string>{"diverted"}));
+    EXPECT_EQ(global_got, (std::vector<std::string>{"global again"}));
+    Trace::reset();
+}
+
+TEST(Logging, NullThreadSinkSwallowsOutput)
+{
+    Trace::reset();
+    Trace::setEnabled(TraceFlag::Bus, true);
+    std::vector<std::string> global_got;
+    Trace::setSink([&](std::uint64_t, TraceFlag, const std::string &,
+                       const std::string &what) {
+        global_got.push_back(what);
+    });
+    {
+        ScopedThreadTrace quiet(nullptr);
+        Trace::emit(1, TraceFlag::Bus, "bus", "swallowed");
+    }
+    EXPECT_TRUE(global_got.empty());
+    Trace::reset();
+}
+
+TEST(Logging, ConcurrentEmittersWithThreadSinksDoNotInterleave)
+{
+    Trace::reset();
+    Trace::enableAll();
+    constexpr unsigned kThreads = 4, kLines = 200;
+    std::vector<std::vector<std::string>> got(kThreads);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t]() {
+            ScopedThreadTrace mine([&, t](std::uint64_t, TraceFlag,
+                                          const std::string &,
+                                          const std::string &what) {
+                got[t].push_back(what);
+            });
+            for (unsigned i = 0; i < kLines; ++i)
+                Trace::emit(i, TraceFlag::Bus, "bus",
+                            csprintf("t%u line %u", t, i));
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    for (unsigned t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(got[t].size(), kLines);
+        for (unsigned i = 0; i < kLines; ++i)
+            EXPECT_EQ(got[t][i], csprintf("t%u line %u", t, i));
+    }
+    Trace::reset();
+}
+
+TEST(Logging, ScopedFatalThrowConvertsFatalToException)
+{
+    EXPECT_FALSE(ScopedFatalThrow::active());
+    {
+        ScopedFatalThrow guard;
+        EXPECT_TRUE(ScopedFatalThrow::active());
+        EXPECT_THROW(fatal("bad config %d", 9), FatalError);
+        try {
+            fatal("message %s", "carried");
+        } catch (const FatalError &e) {
+            EXPECT_STREQ(e.what(), "message carried");
+        }
+        {
+            ScopedFatalThrow nested;
+            EXPECT_TRUE(ScopedFatalThrow::active());
+        }
+        // Nested guards restore, not clear, the outer state.
+        EXPECT_TRUE(ScopedFatalThrow::active());
+    }
+    EXPECT_FALSE(ScopedFatalThrow::active());
+}
+
+TEST(LoggingDeath, FatalExitsWithoutGuard)
+{
+    EXPECT_EXIT(fatal("plain fatal"), ::testing::ExitedWithCode(1),
+                "plain fatal");
 }

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the stats JSON exporter: escaping, number formatting,
+ * well-formedness (via the harness parser), flattening, and agreement
+ * between the JSON view and the live stat objects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "harness/json.hh"
+#include "sim/stats.hh"
+#include "sim/stats_json.hh"
+
+using namespace csync;
+using harness::Json;
+
+namespace
+{
+
+struct Fixture
+{
+    stats::Group root{"root"};
+    stats::Group child{"child", &root};
+    stats::Scalar count{&root, "count", "a counter"};
+    stats::Scalar nested{&child, "nested", "a nested counter"};
+    stats::Histogram hist{&child, "hist", "a histogram", 10, 4};
+    stats::Formula ratio{&root, "ratio", "count / 2",
+                         [this] { return count.value() / 2.0; }};
+};
+
+} // namespace
+
+TEST(StatsJson, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(stats::jsonEscape("plain"), "plain");
+    EXPECT_EQ(stats::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(stats::jsonEscape("x\n\t\x01"), "x\\n\\t\\u0001");
+}
+
+TEST(StatsJson, NumberFormatting)
+{
+    EXPECT_EQ(stats::jsonNumber(0), "0");
+    EXPECT_EQ(stats::jsonNumber(42), "42");
+    EXPECT_EQ(stats::jsonNumber(-7), "-7");
+    EXPECT_EQ(stats::jsonNumber(0.5), "0.5");
+    // Illegal-in-JSON values degrade to null.
+    EXPECT_EQ(stats::jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(stats::jsonNumber(1.0 / 0.0), "null");
+    // Round-trip precision for non-integral values.
+    double v = 1.0 / 3.0;
+    EXPECT_EQ(std::stod(stats::jsonNumber(v)), v);
+}
+
+TEST(StatsJson, DumpParsesBackWithSameValues)
+{
+    Fixture f;
+    f.count += 41;
+    ++f.count;
+    f.nested = 7;
+    f.hist.sample(5);
+    f.hist.sample(15);
+    f.hist.sample(999);
+
+    std::ostringstream os;
+    stats::dumpJson(f.root, os);
+
+    std::string err;
+    Json doc = Json::parse(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const Json &root = doc["root"];
+    EXPECT_EQ(root["count"].asNumber(), 42);
+    EXPECT_EQ(root["ratio"].asNumber(), 21);
+    EXPECT_EQ(root["child"]["nested"].asNumber(), 7);
+    const Json &hist = root["child"]["hist"];
+    EXPECT_EQ(hist["count"].asNumber(), 3);
+    EXPECT_EQ(hist["min"].asNumber(), 5);
+    EXPECT_EQ(hist["max"].asNumber(), 999);
+    EXPECT_EQ(hist["buckets"]["0"].asNumber(), 1);
+    EXPECT_EQ(hist["buckets"]["1"].asNumber(), 1);
+    EXPECT_EQ(hist["overflow"].asNumber(), 1);
+}
+
+TEST(StatsJson, FlattenProducesDottedRows)
+{
+    Fixture f;
+    f.count += 4;
+    f.nested = 9;
+    f.hist.sample(12);
+
+    std::map<std::string, double> flat;
+    stats::flatten(f.root, flat);
+
+    EXPECT_EQ(flat.at("root.count"), 4);
+    EXPECT_EQ(flat.at("root.ratio"), 2);
+    EXPECT_EQ(flat.at("root.child.nested"), 9);
+    EXPECT_EQ(flat.at("root.child.hist.count"), 1);
+    EXPECT_EQ(flat.at("root.child.hist.mean"), 12);
+    EXPECT_EQ(flat.at("root.child.hist.bucket1"), 1);
+    EXPECT_EQ(flat.count("root.child.hist.bucket0"), 0u);
+    // Flatten agrees with the group's own lookup.
+    EXPECT_EQ(flat.at("root.count"), f.root.lookup("count"));
+    EXPECT_EQ(flat.at("root.child.nested"),
+              f.root.lookup("child.nested"));
+}
+
+TEST(StatsJson, DumpIsDeterministic)
+{
+    Fixture f;
+    f.count += 3;
+    f.hist.sample(1);
+    std::ostringstream a, b;
+    stats::dumpJson(f.root, a);
+    stats::dumpJson(f.root, b);
+    EXPECT_EQ(a.str(), b.str());
+}

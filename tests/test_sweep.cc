@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the sweep-spec parser and grid expansion: axis product
+ * size and order, JSON schema validation with actionable error
+ * messages, and up-front rejection of unknown protocol/workload names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hh"
+#include "harness/workload_factory.hh"
+
+using namespace csync;
+using namespace csync::harness;
+
+namespace
+{
+
+SweepSpec
+parseSpec(const std::string &text)
+{
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    SweepSpec spec;
+    EXPECT_TRUE(SweepSpec::fromJson(doc, &spec, &err)) << err;
+    return spec;
+}
+
+std::string
+specError(const std::string &text)
+{
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    SweepSpec spec;
+    EXPECT_FALSE(SweepSpec::fromJson(doc, &spec, &err));
+    EXPECT_FALSE(err.empty());
+    return err;
+}
+
+} // namespace
+
+TEST(SweepSpec, ExpandsCartesianGridInAxisOrder)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar", "illinois"};
+    spec.workloads = {"random_sharing", "migration"};
+    spec.processorCounts = {2, 4};
+    spec.blockWords = {4};
+    spec.frames = {64};
+    spec.seeds = {1, 2, 3};
+
+    std::vector<JobSpec> jobs;
+    std::string err;
+    ASSERT_TRUE(spec.expand(&jobs, &err)) << err;
+    EXPECT_EQ(jobs.size(), 2u * 2 * 2 * 3);
+    // Protocol is the outermost axis, seed the innermost.
+    EXPECT_EQ(jobs[0].name, "bitar/random_sharing/p2/bw4/f64/s1");
+    EXPECT_EQ(jobs[1].name, "bitar/random_sharing/p2/bw4/f64/s2");
+    EXPECT_EQ(jobs[3].name, "bitar/random_sharing/p4/bw4/f64/s1");
+    EXPECT_EQ(jobs.back().name, "illinois/migration/p4/bw4/f64/s3");
+    EXPECT_EQ(jobs[0].config.protocol, "bitar");
+    EXPECT_EQ(jobs[0].config.numProcessors, 2u);
+    EXPECT_EQ(jobs[0].config.cache.geom.frames, 64u);
+}
+
+TEST(SweepSpec, ExpandRejectsUnknownProtocol)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar", "klingon"};
+    spec.workloads = {"random_sharing"};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_FALSE(spec.expand(&jobs, &err));
+    EXPECT_NE(err.find("unknown protocol 'klingon'"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("bitar"), std::string::npos)
+        << "error should list known protocols: " << err;
+}
+
+TEST(SweepSpec, ExpandRejectsUnknownWorkload)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"matrix_multiply"};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_FALSE(spec.expand(&jobs, &err));
+    EXPECT_NE(err.find("unknown workload 'matrix_multiply'"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("random_sharing"), std::string::npos)
+        << "error should list known workloads: " << err;
+}
+
+TEST(SweepSpec, ExpandRejectsEmptyAxis)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"random_sharing"};
+    spec.seeds.clear();
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_FALSE(spec.expand(&jobs, &err));
+    EXPECT_NE(err.find("at least one value"), std::string::npos) << err;
+}
+
+TEST(SweepSpec, FromJsonReadsEveryField)
+{
+    SweepSpec spec = parseSpec(R"({
+        "name": "nightly",
+        "protocols": ["bitar", "dragon"],
+        "workloads": ["barrier"],
+        "processors": [2, 8],
+        "block_words": [4, 8],
+        "frames": [32],
+        "seeds": [7],
+        "ops_per_processor": 500,
+        "max_ticks": 1000000,
+        "ways": 2,
+        "enable_checker": false
+    })");
+    EXPECT_EQ(spec.name, "nightly");
+    EXPECT_EQ(spec.protocols,
+              (std::vector<std::string>{"bitar", "dragon"}));
+    EXPECT_EQ(spec.processorCounts, (std::vector<unsigned>{2, 8}));
+    EXPECT_EQ(spec.opsPerProcessor, 500u);
+    EXPECT_EQ(spec.maxTicks, 1000000u);
+    EXPECT_EQ(spec.ways, 2u);
+    EXPECT_FALSE(spec.enableChecker);
+}
+
+TEST(SweepSpec, FromJsonErrorMessages)
+{
+    EXPECT_NE(specError(R"({"workloads": ["barrier"]})")
+                  .find("\"protocols\" axis is missing"),
+              std::string::npos);
+    EXPECT_NE(specError(R"({"protocols": ["bitar"]})")
+                  .find("\"workloads\" axis is missing"),
+              std::string::npos);
+    EXPECT_NE(specError(R"({"protocols": "bitar",
+                            "workloads": ["barrier"]})")
+                  .find("\"protocols\" must be an array"),
+              std::string::npos);
+    EXPECT_NE(specError(R"({"protocols": ["bitar"],
+                            "workloads": ["barrier"],
+                            "processors": [2, "four"]})")
+                  .find("\"processors\"[1]"),
+              std::string::npos);
+    EXPECT_NE(specError(R"({"protocols": ["bitar"],
+                            "workloads": ["barrier"],
+                            "procs": [2]})")
+                  .find("unknown key \"procs\""),
+              std::string::npos);
+    EXPECT_NE(specError("[1, 2]").find("not a JSON object"),
+              std::string::npos);
+}
+
+TEST(SweepSpec, ToJsonRoundTrips)
+{
+    SweepSpec spec;
+    spec.name = "rt";
+    spec.protocols = {"bitar"};
+    spec.workloads = {"migration"};
+    spec.seeds = {3, 4};
+    SweepSpec again;
+    std::string err;
+    ASSERT_TRUE(SweepSpec::fromJson(spec.toJson(), &again, &err)) << err;
+    EXPECT_EQ(again.name, "rt");
+    EXPECT_EQ(again.seeds, (std::vector<std::uint64_t>{3, 4}));
+    EXPECT_EQ(again.opsPerProcessor, spec.opsPerProcessor);
+}
+
+TEST(WorkloadFactory, KnowsItsNamesAndRejectsOthers)
+{
+    auto names = workloadNames();
+    EXPECT_GE(names.size(), 5u);
+    for (const auto &n : names) {
+        EXPECT_TRUE(workloadKnown(n));
+        WorkloadSlot slot;
+        slot.numProcs = 2;
+        slot.procId = 0;
+        std::string err;
+        auto w = makeWorkload(n, slot, &err);
+        EXPECT_NE(w, nullptr) << n << ": " << err;
+    }
+    std::string err;
+    EXPECT_EQ(makeWorkload("nope", WorkloadSlot{}, &err), nullptr);
+    EXPECT_NE(err.find("unknown workload 'nope'"), std::string::npos);
+}
+
+TEST(WorkloadFactory, LockWorkloadsNeedFeature6)
+{
+    WorkloadSlot slot;
+    slot.numProcs = 2;
+    slot.protocol = "goodman"; // no lock ops, no atomic RMW
+    std::string err;
+    EXPECT_EQ(makeWorkload("critical_section", slot, &err), nullptr);
+    EXPECT_NE(err.find("Feature 6"), std::string::npos) << err;
+    // Protocols with RMW (illinois) or cache locks (bitar) are fine.
+    slot.protocol = "illinois";
+    EXPECT_NE(makeWorkload("barrier", slot, &err), nullptr);
+    slot.protocol = "bitar";
+    EXPECT_NE(makeWorkload("barrier", slot, &err), nullptr);
+}

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * csync-sweep — the batch experiment driver.  Expands a declarative
+ * sweep spec (JSON file and/or command-line axes) into a job grid, runs
+ * it on a worker pool, writes one JSON document per campaign (plus
+ * optional CSV), and implements the regression gate:
+ *
+ *   csync-sweep --protocols bitar,goodman --workloads random_sharing \
+ *               --procs 2,4 --jobs 4 -o campaign.json
+ *   csync-sweep --spec sweep.json -o new.json
+ *   csync-sweep --compare old.json new.json --tolerance 0.5
+ *
+ * Exit codes: 0 success / no drift; 1 drift or failed jobs; 2 usage or
+ * I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coherence/protocol.hh"
+#include "harness/campaign.hh"
+#include "harness/campaign_io.hh"
+#include "harness/compare.hh"
+#include "harness/sweep.hh"
+#include "harness/workload_factory.hh"
+
+using namespace csync;
+using namespace csync::harness;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [options]                  run a campaign\n"
+        "       %s --compare OLD NEW [opts]   diff two campaigns\n"
+        "       %s --list                     list axes values\n"
+        "\n"
+        "campaign options:\n"
+        "  --spec FILE          sweep spec JSON (axes below override "
+        "it)\n"
+        "  --protocols A,B,...  protocol axis\n"
+        "  --workloads A,B,...  workload axis\n"
+        "  --procs N,M,...      processor-count axis (default 4)\n"
+        "  --block-words N,...  block-size axis, bus words (default 4)\n"
+        "  --frames N,...       cache-frames axis (default 128)\n"
+        "  --seeds N,...        seed axis (default 1)\n"
+        "  --ops N              memory ops per processor (default "
+        "2000)\n"
+        "  --max-ticks N        per-job simulated-time budget\n"
+        "  --jobs N             worker threads (default: all cores)\n"
+        "  -o, --out FILE       campaign JSON output (default stdout)\n"
+        "  --csv FILE           also export rows as CSV\n"
+        "  --name NAME          campaign name in the manifest\n"
+        "  -q, --quiet          no per-job progress on stderr\n"
+        "\n"
+        "compare options:\n"
+        "  --tolerance PCT      allowed relative drift per stat "
+        "(default 0)\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+splitList(const std::string &arg, std::vector<std::string> *out)
+{
+    out->clear();
+    std::string cur;
+    for (char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out->push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out->push_back(cur);
+    return !out->empty();
+}
+
+template <typename T>
+bool
+splitNumbers(const std::string &arg, std::vector<T> *out)
+{
+    std::vector<std::string> parts;
+    if (!splitList(arg, &parts))
+        return false;
+    out->clear();
+    for (const auto &p : parts) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(p.c_str(), &end, 10);
+        if (end != p.c_str() + p.size())
+            return false;
+        out->push_back(T(v));
+    }
+    return true;
+}
+
+int
+cliError(const std::string &msg)
+{
+    std::fprintf(stderr, "csync-sweep: %s\n", msg.c_str());
+    return 2;
+}
+
+int
+doList()
+{
+    std::printf("protocols:");
+    for (const auto &p : ProtocolRegistry::names())
+        std::printf(" %s", p.c_str());
+    std::printf("\nworkloads:");
+    for (const auto &w : workloadNames())
+        std::printf(" %s", w.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+doCompare(const std::string &old_path, const std::string &new_path,
+          double tolerance_pct)
+{
+    auto load = [](const std::string &path, CampaignResult *out,
+                   std::string *err) {
+        std::string text;
+        if (!readFile(path, &text, err))
+            return false;
+        Json doc = Json::parse(text, err);
+        if (!err->empty()) {
+            *err = path + ": " + *err;
+            return false;
+        }
+        if (!campaignFromJson(doc, out, err)) {
+            *err = path + ": " + *err;
+            return false;
+        }
+        return true;
+    };
+
+    CampaignResult oldc, newc;
+    std::string err;
+    if (!load(old_path, &oldc, &err) || !load(new_path, &newc, &err))
+        return cliError(err);
+
+    CompareOptions opts;
+    opts.tolerancePct = tolerance_pct;
+    CompareReport rep = compareCampaigns(oldc, newc, opts);
+    std::fputs(rep.text.c_str(), stdout);
+    return rep.ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec_path, out_path, csv_path, name;
+    std::string compare_old, compare_new;
+    bool compare_mode = false, list_mode = false, quiet = false;
+    double tolerance = 0.0;
+    unsigned jobs = 0;
+    SweepSpec cli; // axes given on the command line
+    bool have_protocols = false, have_workloads = false;
+    bool have_procs = false, have_bw = false, have_frames = false;
+    bool have_seeds = false, have_ops = false, have_ticks = false;
+
+    auto next_arg = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "csync-sweep: %s needs a value\n",
+                         flag);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *v = nullptr;
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (a == "--list") {
+            list_mode = true;
+        } else if (a == "--compare") {
+            if (i + 2 >= argc)
+                return cliError("--compare needs OLD and NEW files");
+            compare_mode = true;
+            compare_old = argv[++i];
+            compare_new = argv[++i];
+        } else if (a == "--tolerance") {
+            if (!(v = next_arg(i, "--tolerance")))
+                return 2;
+            tolerance = std::atof(v);
+        } else if (a == "--spec") {
+            if (!(v = next_arg(i, "--spec")))
+                return 2;
+            spec_path = v;
+        } else if (a == "--protocols") {
+            if (!(v = next_arg(i, "--protocols")))
+                return 2;
+            have_protocols = splitList(v, &cli.protocols);
+        } else if (a == "--workloads") {
+            if (!(v = next_arg(i, "--workloads")))
+                return 2;
+            have_workloads = splitList(v, &cli.workloads);
+        } else if (a == "--procs") {
+            if (!(v = next_arg(i, "--procs")))
+                return 2;
+            have_procs = splitNumbers(v, &cli.processorCounts);
+            if (!have_procs)
+                return cliError("--procs: bad number list");
+        } else if (a == "--block-words") {
+            if (!(v = next_arg(i, "--block-words")))
+                return 2;
+            have_bw = splitNumbers(v, &cli.blockWords);
+            if (!have_bw)
+                return cliError("--block-words: bad number list");
+        } else if (a == "--frames") {
+            if (!(v = next_arg(i, "--frames")))
+                return 2;
+            have_frames = splitNumbers(v, &cli.frames);
+            if (!have_frames)
+                return cliError("--frames: bad number list");
+        } else if (a == "--seeds") {
+            if (!(v = next_arg(i, "--seeds")))
+                return 2;
+            have_seeds = splitNumbers(v, &cli.seeds);
+            if (!have_seeds)
+                return cliError("--seeds: bad number list");
+        } else if (a == "--ops") {
+            if (!(v = next_arg(i, "--ops")))
+                return 2;
+            cli.opsPerProcessor = std::strtoull(v, nullptr, 10);
+            have_ops = true;
+        } else if (a == "--max-ticks") {
+            if (!(v = next_arg(i, "--max-ticks")))
+                return 2;
+            cli.maxTicks = std::strtoull(v, nullptr, 10);
+            have_ticks = true;
+        } else if (a == "--jobs") {
+            if (!(v = next_arg(i, "--jobs")))
+                return 2;
+            jobs = unsigned(std::strtoul(v, nullptr, 10));
+        } else if (a == "-o" || a == "--out") {
+            if (!(v = next_arg(i, "--out")))
+                return 2;
+            out_path = v;
+        } else if (a == "--csv") {
+            if (!(v = next_arg(i, "--csv")))
+                return 2;
+            csv_path = v;
+        } else if (a == "--name") {
+            if (!(v = next_arg(i, "--name")))
+                return 2;
+            name = v;
+        } else if (a == "-q" || a == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "csync-sweep: unknown option %s\n",
+                         a.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    if (list_mode)
+        return doList();
+    if (compare_mode)
+        return doCompare(compare_old, compare_new, tolerance);
+
+    // Assemble the spec: file first, command-line axes override.
+    SweepSpec spec;
+    std::string err;
+    if (!spec_path.empty()) {
+        std::string text;
+        if (!readFile(spec_path, &text, &err))
+            return cliError(err);
+        Json doc = Json::parse(text, &err);
+        if (!err.empty())
+            return cliError(spec_path + ": " + err);
+        if (!SweepSpec::fromJson(doc, &spec, &err))
+            return cliError(spec_path + ": " + err);
+    }
+    if (have_protocols)
+        spec.protocols = cli.protocols;
+    if (have_workloads)
+        spec.workloads = cli.workloads;
+    if (have_procs)
+        spec.processorCounts = cli.processorCounts;
+    if (have_bw)
+        spec.blockWords = cli.blockWords;
+    if (have_frames)
+        spec.frames = cli.frames;
+    if (have_seeds)
+        spec.seeds = cli.seeds;
+    if (have_ops)
+        spec.opsPerProcessor = cli.opsPerProcessor;
+    if (have_ticks)
+        spec.maxTicks = cli.maxTicks;
+    if (!name.empty())
+        spec.name = name;
+    if (spec.protocols.empty())
+        return cliError("no protocol axis (--protocols or --spec); "
+                        "try --list");
+    if (spec.workloads.empty())
+        return cliError("no workload axis (--workloads or --spec); "
+                        "try --list");
+
+    std::vector<JobSpec> grid;
+    if (!spec.expand(&grid, &err))
+        return cliError(err);
+
+    CampaignRunner::Options opts;
+    opts.jobs = jobs;
+    if (!quiet) {
+        opts.onJobDone = [](std::size_t done, std::size_t total,
+                            const JobResult &row) {
+            std::fprintf(stderr, "[%3zu/%zu] %-40s %-7s %10llu ticks "
+                         "%8.1f ms\n", done, total, row.name.c_str(),
+                         row.status.c_str(),
+                         (unsigned long long)row.ticks, row.wallMs);
+        };
+        std::fprintf(stderr, "csync-sweep: %zu jobs\n", grid.size());
+    }
+
+    CampaignRunner runner;
+    CampaignResult result = runner.run(grid, opts);
+    result.name = spec.name;
+    result.specJson = spec.toJson();
+
+    std::string doc = campaignToJson(result).dump(0) + "\n";
+    if (out_path.empty()) {
+        std::fputs(doc.c_str(), stdout);
+    } else if (!writeFile(out_path, doc, &err)) {
+        return cliError(err);
+    }
+    if (!csv_path.empty()) {
+        std::ostringstream csv;
+        campaignToCsv(result, csv);
+        if (!writeFile(csv_path, csv.str(), &err))
+            return cliError(err);
+    }
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "csync-sweep: %zu jobs, %u failures, %u workers, "
+                     "%.1f ms wall\n", result.rows.size(),
+                     result.failures(), result.workers, result.wallMs);
+    }
+    return result.failures() ? 1 : 0;
+}
