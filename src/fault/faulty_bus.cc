@@ -1,0 +1,120 @@
+#include "fault/faulty_bus.hh"
+
+#include <algorithm>
+
+namespace csync
+{
+
+FaultyBus::FaultyBus(std::string name, EventQueue *eq, Memory *memory,
+                     const BusTiming &timing, stats::Group *stats_parent,
+                     const FaultPlan &plan)
+    : Bus(std::move(name), eq, memory, timing, stats_parent),
+      faultsGroup("faults", stats_parent),
+      injected(&faultsGroup, "injected", "bus faults injected"),
+      recovered(&faultsGroup, "recovered",
+                "injected faults the system recovered from"),
+      naks(&faultsGroup, "naks", "arbitration tenures NAK'd"),
+      grantDrops(&faultsGroup, "grantDrops",
+                 "busy-wait priority grants dropped"),
+      stalls(&faultsGroup, "stalls", "no-transaction bus stalls injected"),
+      supplyDelays(&faultsGroup, "supplyDelays",
+                   "cache-to-cache supplies delayed"),
+      retryGroup("retry", stats_parent),
+      backoffTicks(&retryGroup, "backoffTicks",
+                   "ticks requesters spent in post-NAK backoff"),
+      plan_(plan),
+      kindMask_(plan.kindMask()),
+      rng_(plan.seed)
+{
+    plan_.validate();
+}
+
+Tick
+FaultyBus::backoffFor(const BusClient *client)
+{
+    unsigned &streak = nakStreak_[client];
+    Tick backoff = plan_.backoffBase;
+    for (unsigned i = 0; i < streak && backoff < plan_.backoffCap; ++i)
+        backoff *= 2;
+    backoff = std::min(backoff, plan_.backoffCap);
+    if (streak < 32)
+        ++streak;
+    return backoff;
+}
+
+Tick
+FaultyBus::preArbitrationStall()
+{
+    if (!kindOn(FaultKind::StallBus) || !rng_.chance(plan_.rate))
+        return 0;
+    // A stall heals by construction once the hold time elapses.
+    ++injected;
+    ++stalls;
+    ++recovered;
+    trace(TraceFlag::Bus,
+          csprintf("fault: stall bus %llu ticks",
+                   (unsigned long long)plan_.stallTicks));
+    return plan_.stallTicks;
+}
+
+bool
+FaultyBus::vetoGrant(BusClient *client, BusPriority pri)
+{
+    const FaultKind kind = pri == BusPriority::BusyWait
+                               ? FaultKind::DropGrant
+                               : FaultKind::Nak;
+    if (!kindOn(kind) || !rng_.chance(plan_.rate))
+        return false;
+
+    ++injected;
+    if (kind == FaultKind::DropGrant)
+        ++grantDrops;
+    else
+        ++naks;
+    outstanding_[client] = true;
+
+    const Tick backoff = backoffFor(client);
+    backoffTicks += double(backoff);
+    trace(TraceFlag::Bus,
+          csprintf("fault: %s node %d, retry in %llu",
+                   faultKindName(kind), client->nodeId(),
+                   (unsigned long long)backoff));
+    // Re-post the refused request after backoff.  The client may have
+    // since withdrawn interest (a busy-wait register that snooped a
+    // competing ReadLock); it then simply declines the re-grant.
+    eventq()->scheduleIn(backoff,
+                         [this, client, pri] { request(client, pri); });
+    return true;
+}
+
+Tick
+FaultyBus::supplyExtraDelay(const BusMsg &msg, const SnoopResult &res)
+{
+    (void)msg;
+    if (res.supplier == invalidNode)
+        return 0;
+    if (!kindOn(FaultKind::DelaySupply) || !rng_.chance(plan_.rate))
+        return 0;
+    // Like a stall, a slow supply heals once the transfer finishes.
+    ++injected;
+    ++supplyDelays;
+    ++recovered;
+    trace(TraceFlag::Bus,
+          csprintf("fault: delay supply from node %d by %llu ticks",
+                   res.supplier,
+                   (unsigned long long)plan_.supplyDelayTicks));
+    return plan_.supplyDelayTicks;
+}
+
+void
+FaultyBus::onTransactionComplete(BusClient *client)
+{
+    auto it = outstanding_.find(client);
+    if (it != outstanding_.end() && it->second) {
+        it->second = false;
+        ++recovered;
+    }
+    nakStreak_[client] = 0;
+}
+
+} // namespace csync

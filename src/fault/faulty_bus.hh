@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fault-injecting decorator over the broadcast bus.  FaultyBus *is* a
+ * Bus — same arbitration, snooping, data routing and timing — but it
+ * overrides the bus's fault hooks to perturb runs with legal-but-
+ * adversarial timing drawn from a dedicated PRNG:
+ *
+ *  - Nak:         refuse an arbitration winner's tenure; the requester
+ *                 retries after a bounded exponential backoff.
+ *  - StallBus:    hold the bus busy for a fixed stall with no
+ *                 transaction (a slow board, an I/O burst).
+ *  - DelaySupply: stretch a cache-to-cache supply (Figure 4 with a
+ *                 slow source cache).
+ *  - DropGrant:   refuse a busy-wait register's high-priority grant
+ *                 (Section E.4), forcing it to re-arbitrate.
+ *
+ * Protocols never observe an illegal message; they see only delay and
+ * retry, so every coherence/lock invariant the checker enforces must
+ * still hold.  Draws come from the plan's own seed, keeping faulty runs
+ * exactly as reproducible as clean ones.
+ */
+
+#ifndef CSYNC_FAULT_FAULTY_BUS_HH
+#define CSYNC_FAULT_FAULTY_BUS_HH
+
+#include <map>
+
+#include "fault/fault_plan.hh"
+#include "mem/bus.hh"
+#include "sim/random.hh"
+
+namespace csync
+{
+
+/**
+ * Bus subclass that injects FaultPlan-scheduled faults at the bus's
+ * protected hook points.  Its extra statistics are registered under
+ * @p stats_parent only when the plan is enabled, so clean runs keep a
+ * byte-identical stats tree.
+ */
+class FaultyBus : public Bus
+{
+  public:
+    FaultyBus(std::string name, EventQueue *eq, Memory *memory,
+              const BusTiming &timing, stats::Group *stats_parent,
+              const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** @name Statistics */
+    /// @{
+    stats::Group faultsGroup;
+    stats::Scalar injected;
+    stats::Scalar recovered;
+    stats::Scalar naks;
+    stats::Scalar grantDrops;
+    stats::Scalar stalls;
+    stats::Scalar supplyDelays;
+    stats::Group retryGroup;
+    stats::Scalar backoffTicks;
+    /// @}
+
+  protected:
+    Tick preArbitrationStall() override;
+    bool vetoGrant(BusClient *client, BusPriority pri) override;
+    Tick supplyExtraDelay(const BusMsg &msg,
+                          const SnoopResult &res) override;
+    void onTransactionComplete(BusClient *client) override;
+
+  private:
+    bool kindOn(FaultKind k) const
+    {
+        return (kindMask_ & (1u << unsigned(k))) != 0;
+    }
+
+    /** Bounded exponential backoff for @p client's next retry. */
+    Tick backoffFor(const BusClient *client);
+
+    FaultPlan plan_;
+    unsigned kindMask_;
+    Random rng_;
+    /** Consecutive NAKs/drops since the client last completed. */
+    std::map<const BusClient *, unsigned> nakStreak_;
+    /** Clients with a faulted, not-yet-recovered transaction. */
+    std::map<const BusClient *, bool> outstanding_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_FAULT_FAULTY_BUS_HH

@@ -1,0 +1,47 @@
+#include "fault/watchdog.hh"
+
+namespace csync
+{
+
+ProgressWatchdog::ProgressWatchdog(std::string name, Tick window,
+                                   stats::Group *stats_parent)
+    : statsGroup(std::move(name), stats_parent),
+      trips(&statsGroup, "trips", "forward-progress watchdog trips"),
+      observations(&statsGroup, "observations",
+                   "progress observations taken"),
+      window_(window)
+{
+}
+
+void
+ProgressWatchdog::restart(Tick now, double retired)
+{
+    lastProgressTick_ = now;
+    lastRetired_ = retired;
+}
+
+bool
+ProgressWatchdog::observe(Tick now, double retired)
+{
+    ++observations;
+    if (retired > lastRetired_) {
+        lastRetired_ = retired;
+        lastProgressTick_ = now;
+        return false;
+    }
+    if (!enabled() || tripped_)
+        return false;
+    return now - lastProgressTick_ >= window_;
+}
+
+void
+ProgressWatchdog::trip(const std::string &diagnostic)
+{
+    if (tripped_)
+        return;
+    tripped_ = true;
+    diagnostic_ = diagnostic;
+    ++trips;
+}
+
+} // namespace csync

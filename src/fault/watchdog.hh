@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Forward-progress watchdog.  A protocol under injected faults must
+ * either recover or be caught — never hang.  The watchdog observes a
+ * monotonic global progress counter (total retired processor operations)
+ * as the simulation advances; if a whole window of simulated time passes
+ * without a single retirement, or the event queue drains with workloads
+ * unfinished, the run is aborted and the trip recorded with a
+ * diagnostic, which the campaign runner reports as a structured
+ * "livelock" row.
+ */
+
+#ifndef CSYNC_FAULT_WATCHDOG_HH
+#define CSYNC_FAULT_WATCHDOG_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/**
+ * Watches one System's retirement progress.
+ *
+ * Statistics registration is optional (pass a null parent to keep the
+ * stats tree unchanged for clean runs); the trip state and diagnostic
+ * are always maintained so even a rate-0 run that deadlocks is caught.
+ */
+class ProgressWatchdog
+{
+  public:
+    /**
+     * @param name Stats group name ("watchdog").
+     * @param window Ticks without progress before tripping; 0 disables.
+     * @param stats_parent Parent group, or nullptr to keep the
+     *                     watchdog's counters out of the stats tree.
+     */
+    ProgressWatchdog(std::string name, Tick window,
+                     stats::Group *stats_parent);
+
+    /** Begin (or restart) a watch at @p now with @p retired ops done. */
+    void restart(Tick now, double retired);
+
+    /**
+     * Feed one observation.
+     * @return true when the no-progress window has expired — the caller
+     *         must stop the run and record the trip via trip().
+     */
+    bool observe(Tick now, double retired);
+
+    /** Record a trip with its @p diagnostic (first trip wins). */
+    void trip(const std::string &diagnostic);
+
+    bool tripped() const { return tripped_; }
+    const std::string &diagnostic() const { return diagnostic_; }
+
+    bool enabled() const { return window_ > 0; }
+    Tick window() const { return window_; }
+
+    /** Tick of the last observed retirement (diagnostics). */
+    Tick lastProgressTick() const { return lastProgressTick_; }
+
+    /** @name Statistics */
+    /// @{
+    stats::Group statsGroup;
+    stats::Scalar trips;
+    stats::Scalar observations;
+    /// @}
+
+  private:
+    Tick window_;
+    Tick lastProgressTick_ = 0;
+    double lastRetired_ = 0;
+    bool tripped_ = false;
+    std::string diagnostic_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_FAULT_WATCHDOG_HH

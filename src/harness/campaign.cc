@@ -84,14 +84,30 @@ CampaignRunner::runJob(const JobSpec &spec)
 
         if (r.checkerViolations || r.invariantViolations) {
             r.status = "error";
+            const std::string &first = r.checkerViolations
+                                           ? sys.checker().firstViolation()
+                                           : why;
             r.error = csprintf(
                 "coherence violated (%u value, %u structural%s%s)",
                 r.checkerViolations, r.invariantViolations,
-                why.empty() ? "" : ": ", why.c_str());
+                first.empty() ? "" : ": ", first.c_str());
+            // Structural violations are only observable at end of run.
+            r.firstViolationTick = r.checkerViolations
+                                       ? sys.checker().firstViolationTick()
+                                       : r.ticks;
+            r.failingStat = r.checkerViolations
+                                ? spec.config.name + ".checker.violations"
+                                : spec.config.name + ".invariants";
+        } else if (sys.watchdogTripped()) {
+            r.status = "livelock";
+            r.error = sys.watchdogDiagnostic();
+            r.firstViolationTick = r.ticks;
+            r.failingStat = spec.config.name + ".watchdog.trips";
         } else if (!sys.allDone()) {
             r.status = "timeout";
             r.error = csprintf("workloads unfinished after %llu ticks",
                                (unsigned long long)spec.maxTicks);
+            r.firstViolationTick = r.ticks;
         }
     } catch (const FatalError &e) {
         r.status = "error";

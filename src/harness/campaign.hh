@@ -42,10 +42,14 @@ struct JobResult
     std::uint64_t seed = 0;
     /// @}
 
-    /** "ok", "timeout", or "error". */
+    /** "ok", "timeout", "livelock", or "error". */
     std::string status = "ok";
-    /** Failure description when status == "error". */
+    /** Failure description when status != "ok". */
     std::string error;
+    /** Tick the failure was first observed (0 when ok/unknown). */
+    Tick firstViolationTick = 0;
+    /** Flattened stat path that flagged the failure ("" when ok). */
+    std::string failingStat;
 
     /** Final simulated time. */
     Tick ticks = 0;

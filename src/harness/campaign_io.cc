@@ -37,6 +37,12 @@ campaignToJson(const CampaignResult &result)
         row.set("status", r.status);
         if (!r.error.empty())
             row.set("error", r.error);
+        // Failure forensics travel only on non-ok rows, so ok-only
+        // campaigns (e.g. the committed golden) keep their exact shape.
+        if (r.firstViolationTick)
+            row.set("first_violation_tick", r.firstViolationTick);
+        if (!r.failingStat.empty())
+            row.set("failing_stat", r.failingStat);
         row.set("ticks", r.ticks);
         row.set("mem_ops", r.memOps);
         row.set("checker_violations", r.checkerViolations);
@@ -90,6 +96,9 @@ campaignFromJson(const Json &doc, CampaignResult *out, std::string *err)
         r.status = row["status"].isString() ? row["status"].asString()
                                             : "ok";
         r.error = row["error"].asString();
+        r.firstViolationTick =
+            Tick(row["first_violation_tick"].asNumber());
+        r.failingStat = row["failing_stat"].asString();
         r.ticks = Tick(row["ticks"].asNumber());
         r.memOps = std::uint64_t(row["mem_ops"].asNumber());
         r.checkerViolations =

@@ -84,9 +84,18 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
 
         if (oldRow.status != newRow.status) {
             ++rep.statusChanges;
-            out.line(csprintf("job %s: status %s -> %s%s%s",
+            std::string forensics;
+            if (newRow.firstViolationTick || !newRow.failingStat.empty()) {
+                forensics = csprintf(
+                    " [first violation: tick %llu, stat %s]",
+                    (unsigned long long)newRow.firstViolationTick,
+                    newRow.failingStat.empty()
+                        ? "?"
+                        : newRow.failingStat.c_str());
+            }
+            out.line(csprintf("job %s: status %s -> %s%s%s%s",
                               oldRow.name.c_str(), oldRow.status.c_str(),
-                              newRow.status.c_str(),
+                              newRow.status.c_str(), forensics.c_str(),
                               newRow.error.empty() ? "" : ": ",
                               newRow.error.c_str()));
             continue;

@@ -93,7 +93,8 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
     static const char *known[] = {
         "name", "protocols", "workloads", "processors", "block_words",
         "frames", "seeds", "ops_per_processor", "max_ticks", "ways",
-        "enable_checker",
+        "enable_checker", "fault_rates", "fault_seeds", "fault_kinds",
+        "fault",
     };
     for (const auto &kv : doc.members()) {
         if (std::find_if(std::begin(known), std::end(known),
@@ -127,6 +128,16 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
             return parseError(err, "\"enable_checker\" must be a bool");
         spec.enableChecker = doc["enable_checker"].asBool();
     }
+    if (!numberAxis(doc, "fault_rates", &spec.faultRates, err) ||
+        !numberAxis(doc, "fault_seeds", &spec.faultSeeds, err) ||
+        !stringAxis(doc, "fault_kinds", &spec.faultKinds, err)) {
+        return false;
+    }
+    if (doc.has("fault")) {
+        std::string ferr;
+        if (!FaultPlan::fromJson(doc["fault"], &spec.faultBase, &ferr))
+            return parseError(err, ferr);
+    }
     if (spec.protocols.empty())
         return parseError(err, "\"protocols\" axis is missing or empty");
     if (spec.workloads.empty())
@@ -146,8 +157,20 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
 
     if (protocols.empty() || workloads.empty() ||
         processorCounts.empty() || blockWords.empty() || frames.empty() ||
-        seeds.empty()) {
+        seeds.empty() || faultRates.empty() || faultSeeds.empty()) {
         return axisError("every axis needs at least one value");
+    }
+    // Vet the fault axes up front so a campaign never discovers a bad
+    // kind or rate 500 jobs in (and csync-sweep exits 2, not 1).
+    FaultPlan faultTemplate = faultBase;
+    if (!faultKinds.empty())
+        faultTemplate.kinds = faultKinds;
+    for (double rate : faultRates) {
+        FaultPlan plan = faultTemplate;
+        plan.rate = rate;
+        std::string why;
+        if (!plan.check(&why))
+            return axisError(why);
     }
     auto registered = ProtocolRegistry::names();
     for (const auto &p : protocols) {
@@ -175,23 +198,39 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                 for (unsigned bw : blockWords) {
                     for (unsigned fr : frames) {
                         for (std::uint64_t seed : seeds) {
-                            JobSpec job;
-                            job.name = csprintf(
-                                "%s/%s/p%u/bw%u/f%u/s%llu",
-                                proto.c_str(), wl.c_str(), procs, bw, fr,
-                                (unsigned long long)seed);
-                            job.config.name = "system";
-                            job.config.protocol = proto;
-                            job.config.numProcessors = procs;
-                            job.config.cache.geom.blockWords = bw;
-                            job.config.cache.geom.frames = fr;
-                            job.config.cache.geom.ways = ways;
-                            job.config.enableChecker = enableChecker;
-                            job.workload = wl;
-                            job.seed = seed;
-                            job.ops = opsPerProcessor;
-                            job.maxTicks = maxTicks;
-                            out->push_back(std::move(job));
+                          for (double frate : faultRates) {
+                            for (std::uint64_t fseed : faultSeeds) {
+                              JobSpec job;
+                              job.name = csprintf(
+                                  "%s/%s/p%u/bw%u/f%u/s%llu",
+                                  proto.c_str(), wl.c_str(), procs, bw, fr,
+                                  (unsigned long long)seed);
+                              if (frate > 0.0) {
+                                  job.name += csprintf(
+                                      "/fr%g/fs%llu", frate,
+                                      (unsigned long long)fseed);
+                              }
+                              job.config.name = "system";
+                              job.config.protocol = proto;
+                              job.config.numProcessors = procs;
+                              job.config.cache.geom.blockWords = bw;
+                              job.config.cache.geom.frames = fr;
+                              job.config.cache.geom.ways = ways;
+                              job.config.enableChecker = enableChecker;
+                              job.config.fault = faultTemplate;
+                              job.config.fault.rate = frate;
+                              job.config.fault.seed = fseed;
+                              job.workload = wl;
+                              job.seed = seed;
+                              job.ops = opsPerProcessor;
+                              job.maxTicks = maxTicks;
+                              out->push_back(std::move(job));
+                              // Fault-free jobs are one row regardless
+                              // of how many fault seeds the grid names.
+                              if (frate == 0.0)
+                                  break;
+                            }
+                          }
                         }
                     }
                 }
@@ -228,6 +267,10 @@ SweepSpec::toJson() const
     doc.set("max_ticks", double(maxTicks));
     doc.set("ways", ways);
     doc.set("enable_checker", enableChecker);
+    doc.set("fault_rates", numbers(faultRates));
+    doc.set("fault_seeds", numbers(faultSeeds));
+    doc.set("fault_kinds", strings(faultKinds));
+    doc.set("fault", faultBase.toJson());
     return doc;
 }
 

@@ -55,6 +55,11 @@ struct SweepSpec
     std::vector<unsigned> blockWords{4};
     std::vector<unsigned> frames{128};
     std::vector<std::uint64_t> seeds{1};
+    /** Fault-injection rates; the default single 0 keeps campaigns
+     *  fault-free (and their stats trees unchanged). */
+    std::vector<double> faultRates{0.0};
+    /** Fault PRNG seeds (independent of workload seeds). */
+    std::vector<std::uint64_t> faultSeeds{1};
     /// @}
 
     /** @name Per-job constants */
@@ -63,6 +68,11 @@ struct SweepSpec
     Tick maxTicks = 50'000'000;
     unsigned ways = 0; // fully associative
     bool enableChecker = true;
+    /** Fault kinds every faulty job may inject; empty = all kinds. */
+    std::vector<std::string> faultKinds;
+    /** Fault timing/backoff/watchdog constants (rate and seed come
+     *  from the axes above). */
+    FaultPlan faultBase;
     /// @}
 
     /**

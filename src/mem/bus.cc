@@ -97,6 +97,19 @@ Bus::arbitrate()
     if (busy_ || queue_.empty())
         return;
 
+    if (Tick stall = preArbitrationStall()) {
+        // Injected fault: the bus is held with no transaction, then
+        // arbitration reruns.
+        busy_ = true;
+        busyCycles += double(stall);
+        eventq()->scheduleIn(stall, [this] {
+            busy_ = false;
+            if (!queue_.empty())
+                scheduleArbitration();
+        });
+        return;
+    }
+
     // The busy-wait priority bit beats everything (Section E.4); within a
     // priority class, round-robin starting after the last winner.
     BusPriority best_pri = BusPriority::Normal;
@@ -120,10 +133,26 @@ Bus::arbitrate()
     Pending winner = queue_[best_idx];
     queue_.erase(queue_.begin() + best_idx);
 
+    if (vetoGrant(winner.client, winner.pri)) {
+        // Injected NAK before the winner could broadcast: the refused
+        // handshake still consumes bus cycles, and the hook re-posts the
+        // request after its backoff.
+        busy_ = true;
+        Tick dur = timing_.arbCycles + timing_.signalCycles;
+        busyCycles += double(dur);
+        eventq()->scheduleIn(dur, [this] {
+            busy_ = false;
+            if (!queue_.empty())
+                scheduleArbitration();
+        });
+        return;
+    }
+
     BusMsg msg;
     if (!winner.client->busGrant(msg)) {
         // Winner declined (e.g. its awaited lock is already gone); give
         // the slot to the next contender immediately.
+        onTransactionComplete(winner.client);
         if (!queue_.empty())
             scheduleArbitration();
         return;
@@ -146,6 +175,9 @@ Bus::execute(BusClient *requester, BusMsg msg)
     busy_ = true;
     ++transactions;
     ++*perType_[unsigned(msg.req)];
+    lastMsg_ = msg;
+    hasLastMsg_ = true;
+    lastMsgTick_ = curTick();
 
     SnoopResult res;
     int suppliers = 0;
@@ -239,6 +271,7 @@ Bus::execute(BusClient *requester, BusMsg msg)
                 dur += timing_.dataCycles(words);
                 dataTransferCycles += double(timing_.dataCycles(words));
                 ++cacheSupplies;
+                dur += supplyExtraDelay(msg, res);
                 if (flush_with_transfer) {
                     memory_->writeBlock(msg.blockAddr, supplied);
                     if (!timing_.concurrentFlush)
@@ -316,6 +349,7 @@ Bus::execute(BusClient *requester, BusMsg msg)
                          [this, requester, m = std::move(msg),
                           r = std::move(res)]() mutable {
                              busy_ = false;
+                             onTransactionComplete(requester);
                              requester->busComplete(m, r);
                              if (!queue_.empty())
                                  scheduleArbitration();

@@ -99,6 +99,15 @@ class Bus : public SimObject
     /** True while a transaction is in flight. */
     bool busy() const { return busy_; }
 
+    /** True once any transaction has been broadcast (diagnostics). */
+    bool hasLastMsg() const { return hasLastMsg_; }
+
+    /** The most recently broadcast message (valid if hasLastMsg()). */
+    const BusMsg &lastMsg() const { return lastMsg_; }
+
+    /** Tick at which lastMsg() was broadcast. */
+    Tick lastMsgTick() const { return lastMsgTick_; }
+
     /** @name Statistics */
     /// @{
     stats::Group statsGroup;
@@ -115,6 +124,45 @@ class Bus : public SimObject
 
     /** Per-request-type transaction count. */
     double typeCount(BusReq req) const;
+
+  protected:
+    /**
+     * @name Fault-injection hooks
+     * No-ops on the plain bus; FaultyBus overrides them to perturb runs
+     * with legal-but-adversarial timing.  They fire at points where the
+     * perturbation is pure timing — in particular vetoGrant() is asked
+     * *before* busGrant(), so a refused winner has observed no state
+     * change and simply retries later.
+     */
+    /// @{
+    /** Ticks to hold the bus idle before picking a winner; 0 = none. */
+    virtual Tick preArbitrationStall() { return 0; }
+
+    /**
+     * Refuse the arbitration winner's tenure (a NAK).  The hook is
+     * responsible for eventually re-posting @p client's request.
+     */
+    virtual bool vetoGrant(BusClient *client, BusPriority pri)
+    {
+        (void)client;
+        (void)pri;
+        return false;
+    }
+
+    /** Extra ticks a cache-to-cache supply takes; 0 = none. */
+    virtual Tick supplyExtraDelay(const BusMsg &msg, const SnoopResult &res)
+    {
+        (void)msg;
+        (void)res;
+        return 0;
+    }
+
+    /**
+     * @p client's turn on the bus ended — either its transaction
+     * completed or it declined a grant (its need had evaporated).
+     */
+    virtual void onTransactionComplete(BusClient *client) { (void)client; }
+    /// @}
 
   private:
     struct Pending
@@ -139,6 +187,9 @@ class Bus : public SimObject
     bool busy_ = false;
     bool arbScheduled_ = false;
     NodeId lastGranted_ = invalidNode;
+    BusMsg lastMsg_;
+    bool hasLastMsg_ = false;
+    Tick lastMsgTick_ = 0;
 };
 
 } // namespace csync

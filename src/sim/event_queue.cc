@@ -13,6 +13,7 @@ EventQueue::run(Tick until)
         now_ = e.when;
         e.cb();
         ++executed;
+        ++executed_;
     }
     if (now_ < until && until != maxTick)
         now_ = until;
@@ -29,6 +30,7 @@ EventQueue::runSteps(std::uint64_t max_events)
         now_ = e.when;
         e.cb();
         ++executed;
+        ++executed_;
     }
     return executed;
 }
@@ -40,6 +42,7 @@ EventQueue::reset()
         events_.pop();
     now_ = 0;
     seq_ = 0;
+    executed_ = 0;
 }
 
 } // namespace csync

@@ -77,6 +77,10 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return events_.size(); }
 
+    /** Total events executed since construction/reset (diagnostics:
+     *  distinguishes a spinning livelock from a drained deadlock). */
+    std::uint64_t executed() const { return executed_; }
+
     /**
      * Run events until the queue drains or simulated time would exceed
      * @p until.  Events scheduled exactly at @p until still run.
@@ -116,6 +120,7 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace csync

@@ -33,7 +33,7 @@ Checker::onRead(NodeId node, Addr word_addr, Word value, Tick when)
         violation(csprintf(
             "tick %llu node %d read %llx = %llx, expected %llx",
             (unsigned long long)when, node, (unsigned long long)word_addr,
-            (unsigned long long)value, (unsigned long long)expect));
+            (unsigned long long)value, (unsigned long long)expect), when);
     }
 }
 
@@ -45,7 +45,7 @@ Checker::onLockAcquire(NodeId node, Addr block_addr, Tick when)
         violation(csprintf(
             "tick %llu node %d acquired lock %llx held by node %d",
             (unsigned long long)when, node,
-            (unsigned long long)block_addr, it->second));
+            (unsigned long long)block_addr, it->second), when);
     }
     lockHolders_[block_addr] = node;
 }
@@ -58,7 +58,7 @@ Checker::onLockRelease(NodeId node, Addr block_addr, Tick when)
         violation(csprintf(
             "tick %llu node %d released lock %llx it does not hold",
             (unsigned long long)when, node,
-            (unsigned long long)block_addr));
+            (unsigned long long)block_addr), when);
     } else {
         ++lockPairs;
         it->second = invalidNode;
@@ -80,12 +80,16 @@ Checker::lockHolder(Addr block_addr) const
 }
 
 void
-Checker::violation(const std::string &what)
+Checker::violation(const std::string &what, Tick when)
 {
     ++violationCount;
+    if (violations_.empty()) {
+        firstViolationTick_ = when;
+        firstViolation_ = what;
+    }
     if (violations_.size() < 64)
         violations_.push_back(what);
-    Trace::emit(0, TraceFlag::Checker, "checker", what);
+    Trace::emit(when, TraceFlag::Checker, "checker", what);
 }
 
 } // namespace csync

@@ -61,6 +61,12 @@ class Checker
         return violations_;
     }
 
+    /** Tick of the first recorded violation (0 if none). */
+    Tick firstViolationTick() const { return firstViolationTick_; }
+
+    /** Description of the first recorded violation ("" if none). */
+    const std::string &firstViolation() const { return firstViolation_; }
+
     /** Expected current value of a word (for tests). */
     Word expectedValue(Addr word_addr) const;
 
@@ -77,11 +83,13 @@ class Checker
     /// @}
 
   private:
-    void violation(const std::string &what);
+    void violation(const std::string &what, Tick when);
 
     std::unordered_map<Addr, Word> last_;
     std::unordered_map<Addr, NodeId> lockHolders_;
     std::vector<std::string> violations_;
+    Tick firstViolationTick_ = 0;
+    std::string firstViolation_;
 };
 
 } // namespace csync

@@ -38,6 +38,7 @@ SystemConfig::validate() const
         known = known || name == protocol;
     if (!known)
         fatal("unknown protocol '%s'", protocol.c_str());
+    fault.validate();
 }
 
 } // namespace csync

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "fault/fault_plan.hh"
 #include "mem/timing.hh"
 
 namespace csync
@@ -39,6 +40,9 @@ struct SystemConfig
     bool directoryFromProtocol = true;
     /** Attach the value-level coherence checker. */
     bool enableChecker = true;
+    /** Fault-injection schedule + watchdog window (default: no faults,
+     *  no stats-tree changes). */
+    FaultPlan fault;
 
     /** Sanity-check the configuration (fatal on nonsense). */
     void validate() const;

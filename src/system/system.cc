@@ -1,21 +1,33 @@
 #include "system/system.hh"
 
 #include <map>
+#include <sstream>
 
+#include "fault/faulty_bus.hh"
 #include "sim/stats_json.hh"
 
 namespace csync
 {
 
 System::System(const SystemConfig &cfg)
-    : cfg_(cfg), root_(cfg.name), checker_(&root_)
+    : cfg_(cfg), root_(cfg.name), checker_(&root_),
+      // The watchdog's counters join the stats tree only on faulty runs
+      // so clean runs keep a byte-identical stats dump; the trip state
+      // itself is always live (a deadlocked clean run is still caught).
+      watchdog_("watchdog", cfg.fault.watchdogWindow,
+                cfg.fault.enabled() ? &root_ : nullptr)
 {
     cfg_.validate();
 
     memory_ = std::make_unique<Memory>("memory", &eq_,
                                        cfg_.cache.geom.blockWords, &root_);
-    bus_ = std::make_unique<Bus>("bus", &eq_, memory_.get(), cfg_.timing,
-                                 &root_);
+    if (cfg_.fault.enabled()) {
+        bus_ = std::make_unique<FaultyBus>("bus", &eq_, memory_.get(),
+                                           cfg_.timing, &root_, cfg_.fault);
+    } else {
+        bus_ = std::make_unique<Bus>("bus", &eq_, memory_.get(),
+                                     cfg_.timing, &root_);
+    }
 
     Checker *chk = cfg_.enableChecker ? &checker_ : nullptr;
     unsigned p = cfg_.numProcessors;
@@ -71,12 +83,80 @@ System::allDone() const
     return true;
 }
 
+double
+System::totalRetiredOps() const
+{
+    double retired = 0;
+    for (const auto &p : procs_)
+        retired += p->opsCompleted.value();
+    return retired;
+}
+
 Tick
 System::run(Tick max_ticks)
 {
-    while (!allDone() && !eq_.empty() && eq_.now() < max_ticks)
+    watchdog_.restart(eq_.now(), totalRetiredOps());
+    while (!allDone() && !eq_.empty() && eq_.now() < max_ticks) {
         eq_.runSteps(4096);
+        if (watchdog_.observe(eq_.now(), totalRetiredOps())) {
+            watchdog_.trip(progressDiagnostic(csprintf(
+                "no processor retired an operation for %llu ticks",
+                (unsigned long long)watchdog_.window())));
+            break;
+        }
+    }
+    if (!watchdog_.tripped() && !allDone() && eq_.empty()) {
+        // The calendar drained with workloads unfinished: a deadlock,
+        // which is just livelock with zero events.
+        watchdog_.trip(progressDiagnostic(
+            "event queue drained with unfinished workloads"));
+    }
     return eq_.now();
+}
+
+std::string
+System::progressDiagnostic(const std::string &why) const
+{
+    std::ostringstream os;
+    os << why << " [tick " << eq_.now() << ", " << eq_.executed()
+       << " events executed]";
+
+    if (bus_->hasLastMsg()) {
+        const BusMsg &m = bus_->lastMsg();
+        os << csprintf("; last bus msg: %s blk=%llx from node %d at tick "
+                       "%llu",
+                       busReqName(m.req), (unsigned long long)m.blockAddr,
+                       m.requester,
+                       (unsigned long long)bus_->lastMsgTick());
+        os << "; block states:";
+        for (unsigned i = 0; i < caches_.size(); ++i) {
+            os << csprintf(" cache%u=%s", i,
+                           stateName(caches_[i]->stateOf(m.blockAddr))
+                               .c_str());
+        }
+    } else {
+        os << "; no bus transaction was ever broadcast";
+    }
+
+    os << "; busy-wait registers:";
+    bool any_armed = false;
+    for (unsigned i = 0; i < caches_.size(); ++i) {
+        if (caches_[i]->busyWaitArmed()) {
+            any_armed = true;
+            os << csprintf(" cache%u@%llx", i,
+                           (unsigned long long)
+                               caches_[i]->busyWaitRegister().blockAddr());
+        }
+    }
+    if (!any_armed)
+        os << " none armed";
+
+    os << "; retired:";
+    for (unsigned i = 0; i < procs_.size(); ++i) {
+        os << csprintf(" proc%u=%.0f", i,
+                       procs_[i]->opsCompleted.value());
+    }
+    return os.str();
 }
 
 void

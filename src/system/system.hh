@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "fault/watchdog.hh"
 #include "mem/bus.hh"
 #include "mem/io_device.hh"
 #include "mem/memory.hh"
@@ -61,11 +62,33 @@ class System
     bool allDone() const;
 
     /**
-     * Run until all processors finish, the event queue drains, or
-     * @p max_ticks is reached.
+     * Run until all processors finish, the event queue drains, the
+     * forward-progress watchdog trips, or @p max_ticks is reached.
      * @return the final simulated time.
      */
     Tick run(Tick max_ticks = 50'000'000);
+
+    /** Total operations retired across all processors. */
+    double totalRetiredOps() const;
+
+    /** True if run() was aborted by the forward-progress watchdog. */
+    bool watchdogTripped() const { return watchdog_.tripped(); }
+
+    /** The watchdog's abort diagnostic ("" if it never tripped). */
+    const std::string &watchdogDiagnostic() const
+    {
+        return watchdog_.diagnostic();
+    }
+
+    /** The forward-progress watchdog itself (tests). */
+    ProgressWatchdog &watchdog() { return watchdog_; }
+
+    /**
+     * Render a no-progress diagnostic: @p why plus the last bus
+     * message, each cache's state of the implicated block, busy-wait
+     * register occupancy, and per-processor retired counts.
+     */
+    std::string progressDiagnostic(const std::string &why) const;
 
     /** Dump every statistic to @p os. */
     void dumpStats(std::ostream &os);
@@ -89,6 +112,7 @@ class System
     EventQueue eq_;
     stats::Group root_;
     Checker checker_;
+    ProgressWatchdog watchdog_;
     std::unique_ptr<Memory> memory_;
     std::unique_ptr<Bus> bus_;
     std::vector<std::unique_ptr<Cache>> caches_;

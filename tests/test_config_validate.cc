@@ -112,6 +112,41 @@ TEST(ConfigValidate, RejectsBrokenGeometry)
               std::string::npos);
 }
 
+TEST(ConfigValidate, RejectsBadFaultPlans)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.fault.rate = -0.5;
+    EXPECT_NE(rejectionMessage(cfg).find("outside [0, 1]"),
+              std::string::npos);
+
+    cfg = goodConfig();
+    cfg.fault.rate = 1.5;
+    EXPECT_NE(rejectionMessage(cfg).find("outside [0, 1]"),
+              std::string::npos);
+
+    cfg = goodConfig();
+    cfg.fault.rate = 0.1;
+    cfg.fault.kinds = {"bitrot"};
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("unknown fault kind 'bitrot'"), std::string::npos)
+        << msg;
+    // The rejection teaches the valid kinds.
+    EXPECT_NE(msg.find("nak"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("delay_supply"), std::string::npos) << msg;
+
+    cfg = goodConfig();
+    cfg.fault.rate = 0.1;
+    cfg.fault.backoffBase = 0; // would retry at +0 ticks forever
+    EXPECT_NE(rejectionMessage(cfg).find("backoff base"),
+              std::string::npos);
+
+    // A disabled plan is always acceptable, whatever its other fields.
+    cfg = goodConfig();
+    cfg.fault.rate = 0.0;
+    cfg.fault.backoffBase = 0;
+    EXPECT_EQ(rejectionMessage(cfg), "");
+}
+
 TEST(ConfigValidate, FatalStillExitsOutsideGuard)
 {
     SystemConfig cfg = goodConfig();

@@ -31,13 +31,15 @@ struct RunOutput
 
 RunOutput
 runOnce(const std::string &protocol, const std::string &workload,
-        unsigned procs, std::uint64_t seed)
+        unsigned procs, std::uint64_t seed,
+        const FaultPlan &fault = FaultPlan{})
 {
     SystemConfig cfg;
     cfg.protocol = protocol;
     cfg.numProcessors = procs;
     cfg.cache.geom.frames = 64;
     cfg.cache.geom.blockWords = 4;
+    cfg.fault = fault;
     System sys(cfg);
     for (unsigned i = 0; i < procs; ++i) {
         WorkloadSlot slot;
@@ -92,4 +94,52 @@ TEST(Determinism, DifferentSeedsDiverge)
     // Different reference streams must not produce the same dump
     // (otherwise the seed axis of a sweep is meaningless).
     EXPECT_NE(a.text, b.text);
+}
+
+namespace
+{
+
+FaultPlan
+faultPlan(double rate, std::uint64_t seed)
+{
+    FaultPlan fp;
+    fp.rate = rate;
+    fp.seed = seed;
+    return fp;
+}
+
+} // namespace
+
+TEST(Determinism, FaultInjectedRunsAreByteIdentical)
+{
+    // Faults must be exactly as reproducible as clean runs: the fault
+    // PRNG is part of the configuration, not of the host environment.
+    for (const char *wl : {"random_sharing", "critical_section"}) {
+        RunOutput a = runOnce("bitar", wl, 4, 42, faultPlan(0.2, 7));
+        RunOutput b = runOnce("bitar", wl, 4, 42, faultPlan(0.2, 7));
+        EXPECT_EQ(a.ticks, b.ticks) << wl;
+        EXPECT_EQ(a.text, b.text) << wl;
+        EXPECT_EQ(a.json, b.json) << wl;
+        EXPECT_NE(a.text.find("faults."), std::string::npos) << wl;
+    }
+}
+
+TEST(Determinism, DifferentFaultSeedsDiverge)
+{
+    RunOutput a = runOnce("bitar", "random_sharing", 4, 42,
+                          faultPlan(0.2, 1));
+    RunOutput b = runOnce("bitar", "random_sharing", 4, 42,
+                          faultPlan(0.2, 2));
+    EXPECT_NE(a.text, b.text);
+}
+
+TEST(Determinism, FaultFreePlanMatchesPlainRun)
+{
+    // rate 0 must not merely behave the same — it must be the very
+    // same simulation, stats tree included.
+    RunOutput a = runOnce("bitar", "random_sharing", 4, 42);
+    RunOutput b = runOnce("bitar", "random_sharing", 4, 42,
+                          faultPlan(0.0, 99));
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.json, b.json);
 }

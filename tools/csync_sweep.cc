@@ -50,6 +50,9 @@ usage(const char *argv0)
         "  --block-words N,...  block-size axis, bus words (default 4)\n"
         "  --frames N,...       cache-frames axis (default 128)\n"
         "  --seeds N,...        seed axis (default 1)\n"
+        "  --fault-rates R,...  fault-injection rate axis (default 0)\n"
+        "  --fault-seeds N,...  fault PRNG seed axis (default 1)\n"
+        "  --fault-kinds A,...  fault kinds to inject (default: all)\n"
         "  --ops N              memory ops per processor (default "
         "2000)\n"
         "  --max-ticks N        per-job simulated-time budget\n"
@@ -99,6 +102,25 @@ splitNumbers(const std::string &arg, std::vector<T> *out)
         if (end != p.c_str() + p.size())
             return false;
         out->push_back(T(v));
+    }
+    return true;
+}
+
+/** Parse a comma list of doubles (sign allowed: validation happens in
+ *  SweepSpec::expand so a negative rate is a usage error, exit 2). */
+bool
+splitDoubles(const std::string &arg, std::vector<double> *out)
+{
+    std::vector<std::string> parts;
+    if (!splitList(arg, &parts))
+        return false;
+    out->clear();
+    for (const auto &p : parts) {
+        char *end = nullptr;
+        double v = std::strtod(p.c_str(), &end);
+        if (end != p.c_str() + p.size())
+            return false;
+        out->push_back(v);
     }
     return true;
 }
@@ -170,6 +192,7 @@ main(int argc, char **argv)
     bool have_protocols = false, have_workloads = false;
     bool have_procs = false, have_bw = false, have_frames = false;
     bool have_seeds = false, have_ops = false, have_ticks = false;
+    bool have_frates = false, have_fseeds = false, have_fkinds = false;
 
     auto next_arg = [&](int &i, const char *flag) -> const char * {
         if (i + 1 >= argc) {
@@ -234,6 +257,24 @@ main(int argc, char **argv)
             have_seeds = splitNumbers(v, &cli.seeds);
             if (!have_seeds)
                 return cliError("--seeds: bad number list");
+        } else if (a == "--fault-rates") {
+            if (!(v = next_arg(i, "--fault-rates")))
+                return 2;
+            have_frates = splitDoubles(v, &cli.faultRates);
+            if (!have_frates)
+                return cliError("--fault-rates: bad number list");
+        } else if (a == "--fault-seeds") {
+            if (!(v = next_arg(i, "--fault-seeds")))
+                return 2;
+            have_fseeds = splitNumbers(v, &cli.faultSeeds);
+            if (!have_fseeds)
+                return cliError("--fault-seeds: bad number list");
+        } else if (a == "--fault-kinds") {
+            if (!(v = next_arg(i, "--fault-kinds")))
+                return 2;
+            have_fkinds = splitList(v, &cli.faultKinds);
+            if (!have_fkinds)
+                return cliError("--fault-kinds: empty list");
         } else if (a == "--ops") {
             if (!(v = next_arg(i, "--ops")))
                 return 2;
@@ -299,6 +340,12 @@ main(int argc, char **argv)
         spec.frames = cli.frames;
     if (have_seeds)
         spec.seeds = cli.seeds;
+    if (have_frates)
+        spec.faultRates = cli.faultRates;
+    if (have_fseeds)
+        spec.faultSeeds = cli.faultSeeds;
+    if (have_fkinds)
+        spec.faultKinds = cli.faultKinds;
     if (have_ops)
         spec.opsPerProcessor = cli.opsPerProcessor;
     if (have_ticks)
