@@ -57,6 +57,12 @@ Protocol::onEvict(Cache &, Frame &)
 {
 }
 
+std::unique_ptr<Protocol>
+Protocol::clone() const
+{
+    return ProtocolRegistry::make(name());
+}
+
 std::map<std::string, ProtocolRegistry::Maker> &
 ProtocolRegistry::makers()
 {

@@ -192,6 +192,22 @@ class Protocol
 
     /** Protocol hook run when @p f is evicted (fix memory tags etc.). */
     virtual void onEvict(Cache &c, Frame &f);
+
+    /**
+     * Opaque snapshot of any protocol-internal mutable state, folded
+     * into model-checker state digests.  All shipped protocols keep
+     * their policy state in frame/memory/directory tags and return "";
+     * a stateful protocol must serialize whatever else it tracks so two
+     * digest-equal systems really are interchangeable.
+     */
+    virtual std::string snapshotState() const { return {}; }
+
+    /**
+     * Deep-copy this protocol.  The default re-instantiates by registry
+     * name, which is exact for the (stateless) shipped protocols;
+     * decorators carrying configuration must override.
+     */
+    virtual std::unique_ptr<Protocol> clone() const;
 };
 
 /**

@@ -136,6 +136,22 @@ void
 BitarProtocol::finishBus(Cache &c, const BusMsg &msg, const SnoopResult &res,
                          Frame &f)
 {
+    if (c.holdsPurgedLock(msg.blockAddr) && msg.req != BusReq::ReadLock) {
+        // A fetch of any access class by the cache that purged this
+        // block's lock reclaims the lock from its memory tag (Section
+        // E.3).  Leaving the tag set while the local copy comes back
+        // without its lock state would wedge every other cache behind
+        // a lock nobody can release.  (The ReadLock branch below does
+        // its own reclaim, with busy-wait arbitration on top.)
+        Addr ba = msg.blockAddr;
+        State s = LkSrcDty;
+        if (c.memory().memWaiter(ba))
+            s |= BitWaiter;
+        c.memory().setMemLock(ba, false, invalidNode);
+        c.notePurgedLock(ba, false);
+        f.state = s;
+        return;
+    }
     switch (msg.req) {
       case BusReq::ReadShared:
         if (!res.hit) {

@@ -95,9 +95,19 @@ CampaignRunner::runJob(const JobSpec &spec)
             r.firstViolationTick = r.checkerViolations
                                        ? sys.checker().firstViolationTick()
                                        : r.ticks;
-            r.failingStat = r.checkerViolations
-                                ? spec.config.name + ".checker.violations"
-                                : spec.config.name + ".invariants";
+            if (r.checkerViolations) {
+                // Name the specific counter the first violation hit and,
+                // when one exists, the owning node (for lock violations
+                // the holder whose exclusion was broken).
+                r.failingStat = spec.config.name + "." +
+                                sys.checker().firstViolationStat();
+                if (sys.checker().firstViolationNode() != invalidNode) {
+                    r.failingStat += csprintf(
+                        "@node%d", sys.checker().firstViolationNode());
+                }
+            } else {
+                r.failingStat = spec.config.name + ".invariants";
+            }
         } else if (sys.watchdogTripped()) {
             r.status = "livelock";
             r.error = sys.watchdogDiagnostic();

@@ -1,0 +1,236 @@
+#include "mc/fuzzer.hh"
+
+#include <algorithm>
+
+#include "mc/explorer.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace csync
+{
+namespace mc
+{
+
+std::string
+FuzzPair::label() const
+{
+    std::string s = a + " vs " + b;
+    if (ablateBusyWait)
+        s += " (no busy-wait register)";
+    if (ablatePriority)
+        s += " (no waiter priority)";
+    return s;
+}
+
+DifferentialFuzzer::DifferentialFuzzer(const Options &opts) : opts_(opts)
+{
+    sim_assert(opts_.caches >= 1 && opts_.blocks >= 1 && opts_.ops >= 1,
+               "degenerate fuzz options");
+}
+
+DirectedTrace
+DifferentialFuzzer::makeTrace(std::uint64_t seed,
+                              const std::string &protocol,
+                              bool lock_ops) const
+{
+    DirectedTrace t;
+    t.protocol = protocol;
+    t.processors = opts_.caches;
+    t.blockWords = 4;
+    t.frames = 4;
+    t.ways = 1;
+
+    Random rng(seed);
+    // Locks this trace has taken and not yet released, per (cache,
+    // block) — keeps generated traces lock-disciplined so the unlock
+    // traffic is meaningful instead of being skipped at replay.
+    std::vector<bool> held(opts_.caches * opts_.blocks, false);
+    auto heldAt = [&](unsigned c, unsigned b) -> std::vector<bool>::reference {
+        return held[c * opts_.blocks + b];
+    };
+
+    for (unsigned step = 0; step < opts_.ops; ++step) {
+        DirectedOp op;
+        op.cache = unsigned(rng.uniform(opts_.caches));
+        unsigned block = unsigned(rng.uniform(opts_.blocks));
+        unsigned roll = unsigned(rng.uniform(lock_ops ? 8 : 5));
+        DirectedKind kind;
+        switch (roll) {
+          case 0: case 1: kind = DirectedKind::Read; break;
+          case 2: case 3: kind = DirectedKind::Write; break;
+          case 4: kind = DirectedKind::Evict; break;
+          case 5: case 6: kind = DirectedKind::LockRead; break;
+          default: kind = DirectedKind::UnlockWrite; break;
+        }
+        if (kind == DirectedKind::LockRead && heldAt(op.cache, block))
+            kind = DirectedKind::Read;
+        if (kind == DirectedKind::UnlockWrite && !heldAt(op.cache, block)) {
+            // Release something this cache actually took, if anything.
+            bool found = false;
+            for (unsigned b = 0; b < opts_.blocks; ++b) {
+                if (heldAt(op.cache, b)) {
+                    block = b;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                kind = DirectedKind::Write;
+        }
+        if (kind == DirectedKind::LockRead)
+            heldAt(op.cache, block) = true;
+        if (kind == DirectedKind::UnlockWrite)
+            heldAt(op.cache, block) = false;
+
+        op.kind = kind;
+        op.addr = StateExplorer::blockAddr(block);
+        op.value = (kind == DirectedKind::Write ||
+                    kind == DirectedKind::UnlockWrite)
+                       ? StateExplorer::writeValue(step, op.cache)
+                       : 0;
+        t.ops.push_back(op);
+    }
+    return t;
+}
+
+namespace
+{
+
+/** Blocks (and Evict fillers) a trace touches, sorted. */
+std::vector<Addr>
+touchedBlocks(const DirectedTrace &t, const TraceReplayer &r)
+{
+    std::vector<Addr> blocks;
+    Addr mask = Addr(t.blockWords) * bytesPerWord - 1;
+    for (const DirectedOp &op : t.ops) {
+        blocks.push_back(op.addr & ~mask);
+        if (op.kind == DirectedKind::Evict)
+            blocks.push_back(r.fillerAddr(op.addr));
+    }
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    return blocks;
+}
+
+/**
+ * The authoritative final contents of @p blk: the (single) dirty cached
+ * copy if one exists, else memory.
+ */
+std::vector<Word>
+effectiveBlock(System &sys, Addr blk)
+{
+    for (unsigned i = 0; i < sys.numCaches(); ++i) {
+        const Frame *f = sys.cache(i).peekFrame(blk);
+        if (f && f->valid() && isDirty(f->state))
+            return f->data;
+    }
+    return sys.memory().peekBlock(blk);
+}
+
+} // anonymous namespace
+
+FuzzReport
+DifferentialFuzzer::runPair(std::uint64_t seed, const FuzzPair &pair) const
+{
+    FuzzReport rep;
+    rep.seed = seed;
+    rep.pair = pair;
+    rep.trace = makeTrace(seed, pair.a, pair.lockOps);
+
+    DirectedTrace tb = rep.trace;
+    tb.protocol = pair.b;
+    if (pair.ablateBusyWait)
+        tb.useBusyWaitRegister = false;
+    if (pair.ablatePriority)
+        tb.busyWaitPriority = false;
+
+    TraceReplayer ra(rep.trace);
+    TraceReplayer rb(tb);
+    for (const DirectedOp &op : rep.trace.ops) {
+        ra.step(op);
+        rb.step(op);
+    }
+    rep.verdictA = ra.verdict();
+    rep.verdictB = rb.verdict();
+
+    auto flag = [&rep](const std::string &what) {
+        rep.mismatch = true;
+        if (rep.detail.empty())
+            rep.detail = what;
+    };
+
+    // Coherence violations on either side are always real findings.
+    auto judge = [&flag](const char *side, const ReplayVerdict &v) {
+        if (v.checkerViolations || v.invariantViolations || v.waiterStuck)
+            flag(csprintf("side %s: %s", side, v.describe().c_str()));
+    };
+    judge("a", rep.verdictA);
+    judge("b", rep.verdictB);
+
+    // A stall is an expected divergence only for the busy-wait-register
+    // ablation (bus-retry livelock, the paper's Q5); anywhere else it is
+    // a lost-progress bug.
+    if (rep.verdictA.stalled)
+        flag("side a stalled");
+    if (rep.verdictB.stalled) {
+        if (pair.ablateBusyWait) {
+            rep.diverged = true;
+            rep.divergence = "side b stalled (busy-wait ablation livelock)";
+        } else {
+            flag("side b stalled");
+        }
+    }
+
+    // Both sides quiesced on the same op sequence: they must agree on
+    // the final image of every touched block.
+    if (!rep.verdictA.stalled && !rep.verdictB.stalled) {
+        if (rep.verdictA.skippedOps != rep.verdictB.skippedOps) {
+            rep.diverged = true;
+            if (rep.divergence.empty()) {
+                rep.divergence = csprintf(
+                    "skipped ops differ (%u vs %u)",
+                    rep.verdictA.skippedOps, rep.verdictB.skippedOps);
+            }
+            if (!pair.ablateBusyWait && !pair.ablatePriority)
+                flag(rep.divergence);
+        } else {
+            for (Addr blk : touchedBlocks(rep.trace, ra)) {
+                std::vector<Word> va = effectiveBlock(ra.system(), blk);
+                std::vector<Word> vb = effectiveBlock(rb.system(), blk);
+                if (va != vb) {
+                    flag(csprintf(
+                        "final image of blk=%llx differs",
+                        (unsigned long long)blk));
+                    break;
+                }
+            }
+        }
+    }
+    return rep;
+}
+
+std::vector<FuzzPair>
+DifferentialFuzzer::defaultPairs()
+{
+    std::vector<FuzzPair> pairs;
+    for (const std::string &name : StateExplorer::shippedProtocols()) {
+        if (name == "bitar")
+            continue;
+        FuzzPair p;
+        p.a = "bitar";
+        p.b = name;
+        pairs.push_back(p);
+    }
+    FuzzPair noReg;
+    noReg.ablateBusyWait = true;
+    noReg.lockOps = true;
+    pairs.push_back(noReg);
+    FuzzPair noPri;
+    noPri.ablatePriority = true;
+    noPri.lockOps = true;
+    pairs.push_back(noPri);
+    return pairs;
+}
+
+} // namespace mc
+} // namespace csync

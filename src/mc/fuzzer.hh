@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Differential trace fuzzer: generate a seeded random directed trace,
+ * run the *same* op sequence through two system configurations (two
+ * protocols, or Bitar with a Section E.4 feature ablated), and diff the
+ * verdicts and the final effective memory images.  Because the replay
+ * issues one op at a time and settles between steps, every correct
+ * protocol must serialize the sequence identically — any divergence in
+ * final word values is a lost update or stale read in one of the two.
+ * Ablating the busy-wait register legitimately turns lock contention
+ * into a bus-retry livelock (the paper's Q5 argument); that surfaces as
+ * an *expected divergence* (stall), kept distinct from real mismatches
+ * so CI can gate on the latter.
+ */
+
+#ifndef CSYNC_MC_FUZZER_HH
+#define CSYNC_MC_FUZZER_HH
+
+#include <string>
+#include <vector>
+
+#include "system/replay.hh"
+
+namespace csync
+{
+namespace mc
+{
+
+/** One configuration pair to diff. */
+struct FuzzPair
+{
+    std::string a = "bitar";
+    std::string b = "bitar";
+    /** Ablations applied to side b only. */
+    bool ablateBusyWait = false;
+    bool ablatePriority = false;
+    /** Generate LockRead/UnlockWrite ops (only meaningful when both
+     *  sides implement the lock instruction). */
+    bool lockOps = false;
+
+    std::string label() const;
+};
+
+/** Result of diffing one (seed, pair). */
+struct FuzzReport
+{
+    std::uint64_t seed = 0;
+    FuzzPair pair;
+    ReplayVerdict verdictA;
+    ReplayVerdict verdictB;
+    /** Expected divergence under ablation (e.g. side b stalled in a
+     *  bus-retry livelock without the busy-wait register). */
+    bool diverged = false;
+    std::string divergence;
+    /** Real problem: a coherence violation in either side, or the two
+     *  sides disagreeing on the final memory image. */
+    bool mismatch = false;
+    std::string detail;
+    /** The trace that produced this report (replayable). */
+    DirectedTrace trace;
+
+    bool clean() const { return !mismatch; }
+};
+
+/**
+ * Seeded random differential fuzzing over protocol pairs.
+ */
+class DifferentialFuzzer
+{
+  public:
+    struct Options
+    {
+        unsigned caches = 2;
+        unsigned blocks = 2;
+        unsigned ops = 24;
+    };
+
+    explicit DifferentialFuzzer(const Options &opts);
+
+    /** Deterministic random trace for @p seed (protocol only sets the
+     *  shape; the op sequence depends on seed and lock_ops alone). */
+    DirectedTrace makeTrace(std::uint64_t seed, const std::string &protocol,
+                            bool lock_ops) const;
+
+    /** Run one (seed, pair) diff. */
+    FuzzReport runPair(std::uint64_t seed, const FuzzPair &pair) const;
+
+    /** Every shipped protocol against Bitar, plus Bitar against itself
+     *  with the busy-wait register / arbitration priority ablated. */
+    static std::vector<FuzzPair> defaultPairs();
+
+  private:
+    Options opts_;
+};
+
+} // namespace mc
+} // namespace csync
+
+#endif // CSYNC_MC_FUZZER_HH

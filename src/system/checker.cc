@@ -10,7 +10,9 @@ Checker::Checker(stats::Group *stats_parent)
       readsChecked(&statsGroup, "readsChecked", "reads validated"),
       writesRecorded(&statsGroup, "writesRecorded", "writes serialized"),
       lockPairs(&statsGroup, "lockPairs", "lock acquire/release pairs"),
-      violationCount(&statsGroup, "violations", "coherence violations")
+      violationCount(&statsGroup, "violations", "coherence violations"),
+      lockViolations(&statsGroup, "lockViolations",
+                     "lock mutual-exclusion violations")
 {
 }
 
@@ -33,7 +35,8 @@ Checker::onRead(NodeId node, Addr word_addr, Word value, Tick when)
         violation(csprintf(
             "tick %llu node %d read %llx = %llx, expected %llx",
             (unsigned long long)when, node, (unsigned long long)word_addr,
-            (unsigned long long)value, (unsigned long long)expect), when);
+            (unsigned long long)value, (unsigned long long)expect), when,
+            ViolationKind::Value, node);
     }
 }
 
@@ -42,10 +45,12 @@ Checker::onLockAcquire(NodeId node, Addr block_addr, Tick when)
 {
     auto it = lockHolders_.find(block_addr);
     if (it != lockHolders_.end() && it->second != invalidNode) {
+        // The owning node is the holder whose exclusion was broken.
         violation(csprintf(
             "tick %llu node %d acquired lock %llx held by node %d",
             (unsigned long long)when, node,
-            (unsigned long long)block_addr, it->second), when);
+            (unsigned long long)block_addr, it->second), when,
+            ViolationKind::Lock, it->second);
     }
     lockHolders_[block_addr] = node;
 }
@@ -55,10 +60,13 @@ Checker::onLockRelease(NodeId node, Addr block_addr, Tick when)
 {
     auto it = lockHolders_.find(block_addr);
     if (it == lockHolders_.end() || it->second != node) {
+        NodeId owner =
+            it == lockHolders_.end() ? invalidNode : it->second;
         violation(csprintf(
             "tick %llu node %d released lock %llx it does not hold",
             (unsigned long long)when, node,
-            (unsigned long long)block_addr), when);
+            (unsigned long long)block_addr), when,
+            ViolationKind::Lock, owner);
     } else {
         ++lockPairs;
         it->second = invalidNode;
@@ -79,13 +87,32 @@ Checker::lockHolder(Addr block_addr) const
     return it == lockHolders_.end() ? invalidNode : it->second;
 }
 
+std::string
+Checker::firstViolationStat() const
+{
+    switch (firstKind_) {
+      case ViolationKind::Value:
+        return "checker.violations";
+      case ViolationKind::Lock:
+        return "checker.lockViolations";
+      case ViolationKind::None:
+        break;
+    }
+    return {};
+}
+
 void
-Checker::violation(const std::string &what, Tick when)
+Checker::violation(const std::string &what, Tick when, ViolationKind kind,
+                   NodeId owner)
 {
     ++violationCount;
+    if (kind == ViolationKind::Lock)
+        ++lockViolations;
     if (violations_.empty()) {
         firstViolationTick_ = when;
         firstViolation_ = what;
+        firstKind_ = kind;
+        firstNode_ = owner;
     }
     if (violations_.size() < 64)
         violations_.push_back(what);

@@ -34,6 +34,16 @@ namespace csync
 class Checker
 {
   public:
+    /** Broad class of a recorded violation (forensics). */
+    enum class ViolationKind
+    {
+        None,
+        /** A read observed a value other than the last serialized write. */
+        Value,
+        /** Lock/unlock mutual exclusion was broken. */
+        Lock,
+    };
+
     explicit Checker(stats::Group *stats_parent);
 
     /** A write to @p word_addr serialized with value @p value. */
@@ -67,6 +77,26 @@ class Checker
     /** Description of the first recorded violation ("" if none). */
     const std::string &firstViolation() const { return firstViolation_; }
 
+    /** Kind of the first recorded violation. */
+    ViolationKind firstViolationKind() const { return firstKind_; }
+
+    /**
+     * Node implicated in the first violation: for lock violations the
+     * *owning* node whose mutual exclusion was broken (the holder of the
+     * lock at the time), for value violations the reading node.
+     * invalidNode when no violation was recorded (or no owner exists,
+     * e.g. an unlock of a never-locked block).
+     */
+    NodeId firstViolationNode() const { return firstNode_; }
+
+    /**
+     * Stats-tree suffix of the counter the first violation incremented:
+     * "checker.lockViolations" for lock violations, "checker.violations"
+     * for value violations, "" when clean.  Campaign rows prepend the
+     * system name and append "@node<N>" to build failing_stat.
+     */
+    std::string firstViolationStat() const;
+
     /** Expected current value of a word (for tests). */
     Word expectedValue(Addr word_addr) const;
 
@@ -80,16 +110,20 @@ class Checker
     stats::Scalar writesRecorded;
     stats::Scalar lockPairs;
     stats::Scalar violationCount;
+    stats::Scalar lockViolations;
     /// @}
 
   private:
-    void violation(const std::string &what, Tick when);
+    void violation(const std::string &what, Tick when, ViolationKind kind,
+                   NodeId owner);
 
     std::unordered_map<Addr, Word> last_;
     std::unordered_map<Addr, NodeId> lockHolders_;
     std::vector<std::string> violations_;
     Tick firstViolationTick_ = 0;
     std::string firstViolation_;
+    ViolationKind firstKind_ = ViolationKind::None;
+    NodeId firstNode_ = invalidNode;
 };
 
 } // namespace csync

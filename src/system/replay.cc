@@ -1,0 +1,446 @@
+#include "system/replay.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+namespace
+{
+
+struct KindName
+{
+    DirectedKind kind;
+    const char *name;
+};
+
+const KindName kKindNames[] = {
+    {DirectedKind::Read, "read"},
+    {DirectedKind::Write, "write"},
+    {DirectedKind::Rmw, "rmw"},
+    {DirectedKind::LockRead, "lock_read"},
+    {DirectedKind::UnlockWrite, "unlock_write"},
+    {DirectedKind::WriteNoFetch, "write_no_fetch"},
+    {DirectedKind::Evict, "evict"},
+};
+
+} // anonymous namespace
+
+const char *
+directedKindName(DirectedKind k)
+{
+    for (const auto &kn : kKindNames)
+        if (kn.kind == k)
+            return kn.name;
+    return "?";
+}
+
+bool
+directedKindFromName(const std::string &name, DirectedKind *out)
+{
+    for (const auto &kn : kKindNames) {
+        if (name == kn.name) {
+            *out = kn.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+SystemConfig
+DirectedTrace::toConfig() const
+{
+    SystemConfig cfg;
+    cfg.name = "system";
+    cfg.protocol = protocol;
+    cfg.numProcessors = processors;
+    cfg.cache.geom.frames = frames;
+    cfg.cache.geom.ways = ways;
+    cfg.cache.geom.blockWords = blockWords;
+    cfg.cache.useBusyWaitRegister = useBusyWaitRegister;
+    cfg.cache.busyWaitPriority = busyWaitPriority;
+    cfg.enableChecker = true;
+    return cfg;
+}
+
+std::string
+ReplayVerdict::describe() const
+{
+    if (clean())
+        return "clean";
+    std::string s;
+    auto add = [&s](const std::string &part) {
+        s += (s.empty() ? "" : ", ") + part;
+    };
+    if (checkerViolations)
+        add(csprintf("%llu checker violation(s)",
+                     (unsigned long long)checkerViolations));
+    if (invariantViolations)
+        add(csprintf("%u structural violation(s)", invariantViolations));
+    if (stalled)
+        add("stalled");
+    if (waiterStuck)
+        add("lost wakeup");
+    return s;
+}
+
+TraceReplayer::TraceReplayer(const DirectedTrace &shape)
+    : shape_(shape), recorded_(shape)
+{
+    recorded_.ops.clear();
+    SystemConfig cfg = shape_.toConfig();
+    cfg.validate();
+    sys_ = std::make_unique<System>(cfg);
+    slots_.resize(shape_.processors);
+}
+
+Addr
+TraceReplayer::fillerAddr(Addr block_addr) const
+{
+    Addr block_bytes = Addr(shape_.blockWords) * bytesPerWord;
+    // One whole cache "turn" away: same set index in a direct-mapped
+    // cache, so fetching it displaces the target block.
+    return (block_addr & ~(block_bytes - 1)) +
+           Addr(shape_.frames) * block_bytes;
+}
+
+void
+TraceReplayer::noteBlock(Addr block_addr)
+{
+    Addr b = sys_->memory().blockAlign(block_addr);
+    auto it = std::lower_bound(blocks_.begin(), blocks_.end(), b);
+    if (it == blocks_.end() || *it != b)
+        blocks_.insert(it, b);
+}
+
+void
+TraceReplayer::refresh(unsigned cache)
+{
+    Slot &slot = slots_.at(cache);
+    if (slot.issued && slot.completed)
+        slot.issued = false;
+}
+
+bool
+TraceReplayer::busy(unsigned cache)
+{
+    refresh(cache);
+    return slots_.at(cache).issued;
+}
+
+bool
+TraceReplayer::pendingCompleted(unsigned cache, Word *value)
+{
+    const Slot &slot = slots_.at(cache);
+    if (slot.completed && value)
+        *value = slot.result.value;
+    return slot.completed;
+}
+
+bool
+TraceReplayer::settle()
+{
+    EventQueue &eq = sys_->eventq();
+    eq.run(eq.now() + kSettleBudget);
+    if (!eq.empty())
+        stalled_ = true;
+    return !stalled_;
+}
+
+OpOutcome
+TraceReplayer::step(const DirectedOp &op)
+{
+    recorded_.ops.push_back(op);
+    OpOutcome out;
+    sim_assert(op.cache < sys_->numCaches(),
+               "trace op on cache %u of %u", op.cache, sys_->numCaches());
+
+    noteBlock(op.addr);
+
+    if (stalled_ || busy(op.cache)) {
+        ++skipped_;
+        return out;
+    }
+
+    // Lock discipline: unlocking a block the cache does not hold (or
+    // re-locking one it does) is a *program* bug the cache treats as
+    // fatal, not a protocol bug.  Skip such ops so arbitrary (fuzzed or
+    // hand-written) traces stay safe to replay.
+    Addr blk = sys_->memory().blockAlign(op.addr);
+    NodeId holder = sys_->checker().lockHolder(blk);
+    if (op.kind == DirectedKind::UnlockWrite && holder != NodeId(op.cache)) {
+        ++skipped_;
+        return out;
+    }
+    if (op.kind == DirectedKind::LockRead && holder == NodeId(op.cache)) {
+        ++skipped_;
+        return out;
+    }
+
+    MemOp mop;
+    mop.addr = op.addr;
+    mop.value = op.value;
+    switch (op.kind) {
+      case DirectedKind::Read:         mop.type = OpType::Read; break;
+      case DirectedKind::Write:        mop.type = OpType::Write; break;
+      case DirectedKind::Rmw:          mop.type = OpType::Rmw; break;
+      case DirectedKind::LockRead:     mop.type = OpType::LockRead; break;
+      case DirectedKind::UnlockWrite:  mop.type = OpType::UnlockWrite; break;
+      case DirectedKind::WriteNoFetch:
+        mop.type = OpType::WriteNoFetch;
+        break;
+      case DirectedKind::Evict:
+        // Displace the block through the real eviction path by reading
+        // the conflicting filler block.
+        sim_assert(shape_.ways == 1,
+                   "evict ops need a direct-mapped trace shape");
+        mop.type = OpType::Read;
+        mop.addr = fillerAddr(op.addr);
+        mop.value = 0;
+        noteBlock(mop.addr);
+        break;
+    }
+
+    Slot &slot = slots_.at(op.cache);
+    slot.issued = true;
+    slot.completed = false;
+    sys_->cache(op.cache).access(mop, [&slot](const AccessResult &r) {
+        slot.completed = true;
+        slot.result = r;
+    });
+    settle();
+
+    out.issued = true;
+    out.completed = slot.completed;
+    out.pending = !slot.completed;
+    if (slot.completed) {
+        out.value = slot.result.value;
+        slot.issued = false;
+    }
+    return out;
+}
+
+ReplayVerdict
+TraceReplayer::verdict()
+{
+    settle();
+    ReplayVerdict v;
+    v.skippedOps = skipped_;
+    v.stalled = stalled_;
+    v.checkerViolations = sys_->checker().violations();
+    std::string why;
+    v.invariantViolations = sys_->checkStateInvariants(&why);
+
+    std::string stuck;
+    if (!stalled_) {
+        // Lock-waiter liveness: at quiescence an armed busy-wait
+        // register must be waiting on a lock somebody still holds —
+        // otherwise the wakeup was lost and the waiter spins forever.
+        for (unsigned i = 0; i < sys_->numCaches(); ++i) {
+            Cache &c = sys_->cache(i);
+            if (!c.busyWaitArmed())
+                continue;
+            Addr blk = c.busyWaitAddr();
+            if (sys_->checker().lockHolder(blk) == invalidNode &&
+                !sys_->memory().memLocked(blk)) {
+                v.waiterStuck = true;
+                if (stuck.empty()) {
+                    stuck = csprintf(
+                        "lost wakeup: cache%u busy-waits on blk=%llx "
+                        "with no live lock holder",
+                        i, (unsigned long long)blk);
+                }
+            }
+        }
+    }
+
+    if (v.checkerViolations)
+        v.firstProblem = sys_->checker().firstViolation();
+    else if (v.invariantViolations)
+        v.firstProblem = why;
+    else if (v.stalled)
+        v.firstProblem = csprintf(
+            "stalled: event queue failed to drain within %llu ticks",
+            (unsigned long long)kSettleBudget);
+    else if (v.waiterStuck)
+        v.firstProblem = stuck;
+    return v;
+}
+
+std::string
+TraceReplayer::digest()
+{
+    std::string d;
+    for (unsigned i = 0; i < sys_->numCaches(); ++i) {
+        Cache &c = sys_->cache(i);
+        d += csprintf("c%u[", i);
+        for (Addr b : blocks_) {
+            const Frame *f = c.peekFrame(b);
+            if (!f || !f->valid())
+                continue;
+            d += csprintf("%llx:%u:", (unsigned long long)b,
+                          unsigned(f->state));
+            for (Word w : f->data)
+                d += csprintf("%llx,", (unsigned long long)w);
+            d += ";";
+        }
+        d += "]";
+        if (c.busyWaitArmed()) {
+            d += csprintf("bw=%llx",
+                          (unsigned long long)c.busyWaitAddr());
+        }
+        if (busy(i))
+            d += "busy";
+        for (Addr b : blocks_) {
+            if (c.holdsPurgedLock(b))
+                d += csprintf("pl=%llx", (unsigned long long)b);
+        }
+        d += "{";
+        d += c.protocol().snapshotState();
+        d += "}";
+    }
+    d += "m[";
+    for (Addr b : blocks_) {
+        d += csprintf("%llx:", (unsigned long long)b);
+        for (Word w : sys_->memory().peekBlock(b))
+            d += csprintf("%llx,", (unsigned long long)w);
+        if (sys_->memory().cacheOwned(b))
+            d += "o";
+        if (sys_->memory().memLocked(b)) {
+            d += csprintf("L%d", sys_->memory().memLockHolder(b));
+            if (sys_->memory().memWaiter(b))
+                d += "w";
+        }
+        d += ";";
+    }
+    d += "]k[";
+    for (Addr b : blocks_) {
+        for (unsigned w = 0; w < shape_.blockWords; ++w) {
+            Addr wa = b + Addr(w) * bytesPerWord;
+            d += csprintf("%llx,",
+                          (unsigned long long)
+                              sys_->checker().expectedValue(wa));
+        }
+        d += csprintf("h%d;", sys_->checker().lockHolder(b));
+    }
+    d += "]";
+    return d;
+}
+
+ReplayVerdict
+replayTrace(const DirectedTrace &trace)
+{
+    TraceReplayer r(trace);
+    for (const DirectedOp &op : trace.ops)
+        r.step(op);
+    return r.verdict();
+}
+
+harness::Json
+traceToJson(const DirectedTrace &t)
+{
+    harness::Json j = harness::Json::object();
+    j.set("protocol", t.protocol);
+    j.set("processors", t.processors);
+    j.set("block_words", t.blockWords);
+    j.set("frames", t.frames);
+    j.set("ways", t.ways);
+    j.set("busy_wait_register", t.useBusyWaitRegister);
+    j.set("busy_wait_priority", t.busyWaitPriority);
+    harness::Json ops = harness::Json::array();
+    for (const DirectedOp &op : t.ops) {
+        harness::Json o = harness::Json::object();
+        o.set("cache", op.cache);
+        o.set("op", directedKindName(op.kind));
+        o.set("addr", csprintf("0x%llx", (unsigned long long)op.addr));
+        o.set("value", std::uint64_t(op.value));
+        ops.push(std::move(o));
+    }
+    j.set("ops", std::move(ops));
+    return j;
+}
+
+namespace
+{
+
+bool
+parseAddr(const harness::Json &j, Addr *out)
+{
+    if (j.isNumber()) {
+        *out = Addr(j.asNumber());
+        return true;
+    }
+    if (j.isString()) {
+        const std::string &s = j.asString();
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+        if (end && *end == '\0' && !s.empty()) {
+            *out = Addr(v);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+bool
+traceFromJson(const harness::Json &j, DirectedTrace *out, std::string *err)
+{
+    auto fail = [err](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+    if (!j.isObject())
+        return fail("trace: not a JSON object");
+    DirectedTrace t;
+    if (!j["protocol"].isString())
+        return fail("trace: missing protocol");
+    t.protocol = j["protocol"].asString();
+    t.processors = unsigned(j["processors"].asNumber(2));
+    t.blockWords = unsigned(j["block_words"].asNumber(4));
+    t.frames = unsigned(j["frames"].asNumber(4));
+    t.ways = unsigned(j["ways"].asNumber(1));
+    t.useBusyWaitRegister = j["busy_wait_register"].asBool(true);
+    t.busyWaitPriority = j["busy_wait_priority"].asBool(true);
+    const harness::Json &ops = j["ops"];
+    if (!ops.isArray())
+        return fail("trace: missing ops array");
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const harness::Json &o = ops.at(i);
+        DirectedOp op;
+        op.cache = unsigned(o["cache"].asNumber(0));
+        if (!o["op"].isString() ||
+            !directedKindFromName(o["op"].asString(), &op.kind)) {
+            return fail(csprintf("trace: op %zu: bad kind", i));
+        }
+        if (!parseAddr(o["addr"], &op.addr))
+            return fail(csprintf("trace: op %zu: bad addr", i));
+        op.value = Word(o["value"].asNumber(0));
+        if (op.cache >= t.processors)
+            return fail(csprintf("trace: op %zu: cache out of range", i));
+        t.ops.push_back(op);
+    }
+    *out = std::move(t);
+    return true;
+}
+
+harness::Json
+verdictToJson(const ReplayVerdict &v)
+{
+    harness::Json j = harness::Json::object();
+    j.set("clean", v.clean());
+    j.set("checker_violations", v.checkerViolations);
+    j.set("invariant_violations", v.invariantViolations);
+    j.set("skipped_ops", v.skippedOps);
+    j.set("stalled", v.stalled);
+    j.set("waiter_stuck", v.waiterStuck);
+    j.set("first_problem", v.firstProblem);
+    return j;
+}
+
+} // namespace csync

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Directed-trace record/replay: the wire format between the model
+ * checker (`src/mc/`), the `csync-mc` CLI, and the tests.  A
+ * DirectedTrace is a system shape plus an ordered list of per-cache
+ * operations; a TraceReplayer drives the ops through a real System one
+ * at a time (settling the event queue between steps, with a bounded
+ * budget so ablated configurations that livelock surface as a "stalled"
+ * verdict instead of hanging), and renders a ReplayVerdict from the
+ * value checker, the structural invariant scan, and a lock-waiter
+ * liveness check.  Any trace the explorer or fuzzer flags can be
+ * serialized to JSON and replayed bit-identically later.
+ */
+
+#ifndef CSYNC_SYSTEM_REPLAY_HH
+#define CSYNC_SYSTEM_REPLAY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+#include "system/system.hh"
+
+namespace csync
+{
+
+/** Operation vocabulary of a directed trace. */
+enum class DirectedKind : std::uint8_t
+{
+    Read,
+    Write,
+    Rmw,
+    LockRead,
+    UnlockWrite,
+    WriteNoFetch,
+    /**
+     * Displace the target block through the cache's genuine eviction
+     * path (including the locked-block purge of Section E.3) by reading
+     * a filler block that maps to the same set.  Requires a
+     * direct-mapped shape (ways == 1).
+     */
+    Evict,
+};
+
+/** Wire name of a directed kind ("read", "lock_read", "evict", ...). */
+const char *directedKindName(DirectedKind k);
+
+/** Parse a wire name; returns false (out untouched) if unknown. */
+bool directedKindFromName(const std::string &name, DirectedKind *out);
+
+/** One step of a directed trace. */
+struct DirectedOp
+{
+    unsigned cache = 0;
+    DirectedKind kind = DirectedKind::Read;
+    Addr addr = 0;
+    Word value = 0;
+};
+
+/** A replayable trace: system shape + operation sequence. */
+struct DirectedTrace
+{
+    std::string protocol = "bitar";
+    unsigned processors = 2;
+    unsigned blockWords = 4;
+    unsigned frames = 4;
+    /** Direct-mapped by default so Evict has a one-read displacement. */
+    unsigned ways = 1;
+    bool useBusyWaitRegister = true;
+    bool busyWaitPriority = true;
+    std::vector<DirectedOp> ops;
+
+    /** The SystemConfig this trace runs against. */
+    SystemConfig toConfig() const;
+};
+
+/** What one replayed step did. */
+struct OpOutcome
+{
+    /** False: the cache was busy (or the replay had stalled) and the op
+     *  was skipped. */
+    bool issued = false;
+    bool completed = false;
+    /** A lock op is busy-waiting; it may complete on a later step. */
+    bool pending = false;
+    Word value = 0;
+};
+
+/** End-of-replay verdict. */
+struct ReplayVerdict
+{
+    std::uint64_t checkerViolations = 0;
+    unsigned invariantViolations = 0;
+    unsigned skippedOps = 0;
+    /** The event queue failed to drain within the settle budget (e.g.
+     *  bus-retry livelock under busy-wait-register ablation). */
+    bool stalled = false;
+    /** Lost wakeup: a busy-wait register is armed for a block whose lock
+     *  nobody holds any more. */
+    bool waiterStuck = false;
+    std::string firstProblem;
+
+    bool
+    clean() const
+    {
+        return checkerViolations == 0 && invariantViolations == 0 &&
+               !stalled && !waiterStuck;
+    }
+
+    /** One-line summary ("clean" or the failure classes). */
+    std::string describe() const;
+};
+
+/**
+ * Replays DirectedOps through a live System, one at a time.
+ */
+class TraceReplayer
+{
+  public:
+    /** Event-queue budget per settle, in ticks (generous: single ops
+     *  complete in tens of ticks; only livelocks exhaust it). */
+    static constexpr Tick kSettleBudget = 100000;
+
+    /** Build a fresh system of @p shape; @p shape.ops is ignored (feed
+     *  ops through step()). */
+    explicit TraceReplayer(const DirectedTrace &shape);
+
+    System &system() { return *sys_; }
+
+    /** Everything fed to step() so far, as a replayable trace. */
+    const DirectedTrace &recorded() const { return recorded_; }
+
+    /** Issue one op and settle.  Skips (issued=false) if the cache is
+     *  still busy-waiting on a lock, the replay has stalled, or the op
+     *  breaks lock discipline (unlock of an unheld block / re-lock of a
+     *  held one — program bugs, not protocol bugs). */
+    OpOutcome step(const DirectedOp &op);
+
+    /** True while @p cache has an incomplete (busy-waiting) op. */
+    bool busy(unsigned cache);
+
+    /** Did an earlier pending op on @p cache complete? */
+    bool pendingCompleted(unsigned cache, Word *value = nullptr);
+
+    /** Run the event queue to quiescence (bounded).  False on stall. */
+    bool settle();
+
+    /** Settle and evaluate checker + invariants + waiter liveness. */
+    ReplayVerdict verdict();
+
+    /** The conflicting filler block Evict reads to displace @p addr. */
+    Addr fillerAddr(Addr block_addr) const;
+
+    /**
+     * Digest of the quiesced architectural state: frames, busy-wait
+     * registers, purged-lock notes, protocol-internal snapshots, memory
+     * data + lock tags + source bits, and the checker's serialization
+     * model, over every block the trace has touched.  Two replays with
+     * equal digests are interchangeable for further exploration.
+     */
+    std::string digest();
+
+  private:
+    struct Slot
+    {
+        bool issued = false;
+        bool completed = false;
+        AccessResult result;
+    };
+
+    void refresh(unsigned cache);
+    void noteBlock(Addr block_addr);
+
+    DirectedTrace shape_;
+    DirectedTrace recorded_;
+    std::unique_ptr<System> sys_;
+    std::vector<Slot> slots_;
+    /** Block-aligned addresses the trace has touched (sorted). */
+    std::vector<Addr> blocks_;
+    bool stalled_ = false;
+    unsigned skipped_ = 0;
+};
+
+/** Run @p trace through a fresh system and return the final verdict. */
+ReplayVerdict replayTrace(const DirectedTrace &trace);
+
+/** @name JSON wire format (see EXPERIMENTS.md, "csync-mc output") */
+/// @{
+harness::Json traceToJson(const DirectedTrace &t);
+bool traceFromJson(const harness::Json &j, DirectedTrace *out,
+                   std::string *err);
+harness::Json verdictToJson(const ReplayVerdict &v);
+/// @}
+
+} // namespace csync
+
+#endif // CSYNC_SYSTEM_REPLAY_HH

@@ -81,6 +81,60 @@ TEST_F(CheckerTest, StatsCount)
     EXPECT_DOUBLE_EQ(chk.readsChecked.value(), 1.0);
 }
 
+TEST_F(CheckerTest, NoViolationMeansNoForensics)
+{
+    EXPECT_EQ(chk.firstViolationKind(), Checker::ViolationKind::None);
+    EXPECT_EQ(chk.firstViolationNode(), invalidNode);
+    EXPECT_EQ(chk.firstViolationStat(), "");
+}
+
+TEST_F(CheckerTest, ValueViolationRecordsReadingNode)
+{
+    chk.onWrite(0, 0x1000, 42, 1);
+    chk.onRead(2, 0x1000, 41, 2);    // stale read by node 2
+    EXPECT_EQ(chk.firstViolationKind(), Checker::ViolationKind::Value);
+    EXPECT_EQ(chk.firstViolationNode(), 2);
+    EXPECT_EQ(chk.firstViolationStat(), "checker.violations");
+    EXPECT_DOUBLE_EQ(chk.lockViolations.value(), 0.0);
+}
+
+TEST_F(CheckerTest, DoubleAcquireRecordsOwningHolder)
+{
+    chk.onLockAcquire(1, 0x1000, 1);
+    chk.onLockAcquire(2, 0x1000, 2);    // node 1 still owns the lock
+    EXPECT_EQ(chk.firstViolationKind(), Checker::ViolationKind::Lock);
+    EXPECT_EQ(chk.firstViolationNode(), 1);
+    EXPECT_EQ(chk.firstViolationStat(), "checker.lockViolations");
+    EXPECT_DOUBLE_EQ(chk.lockViolations.value(), 1.0);
+}
+
+TEST_F(CheckerTest, WrongNodeReleaseRecordsOwningHolder)
+{
+    chk.onLockAcquire(0, 0x2000, 1);
+    chk.onLockRelease(3, 0x2000, 2);    // node 0 owns it
+    EXPECT_EQ(chk.firstViolationKind(), Checker::ViolationKind::Lock);
+    EXPECT_EQ(chk.firstViolationNode(), 0);
+    EXPECT_DOUBLE_EQ(chk.lockViolations.value(), 1.0);
+}
+
+TEST_F(CheckerTest, OrphanReleaseHasNoOwnerToBlame)
+{
+    chk.onLockRelease(3, 0x1000, 1);
+    EXPECT_EQ(chk.firstViolationKind(), Checker::ViolationKind::Lock);
+    EXPECT_EQ(chk.firstViolationNode(), invalidNode);
+}
+
+TEST_F(CheckerTest, FirstViolationForensicsStick)
+{
+    chk.onLockAcquire(1, 0x1000, 1);
+    chk.onLockAcquire(2, 0x1000, 2);     // first: lock, owner 1
+    chk.onWrite(0, 0x2000, 5, 3);
+    chk.onRead(4, 0x2000, 9, 4);         // later value violation
+    EXPECT_EQ(chk.firstViolationKind(), Checker::ViolationKind::Lock);
+    EXPECT_EQ(chk.firstViolationNode(), 1);
+    EXPECT_EQ(chk.firstViolationStat(), "checker.lockViolations");
+}
+
 TEST_F(CheckerTest, ViolationLogCapped)
 {
     for (int i = 0; i < 100; ++i)
