@@ -115,7 +115,7 @@ Cache::installFrameForTest(Addr addr, State state,
         f = blocks_.victim(ba);
         f->state = Inv;
     }
-    f->blockAddr = ba;
+    blocks_.install(*f, ba);
     f->state = state;
     if (data) {
         sim_assert(data->size() == blockWords(), "bad test frame payload");
@@ -271,9 +271,8 @@ Cache::applyOp(Frame &f, AccessResult &r)
             checker_->onRead(id_, wa, r.value, now);
             checker_->onLockAcquire(id_, f.blockAddr, now);
         }
-        trace(TraceFlag::Lock,
-              csprintf("lock acquired blk=%llx",
-                       (unsigned long long)f.blockAddr));
+        trace(TraceFlag::Lock, "lock acquired blk=%llx",
+                       (unsigned long long)f.blockAddr);
         break;
 
       case OpType::Write:
@@ -308,9 +307,8 @@ Cache::applyOp(Frame &f, AccessResult &r)
                 checker_->onWrite(id_, wa, curOp_.value, now);
             checker_->onLockRelease(id_, f.blockAddr, now);
         }
-        trace(TraceFlag::Lock,
-              csprintf("lock released blk=%llx",
-                       (unsigned long long)f.blockAddr));
+        trace(TraceFlag::Lock, "lock released blk=%llx",
+                       (unsigned long long)f.blockAddr);
         break;
 
       case OpType::WriteNoFetch:
@@ -383,11 +381,10 @@ Cache::prepareInstall(BusMsg &msg)
             ++writebacks;
         }
         protocol_->onEvict(*this, *v);
-        trace(TraceFlag::Cache,
-              csprintf("evict blk=%llx state=%s%s",
+        trace(TraceFlag::Cache, "evict blk=%llx state=%s%s",
                        (unsigned long long)v->blockAddr,
                        stateName(v->state).c_str(),
-                       msg.wbValid ? " (writeback)" : ""));
+                       msg.wbValid ? " (writeback)" : "");
         v->state = Inv;
     }
     return v;
@@ -410,12 +407,11 @@ Cache::busGrant(BusMsg &msg)
         State cur = f ? f->state : Inv;
         if (cur != decisionState_) {
             phase_ = Phase::Idle;
-            trace(TraceFlag::Cache,
-                  csprintf("request for %llx raced with a snoop "
+            trace(TraceFlag::Cache, "request for %llx raced with a snoop "
                            "(%s -> %s); re-deciding",
                            (unsigned long long)pendingMsg_.blockAddr,
                            stateName(decisionState_).c_str(),
-                           stateName(cur).c_str()));
+                           stateName(cur).c_str());
             // Linear back-off breaks re-decide lockstep when several
             // caches hammer the same block (each re-decision would
             // otherwise have its premise killed by the next grant).
@@ -530,12 +526,12 @@ Cache::busComplete(const BusMsg &msg, const SnoopResult &res)
     if (transfersBlock(msg.req) && !msg.hasData) {
         sim_assert(f != nullptr, "fetch with no install frame");
         sim_assert(res.data.size() == blockWords(), "bad fetch payload");
-        f->blockAddr = msg.blockAddr;
+        blocks_.install(*f, msg.blockAddr);
         f->data = res.data;
         blocks_.touch(*f, curTick());
     } else if (msg.req == BusReq::WriteNoFetch) {
         sim_assert(f != nullptr, "write-no-fetch with no install frame");
-        f->blockAddr = msg.blockAddr;
+        blocks_.install(*f, msg.blockAddr);
         f->data.assign(blockWords(), 0);
         blocks_.touch(*f, curTick());
         // The program contract (Feature 9) is that the whole block will
@@ -562,10 +558,9 @@ Cache::busComplete(const BusMsg &msg, const SnoopResult &res)
                                : std::vector<bool>(
                                      config_.geom.unitsPerBlock(), false);
         }
-        trace(TraceFlag::Protocol,
-              csprintf("%s done blk=%llx -> %s", busReqName(msg.req),
+        trace(TraceFlag::Protocol, "%s done blk=%llx -> %s", busReqName(msg.req),
                        (unsigned long long)msg.blockAddr,
-                       stateName(f->state).c_str()));
+                       stateName(f->state).c_str());
     }
 
     if (pendingAction_.completesOp) {
@@ -594,9 +589,8 @@ Cache::armBusyWait(Addr block_addr)
     bwReg_.arm(block_addr);
     pendingLockOp_ = curOp_;
     lockOpWaiting_ = true;
-    trace(TraceFlag::Lock,
-          csprintf("busy-wait armed blk=%llx",
-                   (unsigned long long)block_addr));
+    trace(TraceFlag::Lock, "busy-wait armed blk=%llx",
+                   (unsigned long long)block_addr);
     if (lockHandler_) {
         // Work while waiting: tell the processor the lock is pending and
         // let it continue (Section E.4).
@@ -646,7 +640,7 @@ Cache::lockFetchCompleted(const BusMsg &msg, const SnoopResult &res)
     lockInstallTarget_ = nullptr;
     sim_assert(f != nullptr, "lock fetch with no install frame");
     sim_assert(res.data.size() == blockWords(), "bad lock fetch payload");
-    f->blockAddr = msg.blockAddr;
+    blocks_.install(*f, msg.blockAddr);
     f->data = res.data;
     blocks_.touch(*f, curTick());
     if (msg.req == BusReq::ReadLock)
@@ -660,10 +654,9 @@ Cache::lockFetchCompleted(const BusMsg &msg, const SnoopResult &res)
     }
     ++busyWaitInterrupts;
     lockWaitTime.sample(curTick() - lockWaitStart_);
-    trace(TraceFlag::Lock,
-          csprintf("busy-wait won blk=%llx -> %s",
+    trace(TraceFlag::Lock, "busy-wait won blk=%llx -> %s",
                    (unsigned long long)msg.blockAddr,
-                   stateName(f->state).c_str()));
+                   stateName(f->state).c_str());
 
     if (phase_ != Phase::Idle) {
         // The processor has another operation in flight (work while

@@ -12,6 +12,7 @@ CacheBlocks::CacheBlocks(const CacheGeometry &geom) : geom_(geom)
     frames_.resize(geom_.frames);
     for (auto &f : frames_)
         f.data.assign(geom_.blockWords, 0);
+    index_.reserve(geom_.frames * 2);
 }
 
 unsigned
@@ -34,11 +35,15 @@ CacheBlocks::setRange(Addr block_addr) const
 Frame *
 CacheBlocks::find(Addr block_addr)
 {
-    auto [lo, hi] = setRange(block_addr);
-    for (unsigned i = lo; i < hi; ++i) {
-        if (frames_[i].valid() && frames_[i].blockAddr == block_addr)
-            return &frames_[i];
-    }
+    auto it = index_.find(block_addr);
+    if (it == index_.end())
+        return nullptr;
+    Frame &f = frames_[it->second];
+    if (f.valid() && f.blockAddr == block_addr)
+        return &f;
+    // Stale hint: the frame was invalidated in place or rebound to
+    // another block since this entry was written.
+    index_.erase(it);
     return nullptr;
 }
 
@@ -46,6 +51,13 @@ const Frame *
 CacheBlocks::find(Addr block_addr) const
 {
     return const_cast<CacheBlocks *>(this)->find(block_addr);
+}
+
+void
+CacheBlocks::install(Frame &f, Addr block_addr)
+{
+    f.blockAddr = block_addr;
+    index_[block_addr] = std::uint32_t(&f - frames_.data());
 }
 
 Frame *

@@ -10,7 +10,9 @@
 #ifndef CSYNC_CACHE_CACHE_BLOCKS_HH
 #define CSYNC_CACHE_CACHE_BLOCKS_HH
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/block_state.hh"
@@ -111,9 +113,24 @@ class CacheBlocks
     /** Set index for an address. */
     unsigned setIndex(Addr block_addr) const;
 
-    /** Find the valid frame holding @p block_addr, or nullptr. */
+    /**
+     * Find the valid frame holding @p block_addr, or nullptr.
+     *
+     * O(1): served from the address index rather than a frame scan.
+     * Index entries are hints — a frame invalidated in place (protocols
+     * flip Frame::state directly) leaves a stale entry behind, which
+     * lookup validates against the frame and lazily discards.  The
+     * invariant that makes a miss authoritative is that every
+     * blockAddr assignment goes through install().
+     */
     Frame *find(Addr block_addr);
     const Frame *find(Addr block_addr) const;
+
+    /**
+     * Bind @p f to @p block_addr and index it.  The only way a frame's
+     * blockAddr may be (re)assigned — keeps the address index coherent.
+     */
+    void install(Frame &f, Addr block_addr);
 
     /**
      * Choose a frame for a new block in the set of @p block_addr.
@@ -135,6 +152,8 @@ class CacheBlocks
   private:
     CacheGeometry geom_;
     std::vector<Frame> frames_;
+    /** blockAddr -> frame index hint (see find()). */
+    std::unordered_map<Addr, std::uint32_t> index_;
 
     std::pair<unsigned, unsigned> setRange(Addr block_addr) const;
 };

@@ -36,9 +36,8 @@ BusyWaitRegister::busGrant(BusMsg &msg)
         return false;
     }
     cache_->prepareLockFetch(msg);
-    trace(TraceFlag::Lock,
-          csprintf("lock fetch blk=%llx (priority grant)",
-                   (unsigned long long)blockAddr_));
+    trace(TraceFlag::Lock, "lock fetch blk=%llx (priority grant)",
+                   (unsigned long long)blockAddr_);
     return true;
 }
 
@@ -49,18 +48,16 @@ BusyWaitRegister::snoop(const BusMsg &msg)
         if (msg.req == BusReq::UnlockBroadcast) {
             // The lock was released: join the next arbitration with the
             // dedicated high-priority bit (Section E.4).
-            trace(TraceFlag::Lock,
-                  csprintf("unlock seen blk=%llx; arbitrating",
-                           (unsigned long long)blockAddr_));
+            trace(TraceFlag::Lock, "unlock seen blk=%llx; arbitrating",
+                           (unsigned long long)blockAddr_);
             bus_->request(this, cache_->config().busyWaitPriority
                                     ? BusPriority::BusyWait
                                     : BusPriority::Normal);
         } else if (msg.req == BusReq::ReadLock) {
             // Another waiter won: make no attempt to fetch the block
             // again; keep waiting for the next unlock (Figure 9).
-            trace(TraceFlag::Lock,
-                  csprintf("lost arbitration blk=%llx; staying quiet",
-                           (unsigned long long)blockAddr_));
+            trace(TraceFlag::Lock, "lost arbitration blk=%llx; staying quiet",
+                           (unsigned long long)blockAddr_);
             bus_->cancel(this);
         }
     }

@@ -51,9 +51,8 @@ FaultyBus::preArbitrationStall()
     ++injected;
     ++stalls;
     ++recovered;
-    trace(TraceFlag::Bus,
-          csprintf("fault: stall bus %llu ticks",
-                   (unsigned long long)plan_.stallTicks));
+    trace(TraceFlag::Bus, "fault: stall bus %llu ticks",
+                   (unsigned long long)plan_.stallTicks);
     return plan_.stallTicks;
 }
 
@@ -75,10 +74,9 @@ FaultyBus::vetoGrant(BusClient *client, BusPriority pri)
 
     const Tick backoff = backoffFor(client);
     backoffTicks += double(backoff);
-    trace(TraceFlag::Bus,
-          csprintf("fault: %s node %d, retry in %llu",
+    trace(TraceFlag::Bus, "fault: %s node %d, retry in %llu",
                    faultKindName(kind), client->nodeId(),
-                   (unsigned long long)backoff));
+                   (unsigned long long)backoff);
     // Re-post the refused request after backoff.  The client may have
     // since withdrawn interest (a busy-wait register that snooped a
     // competing ReadLock); it then simply declines the re-grant.
@@ -99,10 +97,9 @@ FaultyBus::supplyExtraDelay(const BusMsg &msg, const SnoopResult &res)
     ++injected;
     ++supplyDelays;
     ++recovered;
-    trace(TraceFlag::Bus,
-          csprintf("fault: delay supply from node %d by %llu ticks",
+    trace(TraceFlag::Bus, "fault: delay supply from node %d by %llu ticks",
                    res.supplier,
-                   (unsigned long long)plan_.supplyDelayTicks));
+                   (unsigned long long)plan_.supplyDelayTicks);
     return plan_.supplyDelayTicks;
 }
 

@@ -162,10 +162,9 @@ Bus::arbitrate()
     if (winner.pri == BusPriority::BusyWait)
         ++highPriorityGrants;
 
-    trace(TraceFlag::Bus,
-          csprintf("grant node %d: %s blk=%llx", msg.requester,
+    trace(TraceFlag::Bus, "grant node %d: %s blk=%llx", msg.requester,
                    busReqName(msg.req),
-                   (unsigned long long)msg.blockAddr));
+                   (unsigned long long)msg.blockAddr);
     execute(winner.client, std::move(msg));
 }
 

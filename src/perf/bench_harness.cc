@@ -1,0 +1,240 @@
+#include "perf/bench_harness.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace csync
+{
+namespace perf
+{
+
+const char *const kCalibrationKernel = "calibration";
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    std::size_t mid = v.size() / 2;
+    if (v.size() % 2)
+        return v[mid];
+    return (v[mid - 1] + v[mid]) / 2.0;
+}
+
+std::uint64_t
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return std::uint64_t(ru.ru_maxrss) / 1024; // bytes on Darwin
+#else
+    return std::uint64_t(ru.ru_maxrss); // kilobytes on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+KernelResult
+BenchHarness::run(const std::string &name, const KernelFn &fn,
+                  const BenchOptions &opts)
+{
+    using clock = std::chrono::steady_clock;
+
+    KernelResult r;
+    r.name = name;
+    r.reps = opts.reps ? opts.reps : 1;
+
+    for (unsigned i = 0; i < opts.warmup; ++i)
+        r.opsPerRep = fn();
+
+    std::vector<double> ms;
+    ms.reserve(r.reps);
+    for (unsigned i = 0; i < r.reps; ++i) {
+        auto t0 = clock::now();
+        r.opsPerRep = fn();
+        auto t1 = clock::now();
+        ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+
+    r.medianMs = median(ms);
+    r.minMs = *std::min_element(ms.begin(), ms.end());
+    r.maxMs = *std::max_element(ms.begin(), ms.end());
+    if (r.medianMs > 0 && r.opsPerRep > 0) {
+        r.opsPerSec = double(r.opsPerRep) / (r.medianMs / 1e3);
+        r.nsPerOp = r.medianMs * 1e6 / double(r.opsPerRep);
+    }
+    return r;
+}
+
+harness::Json
+benchToJson(const std::vector<KernelResult> &kernels,
+            const std::string &name, const std::string &mode,
+            const BenchOptions &opts)
+{
+    using harness::Json;
+    Json doc = Json::object();
+    doc.set("csync_bench", kBenchVersion);
+    doc.set("name", name);
+    doc.set("mode", mode);
+    doc.set("warmup", opts.warmup);
+    doc.set("reps", opts.reps);
+    doc.set("peak_rss_kb", peakRssKb());
+    Json arr = Json::array();
+    for (const auto &k : kernels) {
+        Json row = Json::object();
+        row.set("name", k.name);
+        if (!k.protocol.empty())
+            row.set("protocol", k.protocol);
+        if (!k.workload.empty())
+            row.set("workload", k.workload);
+        if (k.procs)
+            row.set("procs", k.procs);
+        row.set("ops_per_rep", k.opsPerRep);
+        row.set("reps", k.reps);
+        row.set("median_ms", k.medianMs);
+        row.set("min_ms", k.minMs);
+        row.set("max_ms", k.maxMs);
+        row.set("ops_per_sec", k.opsPerSec);
+        row.set("ns_per_op", k.nsPerOp);
+        arr.push(std::move(row));
+    }
+    doc.set("kernels", std::move(arr));
+    return doc;
+}
+
+bool
+benchFromJson(const harness::Json &doc, std::vector<KernelResult> *out,
+              std::string *err)
+{
+    out->clear();
+    if (!doc.isObject() || !doc.has("csync_bench")) {
+        *err = "not a csync bench document (no \"csync_bench\" key)";
+        return false;
+    }
+    int version = int(doc["csync_bench"].asNumber());
+    if (version != kBenchVersion) {
+        *err = csprintf("unsupported bench document version %d "
+                        "(expected %d)", version, kBenchVersion);
+        return false;
+    }
+    const harness::Json &kernels = doc["kernels"];
+    if (!kernels.isArray()) {
+        *err = "bench document has no \"kernels\" array";
+        return false;
+    }
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const harness::Json &row = kernels.at(i);
+        if (!row.isObject() || !row.has("name") ||
+            !row.has("ops_per_sec")) {
+            *err = csprintf("kernel %zu: missing \"name\" or "
+                            "\"ops_per_sec\"", i);
+            return false;
+        }
+        KernelResult k;
+        k.name = row["name"].asString();
+        k.protocol = row["protocol"].isString()
+                         ? row["protocol"].asString() : "";
+        k.workload = row["workload"].isString()
+                         ? row["workload"].asString() : "";
+        k.procs = unsigned(row["procs"].asNumber());
+        k.opsPerRep = std::uint64_t(row["ops_per_rep"].asNumber());
+        k.reps = unsigned(row["reps"].asNumber());
+        k.medianMs = row["median_ms"].asNumber();
+        k.minMs = row["min_ms"].asNumber();
+        k.maxMs = row["max_ms"].asNumber();
+        k.opsPerSec = row["ops_per_sec"].asNumber();
+        k.nsPerOp = row["ns_per_op"].asNumber();
+        out->push_back(std::move(k));
+    }
+    return true;
+}
+
+namespace
+{
+
+const KernelResult *
+findKernel(const std::vector<KernelResult> &v, const std::string &name)
+{
+    for (const auto &k : v)
+        if (k.name == name)
+            return &k;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+BenchCompareReport
+compareBench(const std::vector<KernelResult> &baseline,
+             const std::vector<KernelResult> &candidate,
+             const BenchCompareOptions &opts)
+{
+    BenchCompareReport rep;
+    std::string &t = rep.text;
+
+    // Machine-speed normalization: when both runs measured the
+    // calibration kernel, judge each simulator kernel by its throughput
+    // relative to its own run's calibration throughput.
+    double scale = 1.0;
+    const KernelResult *oldCal = findKernel(baseline, kCalibrationKernel);
+    const KernelResult *newCal = findKernel(candidate, kCalibrationKernel);
+    if (oldCal && newCal && oldCal->opsPerSec > 0 &&
+        newCal->opsPerSec > 0) {
+        scale = newCal->opsPerSec / oldCal->opsPerSec;
+        rep.normalized = true;
+        t += csprintf("calibration: baseline %.3g ops/s, candidate "
+                      "%.3g ops/s -> machine scale %.3f\n",
+                      oldCal->opsPerSec, newCal->opsPerSec, scale);
+    }
+
+    for (const auto &b : baseline) {
+        if (b.name == kCalibrationKernel)
+            continue;
+        const KernelResult *c = findKernel(candidate, b.name);
+        if (!c) {
+            ++rep.missing;
+            rep.ok = false;
+            t += csprintf("MISSING %-32s not in candidate\n",
+                          b.name.c_str());
+            continue;
+        }
+        ++rep.compared;
+        double expected = b.opsPerSec * scale;
+        double floor = expected * (1.0 - opts.maxRegressPct / 100.0);
+        double delta = expected > 0
+                           ? (c->opsPerSec - expected) / expected * 100.0
+                           : 0.0;
+        if (c->opsPerSec < floor) {
+            ++rep.regressed;
+            rep.ok = false;
+            t += csprintf("REGRESS %-32s %.3g -> %.3g ops/s "
+                          "(%+.1f%%, tolerance -%.1f%%)\n",
+                          b.name.c_str(), expected, c->opsPerSec, delta,
+                          opts.maxRegressPct);
+        } else {
+            t += csprintf("ok      %-32s %.3g -> %.3g ops/s (%+.1f%%)\n",
+                          b.name.c_str(), expected, c->opsPerSec, delta);
+        }
+    }
+
+    t += csprintf("compared %u kernels%s: %u regressed beyond %.1f%%, "
+                  "%u missing -> %s\n", rep.compared,
+                  rep.normalized ? " (calibration-normalized)" : "",
+                  rep.regressed, opts.maxRegressPct, rep.missing,
+                  rep.ok ? "OK" : "FAIL");
+    return rep;
+}
+
+} // namespace perf
+} // namespace csync

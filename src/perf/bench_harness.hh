@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Measured performance: a steady-clock benchmark harness (warmup,
+ * repetitions, median-of-N) plus the schema-versioned JSON document the
+ * `csync-bench` CLI emits (`BENCH_*.json`) and the comparison gate that
+ * turns a committed baseline into a machine-checkable perf regression
+ * test.
+ *
+ * The comparison normalizes through an optional "calibration" kernel —
+ * a fixed amount of pure CPU work — so a baseline recorded on one
+ * machine is meaningful on another: every simulator kernel is compared
+ * as a ratio to the calibration throughput of its own run, and only a
+ * relative slowdown beyond the tolerance fails the gate.
+ */
+
+#ifndef CSYNC_PERF_BENCH_HARNESS_HH
+#define CSYNC_PERF_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+
+namespace csync
+{
+namespace perf
+{
+
+/** Current bench document version ("csync_bench"). */
+constexpr int kBenchVersion = 1;
+
+/** Repetition knobs. */
+struct BenchOptions
+{
+    /** Untimed warmup repetitions before measurement. */
+    unsigned warmup = 1;
+    /** Timed repetitions; the reported time is their median. */
+    unsigned reps = 5;
+};
+
+/** One measured kernel. */
+struct KernelResult
+{
+    std::string name;
+    /** @name Workload-kernel echo ("" / 0 for synthetic kernels) */
+    /// @{
+    std::string protocol;
+    std::string workload;
+    unsigned procs = 0;
+    /// @}
+
+    /** Operations performed by one repetition. */
+    std::uint64_t opsPerRep = 0;
+    /** Timed repetitions measured. */
+    unsigned reps = 0;
+    /** Median / fastest / slowest repetition wall time, milliseconds. */
+    double medianMs = 0;
+    double minMs = 0;
+    double maxMs = 0;
+    /** Throughput at the median repetition. */
+    double opsPerSec = 0;
+    /** Nanoseconds per operation at the median repetition. */
+    double nsPerOp = 0;
+};
+
+/**
+ * Runs kernels under a monotonic (steady) clock.  A kernel is a callable
+ * that performs a deterministic amount of work and returns the number of
+ * operations it executed; the harness never touches wall-clock time
+ * sources that could go backwards.
+ */
+class BenchHarness
+{
+  public:
+    /** @return the number of operations the repetition executed. */
+    using KernelFn = std::function<std::uint64_t()>;
+
+    /**
+     * Measure @p fn: run it opts.warmup times untimed, then opts.reps
+     * times timed, and report the median repetition.
+     */
+    KernelResult run(const std::string &name, const KernelFn &fn,
+                     const BenchOptions &opts = {});
+};
+
+/** Median of @p v (by value: the input is sorted internally); 0 when
+ *  empty.  Even-sized inputs average the two middle elements. */
+double median(std::vector<double> v);
+
+/** Peak resident set size of this process in kilobytes (0 where the
+ *  platform offers no getrusage). */
+std::uint64_t peakRssKb();
+
+/**
+ * Serialize a bench run as the versioned document:
+ *
+ *   { "csync_bench": 1, "name": ..., "mode": ..., "warmup": W,
+ *     "reps": R, "peak_rss_kb": N, "kernels": [ ... ] }
+ */
+harness::Json benchToJson(const std::vector<KernelResult> &kernels,
+                          const std::string &name,
+                          const std::string &mode,
+                          const BenchOptions &opts);
+
+/**
+ * Load the comparable portion of a bench document.
+ * @return false with *err set if @p doc is not a bench document.
+ */
+bool benchFromJson(const harness::Json &doc,
+                   std::vector<KernelResult> *out, std::string *err);
+
+/** Name of the machine-speed normalization kernel. */
+extern const char *const kCalibrationKernel;
+
+/** Comparison knobs. */
+struct BenchCompareOptions
+{
+    /** Allowed ops/sec regression per kernel, percent. */
+    double maxRegressPct = 25.0;
+};
+
+/** Outcome of comparing two bench runs. */
+struct BenchCompareReport
+{
+    /** True when no kernel regressed beyond tolerance. */
+    bool ok = true;
+    /** Kernels slower than baseline beyond tolerance. */
+    unsigned regressed = 0;
+    /** Baseline kernels absent from the candidate. */
+    unsigned missing = 0;
+    /** Kernels compared. */
+    unsigned compared = 0;
+    /** True when both runs had a calibration kernel to normalize by. */
+    bool normalized = false;
+    /** Human-readable report. */
+    std::string text;
+};
+
+/**
+ * Compare @p baseline against @p candidate kernel by kernel on ops/sec.
+ * When both contain the calibration kernel, throughputs are normalized
+ * by it first (cross-machine comparison); the calibration kernel itself
+ * is never gated.
+ */
+BenchCompareReport compareBench(const std::vector<KernelResult> &baseline,
+                                const std::vector<KernelResult> &candidate,
+                                const BenchCompareOptions &opts = {});
+
+} // namespace perf
+} // namespace csync
+
+#endif // CSYNC_PERF_BENCH_HARNESS_HH

@@ -3,15 +3,77 @@
 namespace csync
 {
 
+EventQueue::Node *
+EventQueue::allocNode()
+{
+    if (!freeList_) {
+        constexpr std::size_t chunkNodes = 64;
+        chunks_.push_back(std::make_unique<Node[]>(chunkNodes));
+        Node *chunk = chunks_.back().get();
+        for (std::size_t i = chunkNodes; i-- > 0;)
+            freeNode(&chunk[i]);
+    }
+    Node *n = freeList_;
+    freeList_ = n->nextFree;
+    return n;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    HeapEntry e = heap_[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!e.before(heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    HeapEntry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heap_[child + 1].before(heap_[child]))
+            ++child;
+        if (!heap_[child].before(e))
+            break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = e;
+}
+
+EventCallback
+EventQueue::popTop()
+{
+    Node *n = heap_[0].node;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    // Move the callback out and recycle the node *before* invoking: the
+    // callback may schedule new events, which may legally reuse this node.
+    EventCallback cb = std::move(n->cb);
+    freeNode(n);
+    return cb;
+}
+
 std::uint64_t
 EventQueue::run(Tick until)
 {
     std::uint64_t executed = 0;
-    while (!events_.empty() && events_.top().when <= until) {
-        Entry e = std::move(const_cast<Entry &>(events_.top()));
-        events_.pop();
-        now_ = e.when;
-        e.cb();
+    while (!heap_.empty() && heap_[0].when <= until) {
+        now_ = heap_[0].when;
+        EventCallback cb = popTop();
+        cb();
         ++executed;
         ++executed_;
     }
@@ -24,11 +86,10 @@ std::uint64_t
 EventQueue::runSteps(std::uint64_t max_events)
 {
     std::uint64_t executed = 0;
-    while (!events_.empty() && executed < max_events) {
-        Entry e = std::move(const_cast<Entry &>(events_.top()));
-        events_.pop();
-        now_ = e.when;
-        e.cb();
+    while (!heap_.empty() && executed < max_events) {
+        now_ = heap_[0].when;
+        EventCallback cb = popTop();
+        cb();
         ++executed;
         ++executed_;
     }
@@ -38,8 +99,11 @@ EventQueue::runSteps(std::uint64_t max_events)
 void
 EventQueue::reset()
 {
-    while (!events_.empty())
-        events_.pop();
+    for (auto &e : heap_) {
+        e.node->cb.reset();
+        freeNode(e.node);
+    }
+    heap_.clear();
     now_ = 0;
     seq_ = 0;
     executed_ = 0;

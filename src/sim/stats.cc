@@ -9,8 +9,8 @@ namespace csync
 namespace stats
 {
 
-Info::Info(Group *parent, std::string name, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc))
+Info::Info(Group *parent, std::string name, std::string desc, Kind kind)
+    : name_(std::move(name)), desc_(std::move(desc)), kind_(kind)
 {
     sim_assert(parent != nullptr, "stat '%s' has no group", name_.c_str());
     parent->addStat(this);
@@ -38,26 +38,14 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
 
 Histogram::Histogram(Group *parent, std::string name, std::string desc,
                      std::uint64_t bucket_size, std::size_t buckets)
-    : Info(parent, std::move(name), std::move(desc)),
+    : Info(parent, std::move(name), std::move(desc), Kind::Histogram),
       bucketSize_(bucket_size), buckets_(buckets, 0)
 {
     sim_assert(bucket_size > 0, "histogram bucket size must be positive");
-}
-
-void
-Histogram::sample(std::uint64_t value)
-{
-    std::size_t idx = value / bucketSize_;
-    if (idx < buckets_.size())
-        ++buckets_[idx];
-    else
-        ++overflow_;
-    if (count_ == 0 || value < min_)
-        min_ = value;
-    if (value > max_)
-        max_ = value;
-    ++count_;
-    sum_ += double(value);
+    if ((bucket_size & (bucket_size - 1)) == 0) {
+        while ((std::uint64_t(1) << shift_) < bucket_size)
+            ++shift_;
+    }
 }
 
 void
@@ -89,12 +77,13 @@ Histogram::reset()
     overflow_ = 0;
     count_ = 0;
     sum_ = 0;
-    min_ = 0;
+    min_ = ~std::uint64_t(0);
     max_ = 0;
 }
 
 Formula::Formula(Group *parent, std::string name, std::string desc, Fn fn)
-    : Info(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+    : Info(parent, std::move(name), std::move(desc), Kind::Formula),
+      fn_(std::move(fn))
 {
 }
 
@@ -148,12 +137,15 @@ Group::lookup(const std::string &stat_name) const
     if (dot == std::string::npos) {
         for (const auto *s : stats_) {
             if (s->name() == stat_name) {
-                if (const auto *sc = dynamic_cast<const Scalar *>(s))
-                    return sc->value();
-                if (const auto *f = dynamic_cast<const Formula *>(s))
-                    return f->value();
-                if (const auto *h = dynamic_cast<const Histogram *>(s))
-                    return double(h->count());
+                switch (s->kind()) {
+                  case Kind::Scalar:
+                    return static_cast<const Scalar *>(s)->value();
+                  case Kind::Formula:
+                    return static_cast<const Formula *>(s)->value();
+                  case Kind::Histogram:
+                    return double(
+                        static_cast<const Histogram *>(s)->count());
+                }
             }
         }
         return 0.0;

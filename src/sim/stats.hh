@@ -23,15 +23,25 @@ namespace stats
 
 class Group;
 
+/** Concrete statistic kind, for dispatch without RTTI on the hot
+ *  serialization/lookup paths. */
+enum class Kind
+{
+    Scalar,
+    Histogram,
+    Formula
+};
+
 /** Common base: a named, described statistic belonging to a group. */
 class Info
 {
   public:
-    Info(Group *parent, std::string name, std::string desc);
+    Info(Group *parent, std::string name, std::string desc, Kind kind);
     virtual ~Info() = default;
 
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
+    Kind kind() const { return kind_; }
 
     /** Render the value(s) into one or more "name value # desc" lines. */
     virtual void print(std::ostream &os, const std::string &prefix) const = 0;
@@ -42,13 +52,17 @@ class Info
   private:
     std::string name_;
     std::string desc_;
+    Kind kind_;
 };
 
 /** A double-valued counter/accumulator. */
 class Scalar : public Info
 {
   public:
-    using Info::Info;
+    Scalar(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc), Kind::Scalar)
+    {
+    }
 
     Scalar &operator++() { value_ += 1; return *this; }
     Scalar &operator+=(double v) { value_ += v; return *this; }
@@ -77,8 +91,25 @@ class Histogram : public Info
     Histogram(Group *parent, std::string name, std::string desc,
               std::uint64_t bucket_size, std::size_t buckets);
 
-    /** Record one sample. */
-    void sample(std::uint64_t value);
+    /**
+     * Record one sample.  The hot path is branch-light: min/max update
+     * via conditional moves, and power-of-two bucket sizes (the common
+     * case) index with a shift instead of a 64-bit division.
+     */
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t idx = shift_ ? std::size_t(value >> shift_)
+                                 : std::size_t(value / bucketSize_);
+        if (idx < buckets_.size())
+            ++buckets_[idx];
+        else
+            ++overflow_;
+        min_ = value < min_ ? value : min_;
+        max_ = value > max_ ? value : max_;
+        ++count_;
+        sum_ += double(value);
+    }
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
@@ -93,11 +124,14 @@ class Histogram : public Info
 
   private:
     std::uint64_t bucketSize_;
+    /** log2(bucketSize_) when it is a power of two, else 0 (divide). */
+    unsigned shift_ = 0;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
     double sum_ = 0;
-    std::uint64_t min_ = 0;
+    /** Starts at max so sample() can take an unconditional min. */
+    std::uint64_t min_ = ~std::uint64_t(0);
     std::uint64_t max_ = 0;
 };
 

@@ -100,14 +100,18 @@ dumpGroupBody(const Group &g, std::ostream &os, int indent)
     for (const Info *s : g.statsList()) {
         sep();
         os << "\"" << jsonEscape(s->name()) << "\": ";
-        if (const auto *sc = dynamic_cast<const Scalar *>(s))
-            os << jsonNumber(sc->value());
-        else if (const auto *f = dynamic_cast<const Formula *>(s))
-            os << jsonNumber(f->value());
-        else if (const auto *h = dynamic_cast<const Histogram *>(s))
-            dumpHistogram(*h, os, indent + 2);
-        else
-            os << "null";
+        switch (s->kind()) {
+          case Kind::Scalar:
+            os << jsonNumber(static_cast<const Scalar *>(s)->value());
+            break;
+          case Kind::Formula:
+            os << jsonNumber(static_cast<const Formula *>(s)->value());
+            break;
+          case Kind::Histogram:
+            dumpHistogram(*static_cast<const Histogram *>(s), os,
+                          indent + 2);
+            break;
+        }
     }
     for (const Group *c : g.childGroups()) {
         sep();
@@ -138,11 +142,15 @@ flatten(const Group &g, std::map<std::string, double> &out,
                                    : prefix + g.groupName() + ".";
     for (const Info *s : g.statsList()) {
         const std::string base = p + s->name();
-        if (const auto *sc = dynamic_cast<const Scalar *>(s)) {
-            out[base] = sc->value();
-        } else if (const auto *f = dynamic_cast<const Formula *>(s)) {
-            out[base] = f->value();
-        } else if (const auto *h = dynamic_cast<const Histogram *>(s)) {
+        switch (s->kind()) {
+          case Kind::Scalar:
+            out[base] = static_cast<const Scalar *>(s)->value();
+            break;
+          case Kind::Formula:
+            out[base] = static_cast<const Formula *>(s)->value();
+            break;
+          case Kind::Histogram: {
+            const auto *h = static_cast<const Histogram *>(s);
             out[base + ".count"] = double(h->count());
             out[base + ".mean"] = h->mean();
             out[base + ".min"] = double(h->min());
@@ -154,6 +162,8 @@ flatten(const Group &g, std::map<std::string, double> &out,
             }
             if (h->overflow())
                 out[base + ".overflow"] = double(h->overflow());
+            break;
+          }
         }
     }
     for (const Group *c : g.childGroups())

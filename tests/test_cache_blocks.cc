@@ -45,7 +45,7 @@ TEST(CacheBlocks, VictimPrefersInvalid)
 {
     CacheBlocks cb(geom(2, 0));
     Frame *a = cb.victim(0x1000);
-    a->blockAddr = 0x1000;
+    cb.install(*a, 0x1000);
     a->state = Rd;
     Frame *b = cb.victim(0x2000);
     EXPECT_NE(a, b);
@@ -56,11 +56,11 @@ TEST(CacheBlocks, VictimIsLruAmongValid)
 {
     CacheBlocks cb(geom(2, 0));
     Frame *a = cb.victim(0x1000);
-    a->blockAddr = 0x1000;
+    cb.install(*a, 0x1000);
     a->state = Rd;
     cb.touch(*a, 10);
     Frame *b = cb.victim(0x2000);
-    b->blockAddr = 0x2000;
+    cb.install(*b, 0x2000);
     b->state = Rd;
     cb.touch(*b, 20);
     EXPECT_EQ(cb.victim(0x3000), a);
@@ -72,11 +72,11 @@ TEST(CacheBlocks, VictimAvoidsLockedFrames)
 {
     CacheBlocks cb(geom(2, 0));
     Frame *a = cb.victim(0x1000);
-    a->blockAddr = 0x1000;
+    cb.install(*a, 0x1000);
     a->state = LkSrcDty;
     cb.touch(*a, 1);    // locked frame is the LRU one
     Frame *b = cb.victim(0x2000);
-    b->blockAddr = 0x2000;
+    cb.install(*b, 0x2000);
     b->state = Rd;
     cb.touch(*b, 50);
     EXPECT_EQ(cb.victim(0x3000), b);
@@ -87,7 +87,7 @@ TEST(CacheBlocks, VictimPicksLockedWhenAllLocked)
     CacheBlocks cb(geom(2, 0));
     for (Addr a : {Addr(0x1000), Addr(0x2000)}) {
         Frame *f = cb.victim(a);
-        f->blockAddr = a;
+        cb.install(*f, a);
         f->state = LkSrcDty;
         cb.touch(*f, a);
     }
@@ -112,11 +112,11 @@ TEST(CacheBlocks, SetConflictEvictsWithinSet)
     CacheBlocks cb(geom(4, 2));
     // Fill one set with two conflicting blocks.
     Frame *a = cb.victim(0x1000);
-    a->blockAddr = 0x1000;
+    cb.install(*a, 0x1000);
     a->state = Rd;
     cb.touch(*a, 1);
     Frame *b = cb.victim(0x1040);
-    b->blockAddr = 0x1040;
+    cb.install(*b, 0x1040);
     b->state = Rd;
     cb.touch(*b, 2);
     // Third conflicting block must displace the LRU of that set.
@@ -124,12 +124,53 @@ TEST(CacheBlocks, SetConflictEvictsWithinSet)
     EXPECT_EQ(v, a);
 }
 
+TEST(CacheBlocks, FindHitsAfterInstall)
+{
+    CacheBlocks cb(geom(4, 0));
+    Frame *a = cb.victim(0x1000);
+    cb.install(*a, 0x1000);
+    a->state = Rd;
+    EXPECT_EQ(cb.find(0x1000), a);
+    EXPECT_EQ(cb.find(0x2000), nullptr);
+}
+
+TEST(CacheBlocks, FindRejectsStaleHintAfterInPlaceInvalidate)
+{
+    // Protocols invalidate by flipping Frame::state directly; the
+    // address index entry it leaves behind must not resurrect the block.
+    CacheBlocks cb(geom(4, 0));
+    Frame *a = cb.victim(0x1000);
+    cb.install(*a, 0x1000);
+    a->state = Rd;
+    ASSERT_EQ(cb.find(0x1000), a);
+    a->state = Inv;
+    EXPECT_EQ(cb.find(0x1000), nullptr);
+    // And again, after the lazy erase.
+    EXPECT_EQ(cb.find(0x1000), nullptr);
+}
+
+TEST(CacheBlocks, FindTracksFrameRebinding)
+{
+    // A frame reused for a different block: the old address must miss,
+    // the new one must hit.
+    CacheBlocks cb(geom(1, 0));
+    Frame *f = cb.victim(0x1000);
+    cb.install(*f, 0x1000);
+    f->state = Rd;
+    ASSERT_EQ(cb.find(0x1000), f);
+    f->state = Inv;    // evicted
+    cb.install(*f, 0x2000);
+    f->state = Rd;
+    EXPECT_EQ(cb.find(0x1000), nullptr);
+    EXPECT_EQ(cb.find(0x2000), f);
+}
+
 TEST(CacheBlocks, ForEachValidVisitsAll)
 {
     CacheBlocks cb(geom(8, 0));
     for (Addr a = 0x1000; a < 0x1000 + 3 * 32; a += 32) {
         Frame *f = cb.victim(a);
-        f->blockAddr = a;
+        cb.install(*f, a);
         f->state = Rd;
     }
     unsigned n = 0;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "sim/event_queue.hh"
 
 using namespace csync;
@@ -94,6 +96,82 @@ TEST(EventQueue, ResetClearsEverything)
     eq.reset();
     EXPECT_TRUE(eq.empty());
     EXPECT_EQ(eq.now(), 0u);
+}
+
+// Pooled-allocation stress: many events across recycled nodes must keep
+// FIFO order within each tick.  Interleaves the scheduling of two ticks
+// so heap sifting and free-list reuse both happen mid-stream.
+TEST(EventQueue, PooledNodesPreserveFifoUnderStress)
+{
+    EventQueue eq;
+    const int kRounds = 50;
+    const int kPerTick = 200;
+    for (int round = 0; round < kRounds; ++round) {
+        std::vector<int> order;
+        Tick base = eq.now() + 1;
+        for (int i = 0; i < kPerTick; ++i) {
+            eq.schedule(base, [&order, i] { order.push_back(i); });
+            eq.schedule(base + 1,
+                        [&order, i] { order.push_back(kPerTick + i); });
+        }
+        eq.run(base + 1);
+        ASSERT_EQ(order.size(), std::size_t(2 * kPerTick));
+        for (int i = 0; i < 2 * kPerTick; ++i)
+            ASSERT_EQ(order[i], i) << "round " << round;
+    }
+    EXPECT_EQ(eq.executed(), std::uint64_t(kRounds * 2 * kPerTick));
+}
+
+// Captures both below and above the inline small-buffer capacity must
+// run correctly (the large one exercises the boxed fallback path).
+TEST(EventQueue, InlineAndBoxedCapturesBothRun)
+{
+    EventQueue eq;
+    std::uint64_t small_sum = 0, big_sum = 0;
+
+    std::uint64_t a = 3, b = 4;
+    eq.schedule(1, [&small_sum, a, b] { small_sum = a + b; });
+
+    struct Big
+    {
+        std::uint64_t vals[40]; // > EventCallback::inlineBytes
+    };
+    static_assert(sizeof(Big) > EventCallback::inlineBytes);
+    Big big{};
+    for (int i = 0; i < 40; ++i)
+        big.vals[i] = std::uint64_t(i);
+    eq.schedule(1, [&big_sum, big] {
+        for (std::uint64_t v : big.vals)
+            big_sum += v;
+    });
+
+    eq.run();
+    EXPECT_EQ(small_sum, 7u);
+    EXPECT_EQ(big_sum, 780u);
+}
+
+// An executing event may schedule new events; the freed node is legal to
+// reuse immediately.  Chain deeply to churn one node through the free
+// list many times, and fan out to force fresh chunk allocation mid-run.
+TEST(EventQueue, ScheduleDuringExecuteReusesNodesSafely)
+{
+    EventQueue eq;
+    int chain = 0;
+    std::function<void()> link = [&] {
+        if (++chain < 1000)
+            eq.scheduleIn(1, [&] { link(); });
+    };
+    eq.schedule(1, [&] { link(); });
+
+    int fanout = 0;
+    eq.schedule(1, [&] {
+        for (int i = 0; i < 300; ++i)
+            eq.scheduleIn(Tick(1 + i % 7), [&fanout] { ++fanout; });
+    });
+
+    eq.run();
+    EXPECT_EQ(chain, 1000);
+    EXPECT_EQ(fanout, 300);
 }
 
 TEST(EventQueueDeath, SchedulingInThePastPanics)

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the bench harness: median math, monotonic timing,
+ * document round-trip, and the comparison gate (pass, injected
+ * slowdown, missing kernel, calibration normalization).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/bench_harness.hh"
+
+using namespace csync;
+using namespace csync::perf;
+
+TEST(Median, OddAndEvenInputs)
+{
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({10.0, 10.0, 1.0, 10.0}), 10.0);
+}
+
+TEST(BenchHarness, TimingIsMonotoneAndOpsPropagate)
+{
+    BenchHarness h;
+    BenchOptions opts;
+    opts.warmup = 1;
+    opts.reps = 3;
+    int calls = 0;
+    KernelResult r = h.run("spin", [&calls]() -> std::uint64_t {
+        ++calls;
+        // Enough work to register on the steady clock.
+        volatile std::uint64_t x = 1;
+        for (int i = 0; i < 200000; ++i)
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return 1000;
+    }, opts);
+
+    EXPECT_EQ(calls, 4); // 1 warmup + 3 timed
+    EXPECT_EQ(r.name, "spin");
+    EXPECT_EQ(r.opsPerRep, 1000u);
+    EXPECT_EQ(r.reps, 3u);
+    EXPECT_GT(r.medianMs, 0.0);
+    EXPECT_LE(r.minMs, r.medianMs);
+    EXPECT_LE(r.medianMs, r.maxMs);
+    EXPECT_GT(r.opsPerSec, 0.0);
+    EXPECT_GT(r.nsPerOp, 0.0);
+    // ops/sec and ns/op describe the same median repetition.
+    EXPECT_NEAR(r.opsPerSec * r.nsPerOp, 1e9, 1e9 * 1e-9);
+}
+
+TEST(BenchHarness, PeakRssIsNonZeroOnSupportedPlatforms)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_GT(peakRssKb(), 0u);
+#endif
+}
+
+namespace
+{
+
+KernelResult
+makeResult(const std::string &name, double ops_per_sec)
+{
+    KernelResult r;
+    r.name = name;
+    r.protocol = name == kCalibrationKernel ? "" : "bitar";
+    r.workload = name == kCalibrationKernel ? "" : "random_sharing";
+    r.procs = name == kCalibrationKernel ? 0 : 8;
+    r.opsPerRep = 1000;
+    r.reps = 5;
+    r.medianMs = 1000.0 * 1000 / ops_per_sec;
+    r.minMs = r.medianMs;
+    r.maxMs = r.medianMs;
+    r.opsPerSec = ops_per_sec;
+    r.nsPerOp = 1e9 / ops_per_sec;
+    return r;
+}
+
+} // namespace
+
+TEST(BenchJson, RoundTripPreservesComparableFields)
+{
+    std::vector<KernelResult> in = {
+        makeResult(kCalibrationKernel, 5e8),
+        makeResult("bitar_random_sharing", 2.5e6),
+    };
+    BenchOptions opts;
+    opts.warmup = 2;
+    opts.reps = 7;
+    harness::Json doc = benchToJson(in, "sim_core", "full", opts);
+    EXPECT_EQ(int(doc["csync_bench"].asNumber()), kBenchVersion);
+    EXPECT_EQ(doc["mode"].asString(), "full");
+
+    // Through text and back, as the CLI does.
+    std::string err;
+    harness::Json parsed = harness::Json::parse(doc.dump(0), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    std::vector<KernelResult> out;
+    ASSERT_TRUE(benchFromJson(parsed, &out, &err)) << err;
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out[i].name, in[i].name);
+        EXPECT_EQ(out[i].protocol, in[i].protocol);
+        EXPECT_EQ(out[i].workload, in[i].workload);
+        EXPECT_EQ(out[i].procs, in[i].procs);
+        EXPECT_EQ(out[i].opsPerRep, in[i].opsPerRep);
+        EXPECT_EQ(out[i].reps, in[i].reps);
+        EXPECT_DOUBLE_EQ(out[i].medianMs, in[i].medianMs);
+        EXPECT_DOUBLE_EQ(out[i].opsPerSec, in[i].opsPerSec);
+        EXPECT_DOUBLE_EQ(out[i].nsPerOp, in[i].nsPerOp);
+    }
+}
+
+TEST(BenchJson, RejectsForeignAndVersionedDocuments)
+{
+    std::vector<KernelResult> out;
+    std::string err;
+
+    harness::Json not_bench = harness::Json::object();
+    not_bench.set("csync_campaign", 1);
+    EXPECT_FALSE(benchFromJson(not_bench, &out, &err));
+    EXPECT_NE(err.find("csync_bench"), std::string::npos);
+
+    harness::Json future = harness::Json::object();
+    future.set("csync_bench", kBenchVersion + 1);
+    future.set("kernels", harness::Json::array());
+    EXPECT_FALSE(benchFromJson(future, &out, &err));
+    EXPECT_NE(err.find("version"), std::string::npos);
+}
+
+TEST(BenchCompare, EqualRunsPass)
+{
+    std::vector<KernelResult> base = {
+        makeResult(kCalibrationKernel, 5e8),
+        makeResult("k1", 2e6),
+        makeResult("k2", 3e6),
+    };
+    BenchCompareReport rep = compareBench(base, base);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.normalized);
+    EXPECT_EQ(rep.compared, 2u); // calibration itself is never gated
+    EXPECT_EQ(rep.regressed, 0u);
+    EXPECT_EQ(rep.missing, 0u);
+}
+
+TEST(BenchCompare, InjectedSlowdownFails)
+{
+    std::vector<KernelResult> base = {makeResult("k1", 2e6)};
+    std::vector<KernelResult> slow = {makeResult("k1", 1e6)};
+    BenchCompareOptions opts;
+    opts.maxRegressPct = 25.0;
+    BenchCompareReport rep = compareBench(base, slow, opts);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_EQ(rep.regressed, 1u);
+    EXPECT_NE(rep.text.find("REGRESS"), std::string::npos);
+
+    // The same slowdown passes when tolerance is widened past it.
+    opts.maxRegressPct = 60.0;
+    EXPECT_TRUE(compareBench(base, slow, opts).ok);
+}
+
+TEST(BenchCompare, MissingKernelFails)
+{
+    std::vector<KernelResult> base = {
+        makeResult("k1", 2e6),
+        makeResult("k2", 3e6),
+    };
+    std::vector<KernelResult> cand = {makeResult("k1", 2e6)};
+    BenchCompareReport rep = compareBench(base, cand);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_EQ(rep.missing, 1u);
+    EXPECT_EQ(rep.compared, 1u);
+}
+
+TEST(BenchCompare, CalibrationNormalizesMachineSpeed)
+{
+    // Candidate machine is uniformly half as fast: calibration and the
+    // simulator kernel both halve, so the normalized comparison passes.
+    std::vector<KernelResult> base = {
+        makeResult(kCalibrationKernel, 5e8),
+        makeResult("k1", 2e6),
+    };
+    std::vector<KernelResult> cand = {
+        makeResult(kCalibrationKernel, 2.5e8),
+        makeResult("k1", 1e6),
+    };
+    BenchCompareOptions opts;
+    opts.maxRegressPct = 10.0;
+    BenchCompareReport rep = compareBench(base, cand, opts);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.normalized);
+
+    // Without a calibration kernel the same halving is a raw 50%
+    // regression and fails.
+    std::vector<KernelResult> base_raw = {makeResult("k1", 2e6)};
+    std::vector<KernelResult> cand_raw = {makeResult("k1", 1e6)};
+    BenchCompareReport raw = compareBench(base_raw, cand_raw, opts);
+    EXPECT_FALSE(raw.ok);
+    EXPECT_FALSE(raw.normalized);
+}

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * csync-bench — the performance-trajectory driver.  Runs named workload
+ * kernels (full simulations through the campaign engine, plus a pure-CPU
+ * calibration kernel) under the steady-clock bench harness and writes a
+ * schema-versioned BENCH document, or compares two such documents and
+ * fails on regression:
+ *
+ *   csync-bench --quick -o BENCH_sim_core.json
+ *   csync-bench --compare tests/golden/bench_baseline.json \
+ *               --max-regress 25
+ *
+ * Exit codes: 0 success / within tolerance; 1 regression or failed
+ * kernel; 2 usage or I/O error.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/campaign_io.hh"
+#include "harness/sweep.hh"
+#include "perf/bench_harness.hh"
+
+using namespace csync;
+using namespace csync::harness;
+using namespace csync::perf;
+
+namespace
+{
+
+/** One named bench kernel: a protocol/workload pair, or calibration. */
+struct KernelSpec
+{
+    std::string name;
+    std::string protocol; // empty for the calibration kernel
+    std::string workload;
+    unsigned procs = 8;
+};
+
+/**
+ * The standard kernel set.  Calibration comes first so both the emitted
+ * document and the compare normalization always see it; the simulator
+ * kernels cover the write-once scheme against the classic invalidate
+ * and update protocols on the contended workloads.
+ */
+std::vector<KernelSpec>
+standardKernels()
+{
+    return {
+        {kCalibrationKernel, "", "", 0},
+        {"bitar_random_sharing", "bitar", "random_sharing", 8},
+        {"bitar_critical_section", "bitar", "critical_section", 8},
+        {"bitar_producer_consumer", "bitar", "producer_consumer", 8},
+        {"goodman_random_sharing", "goodman", "random_sharing", 8},
+        {"illinois_random_sharing", "illinois", "random_sharing", 8},
+        {"dragon_random_sharing", "dragon", "random_sharing", 8},
+    };
+}
+
+/**
+ * Fixed amount of pure CPU work (xorshift64 spins) used to measure the
+ * host machine's speed, so baselines recorded elsewhere compare as
+ * ratios.  The state is returned through a volatile sink so the loop
+ * cannot be optimized away.
+ */
+std::uint64_t
+calibrationSpin()
+{
+    constexpr std::uint64_t iters = 20'000'000;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    volatile std::uint64_t sink = x;
+    (void)sink;
+    return iters;
+}
+
+/** Build the single-job grid for a simulator kernel. */
+bool
+makeJob(const KernelSpec &k, std::uint64_t ops, JobSpec *out,
+        std::string *err)
+{
+    SweepSpec spec;
+    spec.name = k.name;
+    spec.protocols = {k.protocol};
+    spec.workloads = {k.workload};
+    spec.processorCounts = {k.procs};
+    spec.opsPerProcessor = ops;
+    std::vector<JobSpec> grid;
+    if (!spec.expand(&grid, err))
+        return false;
+    if (grid.size() != 1) {
+        *err = "kernel '" + k.name + "' expanded to " +
+               std::to_string(grid.size()) + " jobs, expected 1";
+        return false;
+    }
+    *out = grid[0];
+    return true;
+}
+
+int
+cliError(const std::string &msg)
+{
+    std::fprintf(stderr, "csync-bench: %s\n", msg.c_str());
+    return 2;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [options]                    run the bench kernels\n"
+        "       %s --compare OLD [NEW] [opts]   gate NEW against OLD\n"
+        "       %s --list                       list kernels\n"
+        "\n"
+        "run options:\n"
+        "  --quick              fast mode: 4000 ops/proc, 3 reps\n"
+        "  --ops N              memory ops per processor (default "
+        "20000)\n"
+        "  --reps N             timed repetitions, median reported "
+        "(default 5)\n"
+        "  --warmup N           untimed warmup repetitions (default 1)\n"
+        "  --kernels A,B,...    run only the named kernels\n"
+        "  -o, --out FILE       bench JSON output (default "
+        "BENCH_sim_core.json)\n"
+        "  -q, --quiet          no per-kernel progress on stderr\n"
+        "\n"
+        "compare options (NEW omitted: run the kernels fresh first):\n"
+        "  --max-regress PCT    allowed ops/sec regression per kernel "
+        "(default 25)\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+splitList(const std::string &arg, std::vector<std::string> *out)
+{
+    out->clear();
+    std::string cur;
+    for (char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out->push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out->push_back(cur);
+    return !out->empty();
+}
+
+bool
+loadBench(const std::string &path, std::vector<KernelResult> *out,
+          std::string *err)
+{
+    std::string text;
+    if (!readFile(path, &text, err))
+        return false;
+    Json doc = Json::parse(text, err);
+    if (!err->empty()) {
+        *err = path + ": " + *err;
+        return false;
+    }
+    if (!benchFromJson(doc, out, err)) {
+        *err = path + ": " + *err;
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Run the selected kernels.  @return false (with *err) on a bad kernel
+ * name; a kernel whose simulation fails sets *failed instead, so the
+ * caller exits 1 rather than 2.
+ */
+bool
+runKernels(const std::vector<std::string> &only, std::uint64_t ops,
+           const BenchOptions &opts, bool quiet,
+           std::vector<KernelResult> *out, bool *failed,
+           std::string *err)
+{
+    std::vector<KernelSpec> kernels;
+    for (const auto &k : standardKernels()) {
+        if (!only.empty()) {
+            bool wanted = false;
+            for (const auto &name : only)
+                wanted = wanted || name == k.name;
+            if (!wanted)
+                continue;
+        }
+        kernels.push_back(k);
+    }
+    if (kernels.size() < (only.empty() ? 1u : only.size())) {
+        *err = "unknown kernel in --kernels; try --list";
+        return false;
+    }
+
+    BenchHarness harness;
+    for (const auto &k : kernels) {
+        KernelResult r;
+        if (k.protocol.empty()) {
+            r = harness.run(k.name, calibrationSpin, opts);
+        } else {
+            JobSpec job;
+            if (!makeJob(k, ops, &job, err))
+                return false;
+            std::string job_err;
+            r = harness.run(k.name, [&job, &job_err]() -> std::uint64_t {
+                JobResult row = CampaignRunner::runJob(job);
+                if (!row.ok())
+                    job_err = row.status + ": " + row.error;
+                return row.memOps;
+            }, opts);
+            if (!job_err.empty()) {
+                std::fprintf(stderr, "csync-bench: kernel '%s' failed "
+                             "(%s)\n", k.name.c_str(), job_err.c_str());
+                *failed = true;
+                continue;
+            }
+            r.protocol = k.protocol;
+            r.workload = k.workload;
+            r.procs = k.procs;
+        }
+        if (!quiet) {
+            std::fprintf(stderr, "%-28s %9.2f ms median  %12.3g ops/s  "
+                         "%8.1f ns/op\n", r.name.c_str(), r.medianMs,
+                         r.opsPerSec, r.nsPerOp);
+        }
+        out->push_back(std::move(r));
+    }
+    return true;
+}
+
+int
+doList()
+{
+    for (const auto &k : standardKernels()) {
+        if (k.protocol.empty())
+            std::printf("%-28s (pure-CPU machine-speed reference)\n",
+                        k.name.c_str());
+        else
+            std::printf("%-28s %s / %s, %u procs\n", k.name.c_str(),
+                        k.protocol.c_str(), k.workload.c_str(), k.procs);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_sim_core.json";
+    std::string compare_old, compare_new;
+    std::vector<std::string> only;
+    bool compare_mode = false, list_mode = false, quiet = false;
+    bool quick = false;
+    std::uint64_t ops = 20000;
+    bool have_ops = false, have_reps = false;
+    BenchOptions opts;
+    BenchCompareOptions cmp;
+
+    auto next_arg = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "csync-bench: %s needs a value\n",
+                         flag);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *v = nullptr;
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (a == "--list") {
+            list_mode = true;
+        } else if (a == "--quick") {
+            quick = true;
+        } else if (a == "--compare") {
+            if (!(v = next_arg(i, "--compare")))
+                return 2;
+            compare_mode = true;
+            compare_old = v;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                compare_new = argv[++i];
+        } else if (a == "--max-regress") {
+            if (!(v = next_arg(i, "--max-regress")))
+                return 2;
+            cmp.maxRegressPct = std::atof(v);
+        } else if (a == "--ops") {
+            if (!(v = next_arg(i, "--ops")))
+                return 2;
+            ops = std::strtoull(v, nullptr, 10);
+            have_ops = true;
+        } else if (a == "--reps") {
+            if (!(v = next_arg(i, "--reps")))
+                return 2;
+            opts.reps = unsigned(std::strtoul(v, nullptr, 10));
+            have_reps = true;
+        } else if (a == "--warmup") {
+            if (!(v = next_arg(i, "--warmup")))
+                return 2;
+            opts.warmup = unsigned(std::strtoul(v, nullptr, 10));
+        } else if (a == "--kernels") {
+            if (!(v = next_arg(i, "--kernels")))
+                return 2;
+            if (!splitList(v, &only))
+                return cliError("--kernels: empty list");
+        } else if (a == "-o" || a == "--out") {
+            if (!(v = next_arg(i, "--out")))
+                return 2;
+            out_path = v;
+        } else if (a == "-q" || a == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "csync-bench: unknown option %s\n",
+                         a.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    if (list_mode)
+        return doList();
+
+    if (quick) {
+        if (!have_ops)
+            ops = 4000;
+        if (!have_reps)
+            opts.reps = 3;
+    }
+    if (opts.reps == 0)
+        return cliError("--reps must be >= 1");
+
+    std::string err;
+
+    if (compare_mode && !compare_new.empty()) {
+        // Pure file-vs-file comparison: no kernels run.
+        std::vector<KernelResult> oldr, newr;
+        if (!loadBench(compare_old, &oldr, &err) ||
+            !loadBench(compare_new, &newr, &err))
+            return cliError(err);
+        BenchCompareReport rep = compareBench(oldr, newr, cmp);
+        std::fputs(rep.text.c_str(), stdout);
+        return rep.ok ? 0 : 1;
+    }
+
+    std::vector<KernelResult> results;
+    bool failed = false;
+    if (!runKernels(only, ops, opts, quiet, &results, &failed, &err))
+        return cliError(err);
+
+    Json doc = benchToJson(results, "sim_core",
+                           quick ? "quick" : "full", opts);
+    if (!compare_mode || !out_path.empty()) {
+        if (!writeFile(out_path, doc.dump(0) + "\n", &err))
+            return cliError(err);
+        if (!quiet)
+            std::fprintf(stderr, "csync-bench: wrote %s (%zu kernels)\n",
+                         out_path.c_str(), results.size());
+    }
+
+    if (compare_mode) {
+        std::vector<KernelResult> baseline;
+        if (!loadBench(compare_old, &baseline, &err))
+            return cliError(err);
+        BenchCompareReport rep = compareBench(baseline, results, cmp);
+        std::fputs(rep.text.c_str(), stdout);
+        return (rep.ok && !failed) ? 0 : 1;
+    }
+    return failed ? 1 : 0;
+}
