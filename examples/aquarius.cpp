@@ -1,21 +1,20 @@
 /**
  * @file
- * Aquarius in miniature (Figure 11): the two switch-memory systems of
- * the paper's Prolog architecture — the synchronization system (single
- * full-broadcast bus, all hard atoms, the proposed protocol) and the
+ * Aquarius in miniature (Figure 11): ONE machine whose processors front
+ * two switch-memory systems — the synchronization system (a single
+ * full-broadcast bus carrying all hard atoms and I/O broadcasts) and the
  * data system (instructions and non-synchronization data on their own
- * switch), plus an I/O processor doing input and page-out transfers on
- * the side (Section E.2).
- *
- * Many medium-grained, lightweight "predicate processes" hammer shared
- * service queues on the sync system while streaming private data on the
- * data system.
+ * switch).  Each "predicate process" interleaves service-queue work on
+ * the sync system with private/shared data streaming on the data
+ * system, and an I/O processor pages blocks in and out over the sync
+ * bus (Section E.2).
  *
  * Usage: aquarius [processors]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 
 #include "proc/workloads/random_sharing.hh"
@@ -24,52 +23,161 @@
 
 using namespace csync;
 
+namespace
+{
+
+/**
+ * One predicate process: service-queue operations (the synchronization
+ * structure, low addresses -> sync bus) interleaved with random
+ * private/shared data references (high addresses -> data switch).
+ * While the queue lock is busy-waited, the data stream keeps running —
+ * work-while-waiting across switches (Section E.4).
+ */
+class PredicateProcessWorkload : public Workload
+{
+  public:
+    PredicateProcessWorkload(std::unique_ptr<Workload> sync_wl,
+                             std::unique_ptr<Workload> data_wl,
+                             unsigned data_per_sync)
+        : sync_(std::move(sync_wl)), data_(std::move(data_wl)),
+          dataPerSync_(data_per_sync), dataRun_(data_per_sync)
+    {
+    }
+
+    NextStatus
+    next(MemOp &op, Tick &think) override
+    {
+        // Poll until a sub-workload *returns* Finished — done() can go
+        // true while its phase machine still owes an op (the service
+        // queue's final lock release).
+        bool want_sync = !syncFinished_ &&
+                         (dataRun_ >= dataPerSync_ || dataFinished_);
+        if (want_sync) {
+            switch (sync_->next(op, think)) {
+              case NextStatus::Op:
+                fromSync_ = true;
+                dataRun_ = 0;
+                return NextStatus::Op;
+              case NextStatus::WaitForLock:
+                // The queue lock is pending in the busy-wait register;
+                // stream data-system work meanwhile.
+                if (dataFinished_)
+                    return NextStatus::WaitForLock;
+                break;
+              case NextStatus::Finished:
+                syncFinished_ = true;
+                break;
+            }
+        }
+        if (!dataFinished_) {
+            switch (data_->next(op, think)) {
+              case NextStatus::Op:
+                fromSync_ = false;
+                ++dataRun_;
+                return NextStatus::Op;
+              case NextStatus::Finished:
+                dataFinished_ = true;
+                break;
+              case NextStatus::WaitForLock:
+                break; // the data stream takes no locks
+            }
+        }
+        if (!syncFinished_) {
+            switch (sync_->next(op, think)) {
+              case NextStatus::Op:
+                fromSync_ = true;
+                dataRun_ = 0;
+                return NextStatus::Op;
+              case NextStatus::WaitForLock:
+                return NextStatus::WaitForLock;
+              case NextStatus::Finished:
+                syncFinished_ = true;
+                break;
+            }
+        }
+        return NextStatus::Finished;
+    }
+
+    void
+    onResult(const MemOp &op, const AccessResult &r) override
+    {
+        if (fromSync_)
+            sync_->onResult(op, r);
+        else
+            data_->onResult(op, r);
+    }
+
+    void
+    onLockAcquired(const MemOp &op, const AccessResult &r) override
+    {
+        // Only the service queue takes locks.
+        sync_->onLockAcquired(op, r);
+    }
+
+    bool done() const override { return sync_->done() && data_->done(); }
+
+    std::string
+    describe() const override
+    {
+        return "predicate process: " + sync_->describe() + " + " +
+               data_->describe();
+    }
+
+  private:
+    std::unique_ptr<Workload> sync_;
+    std::unique_ptr<Workload> data_;
+    unsigned dataPerSync_;
+    unsigned dataRun_;
+    bool fromSync_ = false;
+    bool syncFinished_ = false;
+    bool dataFinished_ = false;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     unsigned procs = argc > 1 ? unsigned(std::atoi(argv[1])) : 4;
 
-    // Upper system of Figure 11: the synchronization bus.
-    SystemConfig sync_cfg;
-    sync_cfg.name = "sync";
-    sync_cfg.protocol = "bitar";
-    sync_cfg.numProcessors = procs;
-    sync_cfg.cache.geom.frames = 64;
-    sync_cfg.cache.geom.blockWords = 4;
-    sync_cfg.withIODevice = true;
-    System sync_sys(sync_cfg);
+    SystemConfig cfg;
+    cfg.name = "aquarius";
+    cfg.protocol = "bitar";
+    cfg.numProcessors = procs;
+    cfg.cache.geom.frames = 128;
+    cfg.cache.geom.blockWords = 4;
+    cfg.topology = TopologyConfig::twoSwitch();
+    cfg.withIODevice = true; // attaches to the sync bus
+    System sys(cfg);
 
-    ServiceQueueParams q;
-    q.operations = 200;
-    q.alg = LockAlg::CacheLock;
     for (unsigned i = 0; i < procs; ++i) {
+        // Sync system: the shared service queue (descriptor and slots
+        // live in the low, synchronization address region).
+        ServiceQueueParams q;
+        q.operations = 200;
+        q.alg = LockAlg::CacheLock;
         q.procId = i;
-        sync_sys.addProcessor(
-            std::make_unique<ServiceQueueWorkload>(
-                q, i % 2 ? QueueRole::Consumer : QueueRole::Producer),
-            /*work_while_waiting=*/true);
-    }
+        auto sync_wl = std::make_unique<ServiceQueueWorkload>(
+            q, i % 2 ? QueueRole::Consumer : QueueRole::Producer);
 
-    // Lower system: instructions and non-synchronization data.
-    SystemConfig data_cfg;
-    data_cfg.name = "data";
-    data_cfg.protocol = "illinois";
-    data_cfg.numProcessors = procs;
-    data_cfg.cache.geom.frames = 128;
-    data_cfg.cache.geom.blockWords = 8;
-    System data_sys(data_cfg);
-    for (unsigned i = 0; i < procs; ++i) {
+        // Data system: private/shared streaming relocated wholly above
+        // the two_switch split so it rides the data switch.
         RandomSharingParams p;
-        p.ops = 8000;
+        p.ops = 4000;
         p.procId = i;
         p.seed = 17;
-        p.sharedFraction = 0.05;    // non-synchronization data
+        p.sharedFraction = 0.05; // non-synchronization data
         p.writeFraction = 0.3;
-        data_sys.addProcessor(
-            std::make_unique<RandomSharingWorkload>(p));
+        p.sharedBase = 0x20000000;
+        auto data_wl = std::make_unique<RandomSharingWorkload>(p);
+
+        sys.addProcessor(std::make_unique<PredicateProcessWorkload>(
+                             std::move(sync_wl), std::move(data_wl),
+                             /*data_per_sync=*/4),
+                         /*work_while_waiting=*/true);
     }
 
-    // The I/O processor pages blocks in and out of the sync system.
+    // The I/O processor pages blocks in and out over the sync bus.
     unsigned io_ops = 0;
     std::function<void()> io_kick = [&]() {
         if (io_ops >= 20)
@@ -77,57 +185,63 @@ main(int argc, char **argv)
         ++io_ops;
         Addr block = 0x600000 + (io_ops % 4) * 0x20;
         if (io_ops % 2) {
-            sync_sys.io()->input(block, {io_ops, io_ops, io_ops, io_ops},
-                                 [&](const std::vector<Word> &) {
-                                     io_kick();
-                                 });
+            sys.io()->input(block, {io_ops, io_ops, io_ops, io_ops},
+                            [&](const std::vector<Word> &) {
+                                io_kick();
+                            });
         } else {
-            sync_sys.io()->pageOut(block,
-                                   [&](const std::vector<Word> &) {
-                                       io_kick();
-                                   });
+            sys.io()->pageOut(block, [&](const std::vector<Word> &) {
+                io_kick();
+            });
         }
     };
 
-    sync_sys.start();
-    data_sys.start();
+    sys.start();
     io_kick();
+    Tick end = sys.run();
 
-    // Run both systems to completion (they are independent switches).
-    Tick sync_end = sync_sys.run();
-    Tick data_end = data_sys.run();
+    Bus &sync_bus = sys.bus(0);
+    Bus &data_switch = sys.bus(1);
 
-    std::printf("Aquarius architecture (Figure 11), %u PPs\n\n", procs);
-    std::printf("%-30s %14s %14s\n", "", "sync system", "data system");
-    std::printf("%-30s %14llu %14llu\n", "cycles to finish",
-                (unsigned long long)sync_end,
-                (unsigned long long)data_end);
-    std::printf("%-30s %13.1f%% %13.1f%%\n", "bus utilization",
-                100 * sync_sys.bus().busyCycles.value() /
-                    double(sync_end),
-                100 * data_sys.bus().busyCycles.value() /
-                    double(data_end));
-    std::printf("%-30s %14.0f %14.0f\n", "bus transactions",
-                sync_sys.bus().transactions.value(),
-                data_sys.bus().transactions.value());
+    std::printf("Aquarius architecture (Figure 11), %u PPs, "
+                "%llu cycles\n\n", procs, (unsigned long long)end);
+    std::printf("%-30s %14s %14s\n", "", "sync_bus", "data_switch");
+    std::printf("%-30s %13.1f%% %13.1f%%\n", "utilization",
+                100 * sync_bus.busyCycles.value() / double(end),
+                100 * data_switch.busyCycles.value() / double(end));
+    std::printf("%-30s %14.0f %14.0f\n", "transactions",
+                sync_bus.transactions.value(),
+                data_switch.transactions.value());
+    std::printf("%-30s %14.0f %14.0f\n", "sync-class traffic",
+                sync_bus.classCount(TrafficClass::Sync),
+                data_switch.classCount(TrafficClass::Sync));
+    std::printf("%-30s %14.0f %14.0f\n", "data-class traffic",
+                sync_bus.classCount(TrafficClass::Data),
+                data_switch.classCount(TrafficClass::Data));
+    std::printf("%-30s %14.0f %14.0f\n", "misrouted",
+                sync_bus.misroutedCount(),
+                data_switch.misroutedCount());
     std::printf("%-30s %14.0f %14s\n", "unlock broadcasts",
-                sync_sys.bus().typeCount(BusReq::UnlockBroadcast), "-");
+                sync_bus.typeCount(BusReq::UnlockBroadcast), "-");
     std::printf("%-30s %14.0f %14s\n", "I/O transfers",
-                sync_sys.io()->inputs.value() +
-                    sync_sys.io()->pageOuts.value(),
+                sys.io()->inputs.value() + sys.io()->pageOuts.value(),
                 "-");
     double ready = 0;
     for (unsigned i = 0; i < procs; ++i)
-        ready += sync_sys.processor(i).readySectionOps.value();
+        ready += sys.processor(i).readySectionOps.value();
     std::printf("%-30s %14.0f %14s\n", "work-while-waiting ops", ready,
                 "-");
-    std::printf("%-30s %14llu %14llu\n", "checker violations",
-                (unsigned long long)sync_sys.checker().violations(),
-                (unsigned long long)data_sys.checker().violations());
+    std::printf("%-30s %14llu %14s\n", "checker violations",
+                (unsigned long long)sys.checker().violations(), "");
 
-    bool ok = sync_sys.checker().violations() == 0 &&
-              data_sys.checker().violations() == 0 &&
-              sync_sys.allDone() && data_sys.allDone();
+    // Figure 11 segregation: the two systems carry disjoint traffic.
+    bool segregated = sync_bus.classCount(TrafficClass::Data) == 0 &&
+                      data_switch.classCount(TrafficClass::Sync) == 0 &&
+                      sync_bus.misroutedCount() == 0 &&
+                      data_switch.misroutedCount() == 0;
+
+    bool ok = sys.checker().violations() == 0 && sys.allDone() &&
+              segregated && sys.checkStateInvariants() == 0;
     std::printf("\n%s\n", ok ? "ok" : "FAILED");
     return ok ? 0 : 1;
 }

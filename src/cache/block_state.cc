@@ -3,53 +3,71 @@
 namespace csync
 {
 
+namespace
+{
+
+// The one flag -> label table behind stateName and stateAbbrev, in print
+// order.  A null abbrev drops the flag from the abbreviated form (the
+// WroteOnce hint never fit the compact dumps).  Dirty/Clean is rendered
+// specially below: the long form suppresses ",Clean" on locked blocks.
+struct SuffixLabel
+{
+    State bit;
+    const char *word;
+    const char *abbrev;
+};
+
+constexpr SuffixLabel kSuffixLabels[] = {
+    {BitWaiter, ",Waiter", ".W"},
+    {BitShared, ",Shared", ".sh"},
+    {BitWroteOnce, ",WroteOnce", nullptr},
+};
+
+const char *
+baseLabel(State s, bool abbrev)
+{
+    if (isLocked(s))
+        return abbrev ? "L" : "Lock";
+    if (canWrite(s))
+        return abbrev ? "W" : "Write";
+    return abbrev ? "R" : "Read";
+}
+
 std::string
-stateName(State s)
+renderState(State s, bool abbrev)
 {
     if (!isValid(s))
-        return "Invalid";
-    std::string out;
-    if (isLocked(s))
-        out = "Lock";
-    else if (canWrite(s))
-        out = "Write";
-    else
-        out = "Read";
+        return abbrev ? "I" : "Invalid";
+    std::string out = baseLabel(s, abbrev);
     if (isSource(s))
-        out += ",Source";
-    if (isValid(s) && !isLocked(s))
+        out += abbrev ? ".S" : ",Source";
+    if (abbrev)
+        out += isDirty(s) ? ".D" : ".C";
+    else if (!isLocked(s))
         out += isDirty(s) ? ",Dirty" : ",Clean";
     else if (isDirty(s))
         out += ",Dirty";
-    if (hasWaiter(s))
-        out += ",Waiter";
-    if (isSharedHint(s))
-        out += ",Shared";
-    if (wroteOnce(s))
-        out += ",WroteOnce";
+    for (const auto &l : kSuffixLabels) {
+        if (!(s & l.bit))
+            continue;
+        if (const char *label = abbrev ? l.abbrev : l.word)
+            out += label;
+    }
     return out;
+}
+
+} // namespace
+
+std::string
+stateName(State s)
+{
+    return renderState(s, false);
 }
 
 std::string
 stateAbbrev(State s)
 {
-    if (!isValid(s))
-        return "I";
-    std::string out;
-    if (isLocked(s))
-        out = "L";
-    else if (canWrite(s))
-        out = "W";
-    else
-        out = "R";
-    if (isSource(s))
-        out += ".S";
-    out += isDirty(s) ? ".D" : ".C";
-    if (hasWaiter(s))
-        out += ".W";
-    if (isSharedHint(s))
-        out += ".sh";
-    return out;
+    return renderState(s, true);
 }
 
 const std::vector<State> &

@@ -5,7 +5,8 @@ namespace csync
 
 Cache::Cache(std::string name, EventQueue *eq, NodeId id, NodeId reg_id,
              const CacheConfig &config, std::unique_ptr<Protocol> protocol,
-             Bus *bus, Checker *checker, stats::Group *stats_parent)
+             Interconnect *bus, Checker *checker,
+             stats::Group *stats_parent)
     : SimObject(std::move(name), eq),
       statsGroup(this->name(), stats_parent),
       accesses(&statsGroup, "accesses", "processor operations issued"),
@@ -231,6 +232,12 @@ Cache::dispatch()
     pendingMsg_.wordData = curOp_.value;
     pendingMsg_.hasData = a.hasData;
     pendingMsg_.privateHint = curOp_.privateHint;
+    // Lock traffic and tagged sync references belong to the
+    // synchronization system (Section E.2, Figure 11).
+    bool sync_op = curOp_.type == OpType::LockRead ||
+                   curOp_.type == OpType::UnlockWrite ||
+                   curOp_.type == OpType::Rmw || curOp_.sync;
+    pendingMsg_.cls = sync_op ? TrafficClass::Sync : TrafficClass::Data;
     if (config_.geom.subBlockUnits())
         pendingMsg_.unitWords = config_.geom.transferWords;
     pendingMsg_.updateMemory = a.updateMemory;
@@ -628,6 +635,8 @@ Cache::prepareLockFetch(BusMsg &msg)
     }
     msg.blockAddr = bwReg_.blockAddr();
     msg.wordAddr = wordAlign(pendingLockOp_.addr);
+    // The busy-waited replay is part of the lock dance: sync traffic.
+    msg.cls = TrafficClass::Sync;
     if (config_.geom.subBlockUnits())
         msg.unitWords = config_.geom.transferWords;
     lockInstallTarget_ = prepareInstall(msg);

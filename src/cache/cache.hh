@@ -66,14 +66,15 @@ class Cache : public SimObject, public BusClient
      * @param reg_id Node id for the busy-wait register.
      * @param config Geometry and options.
      * @param protocol Coherence protocol (owned).
-     * @param bus The broadcast bus (cache and register are registered as
-     *            clients by the caller, in id order).
+     * @param bus The interconnect this port posts to (cache and register
+     *            are registered as clients by the caller, in id order).
      * @param checker Optional coherence checker (may be nullptr).
      * @param stats_parent Statistics parent group.
      */
     Cache(std::string name, EventQueue *eq, NodeId id, NodeId reg_id,
           const CacheConfig &config, std::unique_ptr<Protocol> protocol,
-          Bus *bus, Checker *checker, stats::Group *stats_parent);
+          Interconnect *bus, Checker *checker,
+          stats::Group *stats_parent);
 
     /**
      * Issue one processor operation.  The cache is blocking: the next
@@ -111,7 +112,7 @@ class Cache : public SimObject, public BusClient
     /** @name Access for protocols and the busy-wait register */
     /// @{
     Protocol &protocol() { return *protocol_; }
-    Bus &bus() { return *bus_; }
+    Interconnect &bus() { return *bus_; }
     Memory &memory() { return bus_->memory(); }
     DirectoryModel &directory() { return dir_; }
     Checker *checker() { return checker_; }
@@ -228,7 +229,7 @@ class Cache : public SimObject, public BusClient
     NodeId id_;
     CacheConfig config_;
     std::unique_ptr<Protocol> protocol_;
-    Bus *bus_;
+    Interconnect *bus_;
     Checker *checker_;
     CacheBlocks blocks_;
     DirectoryModel dir_;

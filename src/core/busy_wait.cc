@@ -6,7 +6,8 @@ namespace csync
 {
 
 BusyWaitRegister::BusyWaitRegister(std::string name, EventQueue *eq,
-                                   Cache *cache, NodeId id, Bus *bus)
+                                   Cache *cache, NodeId id,
+                                   Interconnect *bus)
     : SimObject(std::move(name), eq), cache_(cache), id_(id), bus_(bus)
 {
 }

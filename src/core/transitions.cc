@@ -83,7 +83,7 @@ std::string
 busReqsUsed(Bus &bus, const std::vector<double> &before)
 {
     std::string out;
-    for (unsigned i = 0; i <= unsigned(BusReq::IOReadKeepSource); ++i) {
+    for (unsigned i = 0; i < kNumBusReqs; ++i) {
         double delta = bus.typeCount(BusReq(i)) - before[i];
         for (int k = 0; k < int(delta); ++k) {
             if (!out.empty())
@@ -98,7 +98,7 @@ std::vector<double>
 snapshot(Bus &bus)
 {
     std::vector<double> v;
-    for (unsigned i = 0; i <= unsigned(BusReq::IOReadKeepSource); ++i)
+    for (unsigned i = 0; i < kNumBusReqs; ++i)
         v.push_back(bus.typeCount(BusReq(i)));
     return v;
 }

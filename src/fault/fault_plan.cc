@@ -143,6 +143,10 @@ FaultPlan::fromJson(const harness::Json &doc, FaultPlan *out,
             if (!v.isNumber() || v.asNumber() < 0)
                 return fail("\"seed\" must be a non-negative number");
             plan.seed = std::uint64_t(v.asNumber());
+        } else if (key == "target") {
+            if (!v.isString())
+                return fail("\"target\" must be a switch name string");
+            plan.target = v.asString();
         } else if (key == "kinds") {
             if (!v.isArray())
                 return fail("\"kinds\" must be an array of strings");
@@ -186,6 +190,8 @@ FaultPlan::toJson() const
     for (const auto &k : kinds)
         kind_arr.push(k);
     doc.set("kinds", std::move(kind_arr));
+    if (!target.empty())
+        doc.set("target", target);
     doc.set("stall_ticks", stallTicks);
     doc.set("supply_delay_ticks", supplyDelayTicks);
     doc.set("backoff_base", backoffBase);

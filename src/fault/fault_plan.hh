@@ -71,6 +71,11 @@ struct FaultPlan
     /** Enabled kind names; empty means every kind. */
     std::vector<std::string> kinds;
 
+    /** Switch the faults attach to, by topology switch name ("sync_bus");
+     *  empty means every switch of the system is decorated.  Validated
+     *  against the topology by SystemConfig::validate(). */
+    std::string target;
+
     /** Bus hold time of one injected stall, ticks. */
     Tick stallTicks = 16;
     /** Extra latency of one delayed cache-to-cache supply, ticks. */

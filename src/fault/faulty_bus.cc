@@ -7,9 +7,11 @@ namespace csync
 
 FaultyBus::FaultyBus(std::string name, EventQueue *eq, Memory *memory,
                      const BusTiming &timing, stats::Group *stats_parent,
-                     const FaultPlan &plan)
-    : Bus(std::move(name), eq, memory, timing, stats_parent),
-      faultsGroup("faults", stats_parent),
+                     const FaultPlan &plan, unsigned carries,
+                     bool class_stats, const std::string &stats_prefix)
+    : Bus(std::move(name), eq, memory, timing, stats_parent, carries,
+          class_stats),
+      faultsGroup(stats_prefix + "faults", stats_parent),
       injected(&faultsGroup, "injected", "bus faults injected"),
       recovered(&faultsGroup, "recovered",
                 "injected faults the system recovered from"),
@@ -19,7 +21,7 @@ FaultyBus::FaultyBus(std::string name, EventQueue *eq, Memory *memory,
       stalls(&faultsGroup, "stalls", "no-transaction bus stalls injected"),
       supplyDelays(&faultsGroup, "supplyDelays",
                    "cache-to-cache supplies delayed"),
-      retryGroup("retry", stats_parent),
+      retryGroup(stats_prefix + "retry", stats_parent),
       backoffTicks(&retryGroup, "backoffTicks",
                    "ticks requesters spent in post-NAK backoff"),
       plan_(plan),

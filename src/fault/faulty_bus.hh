@@ -41,9 +41,17 @@ namespace csync
 class FaultyBus : public Bus
 {
   public:
+    /**
+     * @param stats_prefix Prefix for the "faults"/"retry" stat groups —
+     *        empty on a single-bus system (keeping historical stat
+     *        names); a multi-switch System passes "<switch>." so two
+     *        decorated switches never collide.
+     */
     FaultyBus(std::string name, EventQueue *eq, Memory *memory,
               const BusTiming &timing, stats::Group *stats_parent,
-              const FaultPlan &plan);
+              const FaultPlan &plan, unsigned carries = kAllTraffic,
+              bool class_stats = false,
+              const std::string &stats_prefix = "");
 
     const FaultPlan &plan() const { return plan_; }
 

@@ -91,10 +91,10 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
         return parseError(err, "document is not a JSON object");
 
     static const char *known[] = {
-        "name", "protocols", "workloads", "processors", "block_words",
-        "frames", "seeds", "ops_per_processor", "max_ticks", "ways",
-        "enable_checker", "fault_rates", "fault_seeds", "fault_kinds",
-        "fault",
+        "name", "protocols", "workloads", "topologies", "processors",
+        "block_words", "frames", "seeds", "ops_per_processor",
+        "max_ticks", "ways", "enable_checker", "fault_rates",
+        "fault_seeds", "fault_kinds", "fault",
     };
     for (const auto &kv : doc.members()) {
         if (std::find_if(std::begin(known), std::end(known),
@@ -113,6 +113,7 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
     }
     if (!stringAxis(doc, "protocols", &spec.protocols, err) ||
         !stringAxis(doc, "workloads", &spec.workloads, err) ||
+        !stringAxis(doc, "topologies", &spec.topologies, err) ||
         !numberAxis(doc, "processors", &spec.processorCounts, err) ||
         !numberAxis(doc, "block_words", &spec.blockWords, err) ||
         !numberAxis(doc, "frames", &spec.frames, err) ||
@@ -155,10 +156,23 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
         return false;
     };
 
-    if (protocols.empty() || workloads.empty() ||
+    if (protocols.empty() || workloads.empty() || topologies.empty() ||
         processorCounts.empty() || blockWords.empty() || frames.empty() ||
         seeds.empty() || faultRates.empty() || faultSeeds.empty()) {
         return axisError("every axis needs at least one value");
+    }
+    // Vet the topology axis up front (csync-sweep exits 2 on a typo).
+    std::vector<std::pair<std::string, TopologyConfig>> topos;
+    for (const auto &t : topologies) {
+        TopologyConfig tc;
+        if (!TopologyConfig::fromName(t, &tc)) {
+            std::string known;
+            for (const auto &n : TopologyConfig::names())
+                known += std::string(known.empty() ? "" : ", ") + n;
+            return axisError(csprintf("unknown topology '%s' (known: %s)",
+                                      t.c_str(), known.c_str()));
+        }
+        topos.emplace_back(t, std::move(tc));
     }
     // Vet the fault axes up front so a campaign never discovers a bad
     // kind or rate 500 jobs in (and csync-sweep exits 2, not 1).
@@ -194,6 +208,11 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
     out->clear();
     for (const auto &proto : protocols) {
         for (const auto &wl : workloads) {
+          for (const auto &[topo, topo_cfg] : topos) {
+            // Single-bus job names carry no topology segment, so rows of
+            // pre-topology campaigns keep comparing.
+            std::string topo_tag =
+                topo == "single_bus" ? "" : "/" + topo;
             for (unsigned procs : processorCounts) {
                 for (unsigned bw : blockWords) {
                     for (unsigned fr : frames) {
@@ -202,8 +221,9 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                             for (std::uint64_t fseed : faultSeeds) {
                               JobSpec job;
                               job.name = csprintf(
-                                  "%s/%s/p%u/bw%u/f%u/s%llu",
-                                  proto.c_str(), wl.c_str(), procs, bw, fr,
+                                  "%s/%s%s/p%u/bw%u/f%u/s%llu",
+                                  proto.c_str(), wl.c_str(),
+                                  topo_tag.c_str(), procs, bw, fr,
                                   (unsigned long long)seed);
                               if (frate > 0.0) {
                                   job.name += csprintf(
@@ -212,6 +232,7 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                               }
                               job.config.name = "system";
                               job.config.protocol = proto;
+                              job.config.topology = topo_cfg;
                               job.config.numProcessors = procs;
                               job.config.cache.geom.blockWords = bw;
                               job.config.cache.geom.frames = fr;
@@ -235,6 +256,7 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                     }
                 }
             }
+          }
         }
     }
     return true;
@@ -259,6 +281,9 @@ SweepSpec::toJson() const
     };
     doc.set("protocols", strings(protocols));
     doc.set("workloads", strings(workloads));
+    // Omitted on the default so pre-topology manifests stay identical.
+    if (topologies != std::vector<std::string>{"single_bus"})
+        doc.set("topologies", strings(topologies));
     doc.set("processors", numbers(processorCounts));
     doc.set("block_words", numbers(blockWords));
     doc.set("frames", numbers(frames));

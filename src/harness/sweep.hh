@@ -51,6 +51,10 @@ struct SweepSpec
     /// @{
     std::vector<std::string> protocols;
     std::vector<std::string> workloads;
+    /** Interconnect topology presets (TopologyConfig::names()); the
+     *  default single entry keeps campaigns on the paper's baseline
+     *  single bus (and their job names unchanged). */
+    std::vector<std::string> topologies{"single_bus"};
     std::vector<unsigned> processorCounts{4};
     std::vector<unsigned> blockWords{4};
     std::vector<unsigned> frames{128};

@@ -8,6 +8,7 @@
 #include "proc/workloads/migration.hh"
 #include "proc/workloads/producer_consumer.hh"
 #include "proc/workloads/random_sharing.hh"
+#include "proc/workloads/service_queue.hh"
 #include "sim/logging.hh"
 
 namespace csync
@@ -129,6 +130,28 @@ makeProducerConsumer(const WorkloadSlot &s, std::string *)
     return std::make_unique<ConsumerWorkload>(p);
 }
 
+std::unique_ptr<Workload>
+makeServiceQueue(const WorkloadSlot &s, std::string *err)
+{
+    // Even processors produce, odd ones consume, all hammering ONE
+    // shared queue (Section B.2's contended service queue).  An odd
+    // trailing processor runs private background traffic so enqueues
+    // and dequeues stay balanced.
+    if (s.numProcs % 2 != 0 && s.procId == s.numProcs - 1)
+        return makeRandom(s, 0.0, 0.3);
+    ServiceQueueParams p;
+    if (!lockAlgFor(s.protocol, "service_queue", &p.alg, err))
+        return nullptr;
+    // One queue operation is ~7 memory ops (acquire, head, tail, slot,
+    // index, release); scale so job cost tracks s.ops.
+    p.operations = std::max<std::uint64_t>(1, s.ops / 8);
+    p.blockBytes = s.blockBytes;
+    p.procId = s.procId;
+    p.seed = s.seed * 1000003 + s.procId + 1;
+    return std::make_unique<ServiceQueueWorkload>(
+        p, s.procId % 2 ? QueueRole::Consumer : QueueRole::Producer);
+}
+
 struct Recipe
 {
     const char *name;
@@ -149,6 +172,7 @@ const Recipe kRecipes[] = {
      [](const WorkloadSlot &s, std::string *) {
          return makeRandom(s, 0.3, 0.3);
      }},
+    {"service_queue", makeServiceQueue},
 };
 
 } // anonymous namespace

@@ -6,8 +6,9 @@ namespace csync
 {
 
 Bus::Bus(std::string name, EventQueue *eq, Memory *memory,
-         const BusTiming &timing, stats::Group *stats_parent)
-    : SimObject(std::move(name), eq),
+         const BusTiming &timing, stats::Group *stats_parent,
+         unsigned carries, bool class_stats)
+    : Interconnect(std::move(name), eq, carries),
       statsGroup(this->name(), stats_parent),
       transactions(&statsGroup, "transactions", "bus transactions granted"),
       busyCycles(&statsGroup, "busyCycles", "cycles the bus was occupied"),
@@ -29,11 +30,34 @@ Bus::Bus(std::string name, EventQueue *eq, Memory *memory,
       timing_(timing)
 {
     sim_assert(memory_ != nullptr, "bus needs a memory");
-    for (unsigned i = 0; i <= unsigned(BusReq::IOReadKeepSource); ++i) {
+    for (unsigned i = 0; i < kNumBusReqs; ++i) {
         perType_.push_back(std::make_unique<stats::Scalar>(
             &statsGroup, std::string("req.") + busReqName(BusReq(i)),
             "transactions of this type"));
     }
+    if (class_stats) {
+        for (unsigned i = 0; i < kNumTrafficClasses; ++i) {
+            perClass_.push_back(std::make_unique<stats::Scalar>(
+                &statsGroup,
+                std::string("traffic.") + trafficClassName(TrafficClass(i)),
+                "transactions of this traffic class"));
+        }
+        misrouted_ = std::make_unique<stats::Scalar>(
+            &statsGroup, "traffic.misrouted",
+            "transactions of a class this switch should not carry");
+    }
+}
+
+double
+Bus::classCount(TrafficClass cls) const
+{
+    return perClass_.empty() ? 0.0 : perClass_[unsigned(cls)]->value();
+}
+
+double
+Bus::misroutedCount() const
+{
+    return misrouted_ ? misrouted_->value() : 0.0;
 }
 
 double
@@ -174,6 +198,11 @@ Bus::execute(BusClient *requester, BusMsg msg)
     busy_ = true;
     ++transactions;
     ++*perType_[unsigned(msg.req)];
+    if (!perClass_.empty()) {
+        ++*perClass_[unsigned(msg.cls)];
+        if (!carriesClass(msg.cls))
+            ++*misrouted_;
+    }
     lastMsg_ = msg;
     hasLastMsg_ = true;
     lastMsgTick_ = curTick();

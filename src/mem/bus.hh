@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mem/bus_msg.hh"
+#include "mem/interconnect.hh"
 #include "mem/memory.hh"
 #include "mem/timing.hh"
 #include "sim/sim_object.hh"
@@ -28,85 +29,57 @@
 namespace csync
 {
 
-/** Arbitration priority classes. */
-enum class BusPriority : int
-{
-    Normal = 0,
-    /** The dedicated high-priority level used by busy-wait registers when
-     *  an unlock broadcast fires (Section E.4). */
-    BusyWait = 1,
-};
-
 /**
- * Interface every bus client (cache or I/O device) implements.
+ * The broadcast bus: arbitration, snooping, data routing, and timing —
+ * the shared-bus instantiation of Interconnect.
  */
-class BusClient
+class Bus : public Interconnect
 {
   public:
-    virtual ~BusClient() = default;
-
-    /** Unique id of this node on the bus. */
-    virtual NodeId nodeId() const = 0;
-
     /**
-     * The client won arbitration.  Fill in @p msg and return true, or
-     * return false to decline (e.g. the awaited lock was already taken by
-     * another winner).
+     * @param carries Traffic classes this switch should carry
+     *        (kAllTraffic for a lone bus).
+     * @param class_stats Register per-traffic-class counters.  Off by
+     *        default so single-bus stat dumps are unchanged; a
+     *        multi-switch System turns it on for every switch.
      */
-    virtual bool busGrant(BusMsg &msg) = 0;
-
-    /**
-     * Snoop a transaction broadcast by another node.  The client applies
-     * its own state changes and answers with what it drove onto the
-     * bus lines.
-     */
-    virtual SnoopReply snoop(const BusMsg &msg) = 0;
-
-    /** The client's own transaction completed. */
-    virtual void busComplete(const BusMsg &msg, const SnoopResult &res) = 0;
-};
-
-/**
- * The broadcast bus: arbitration, snooping, data routing, and timing.
- */
-class Bus : public SimObject
-{
-  public:
     Bus(std::string name, EventQueue *eq, Memory *memory,
-        const BusTiming &timing, stats::Group *stats_parent);
+        const BusTiming &timing, stats::Group *stats_parent,
+        unsigned carries = kAllTraffic, bool class_stats = false);
 
     /** Attach a client (caches in nodeId order, then I/O devices). */
-    void addClient(BusClient *client);
+    void addClient(BusClient *client) override;
 
     /** Main memory behind the bus. */
-    Memory &memory() { return *memory_; }
+    Memory &memory() override { return *memory_; }
 
     /** Timing parameters. */
-    const BusTiming &timing() const { return timing_; }
+    const BusTiming &timing() const override { return timing_; }
 
     /**
      * Post a bus request for @p client.  A client has at most one pending
      * request; re-posting updates its priority.
      */
-    void request(BusClient *client, BusPriority pri = BusPriority::Normal);
+    void request(BusClient *client,
+                 BusPriority pri = BusPriority::Normal) override;
 
     /** Withdraw a pending request (e.g. busy-wait loser). */
-    void cancel(BusClient *client);
+    void cancel(BusClient *client) override;
 
     /** True if @p client currently has a request queued. */
-    bool requestPending(const BusClient *client) const;
+    bool requestPending(const BusClient *client) const override;
 
     /** True while a transaction is in flight. */
-    bool busy() const { return busy_; }
+    bool busy() const override { return busy_; }
 
     /** True once any transaction has been broadcast (diagnostics). */
-    bool hasLastMsg() const { return hasLastMsg_; }
+    bool hasLastMsg() const override { return hasLastMsg_; }
 
     /** The most recently broadcast message (valid if hasLastMsg()). */
-    const BusMsg &lastMsg() const { return lastMsg_; }
+    const BusMsg &lastMsg() const override { return lastMsg_; }
 
     /** Tick at which lastMsg() was broadcast. */
-    Tick lastMsgTick() const { return lastMsgTick_; }
+    Tick lastMsgTick() const override { return lastMsgTick_; }
 
     /** @name Statistics */
     /// @{
@@ -124,6 +97,20 @@ class Bus : public SimObject
 
     /** Per-request-type transaction count. */
     double typeCount(BusReq req) const;
+
+    /**
+     * Transactions of traffic class @p cls (0 unless per-class counters
+     * were enabled at construction).
+     */
+    double classCount(TrafficClass cls) const;
+
+    /**
+     * Transactions whose class is outside this switch's carries() mask
+     * (0 unless per-class counters were enabled).  Nonzero means the
+     * topology routes references the paper would put on the other
+     * system — e.g. data traffic in the sync bus's address range.
+     */
+    double misroutedCount() const;
 
   protected:
     /**
@@ -182,6 +169,9 @@ class Bus : public SimObject
     Memory *memory_;
     BusTiming timing_;
     std::vector<std::unique_ptr<stats::Scalar>> perType_;
+    /** Per-traffic-class counters; registered only when class_stats. */
+    std::vector<std::unique_ptr<stats::Scalar>> perClass_;
+    std::unique_ptr<stats::Scalar> misrouted_;
     std::vector<BusClient *> clients_;
     std::vector<Pending> queue_;
     bool busy_ = false;

@@ -3,23 +3,47 @@
 namespace csync
 {
 
+namespace
+{
+
+// The one BusReq <-> name table, indexed by the enum value.  busReqName,
+// busReqFromName, and every "loop over all request types" (per-type bus
+// stats, transition audits) derive from it.
+constexpr const char *kBusReqNames[kNumBusReqs] = {
+    "ReadShared",
+    "ReadExclusive",
+    "Upgrade",
+    "ReadLock",
+    "WriteWord",
+    "UpdateWord",
+    "WriteBack",
+    "WriteNoFetch",
+    "UnlockBroadcast",
+    "IOInvalidate",
+    "IOReadKeepSource",
+};
+
+} // namespace
+
 const char *
 busReqName(BusReq req)
 {
-    switch (req) {
-      case BusReq::ReadShared: return "ReadShared";
-      case BusReq::ReadExclusive: return "ReadExclusive";
-      case BusReq::Upgrade: return "Upgrade";
-      case BusReq::ReadLock: return "ReadLock";
-      case BusReq::WriteWord: return "WriteWord";
-      case BusReq::UpdateWord: return "UpdateWord";
-      case BusReq::WriteBack: return "WriteBack";
-      case BusReq::WriteNoFetch: return "WriteNoFetch";
-      case BusReq::UnlockBroadcast: return "UnlockBroadcast";
-      case BusReq::IOInvalidate: return "IOInvalidate";
-      case BusReq::IOReadKeepSource: return "IOReadKeepSource";
-      default: return "Unknown";
+    auto idx = std::size_t(req);
+    if (idx >= kNumBusReqs)
+        return "Unknown";
+    return kBusReqNames[idx];
+}
+
+bool
+busReqFromName(const std::string &name, BusReq *out)
+{
+    for (std::size_t i = 0; i < kNumBusReqs; ++i) {
+        if (name == kBusReqNames[i]) {
+            *out = BusReq(i);
+            return true;
+        }
     }
+    return false;
 }
 
 bool
@@ -34,6 +58,12 @@ transfersBlock(BusReq req)
       default:
         return false;
     }
+}
+
+const char *
+trafficClassName(TrafficClass cls)
+{
+    return cls == TrafficClass::Sync ? "sync" : "data";
 }
 
 } // namespace csync

@@ -11,6 +11,7 @@
 #ifndef CSYNC_MEM_BUS_MSG_HH
 #define CSYNC_MEM_BUS_MSG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,11 +55,52 @@ enum class BusReq : std::uint8_t
     IOReadKeepSource,
 };
 
+/** Number of distinct BusReq codes (for tables and "all types" loops). */
+inline constexpr std::size_t kNumBusReqs =
+    std::size_t(BusReq::IOReadKeepSource) + 1;
+
 /** Human-readable name of a bus request type. */
 const char *busReqName(BusReq req);
 
+/**
+ * Parse a request-type name produced by busReqName().
+ * @return true and set @p out on a match, false on an unknown name.
+ */
+bool busReqFromName(const std::string &name, BusReq *out);
+
 /** True for requests that transfer a whole block of data to the requester. */
 bool transfersBlock(BusReq req);
+
+/**
+ * Which traffic system a reference belongs to in the paper's Aquarius
+ * design (Section E.2, Figure 11): hard atoms ride the synchronization
+ * system, instructions and other data the data system.  On a single-bus
+ * topology the class is recorded but changes nothing.
+ */
+enum class TrafficClass : std::uint8_t
+{
+    /** Instruction fetches and non-synchronization data. */
+    Data,
+    /** Hard atoms: lock/unlock traffic, RMWs, I/O broadcasts. */
+    Sync,
+};
+
+/** Number of traffic classes. */
+inline constexpr std::size_t kNumTrafficClasses = 2;
+
+/** Human-readable name of a traffic class ("data" / "sync"). */
+const char *trafficClassName(TrafficClass cls);
+
+/** Bit in a carries-mask (SwitchSpec::carries) for class @p cls. */
+inline constexpr unsigned
+trafficClassBit(TrafficClass cls)
+{
+    return 1u << unsigned(cls);
+}
+
+/** Carries-mask covering every traffic class. */
+inline constexpr unsigned kAllTraffic =
+    trafficClassBit(TrafficClass::Data) | trafficClassBit(TrafficClass::Sync);
 
 /**
  * One bus transaction as broadcast to all snoopers.
@@ -66,6 +108,8 @@ bool transfersBlock(BusReq req);
 struct BusMsg
 {
     BusReq req = BusReq::ReadShared;
+    /** Traffic system the reference belongs to (Section E.2). */
+    TrafficClass cls = TrafficClass::Data;
     /** Block-aligned address of the target block. */
     Addr blockAddr = 0;
     /** Requesting node (cache id), or invalidNode for an I/O device. */

@@ -1,0 +1,9 @@
+#include "mem/interconnect.hh"
+
+namespace csync
+{
+
+// Out-of-line key function: anchors the vtable.
+Interconnect::~Interconnect() = default;
+
+} // namespace csync

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The interconnect abstraction behind a multi-switch System (Section E.2,
+ * Figure 11).  An Interconnect is anything a cache port can post requests
+ * to: the shared broadcast bus is one instantiation (Bus keeps the
+ * arbitration/snoop/complete machinery); the Aquarius design instantiates
+ * two — a synchronization bus and a data switch — each backed by its own
+ * partition of main memory.
+ *
+ * Clients see one uniform contract: addClient() in nodeId order, then
+ * request()/cancel() and the busGrant/snoop/busComplete callbacks of
+ * BusClient.  Which interconnect a reference uses is decided above this
+ * layer (the AddressMap in src/system/topology.hh); which traffic class
+ * it belongs to rides in BusMsg::cls.
+ */
+
+#ifndef CSYNC_MEM_INTERCONNECT_HH
+#define CSYNC_MEM_INTERCONNECT_HH
+
+#include "mem/bus_msg.hh"
+#include "mem/memory.hh"
+#include "mem/timing.hh"
+#include "sim/sim_object.hh"
+
+namespace csync
+{
+
+/** Arbitration priority classes. */
+enum class BusPriority : int
+{
+    Normal = 0,
+    /** The dedicated high-priority level used by busy-wait registers when
+     *  an unlock broadcast fires (Section E.4). */
+    BusyWait = 1,
+};
+
+/**
+ * Interface every interconnect client (cache port, busy-wait register,
+ * or I/O device) implements.
+ */
+class BusClient
+{
+  public:
+    virtual ~BusClient() = default;
+
+    /** Unique id of this node on its interconnect. */
+    virtual NodeId nodeId() const = 0;
+
+    /**
+     * The client won arbitration.  Fill in @p msg and return true, or
+     * return false to decline (e.g. the awaited lock was already taken by
+     * another winner).
+     */
+    virtual bool busGrant(BusMsg &msg) = 0;
+
+    /**
+     * Snoop a transaction broadcast by another node.  The client applies
+     * its own state changes and answers with what it drove onto the
+     * bus lines.
+     */
+    virtual SnoopReply snoop(const BusMsg &msg) = 0;
+
+    /** The client's own transaction completed. */
+    virtual void busComplete(const BusMsg &msg, const SnoopResult &res) = 0;
+};
+
+/**
+ * One switch of the machine's interconnect fabric: the client-facing
+ * contract Bus implements.  Owns nothing but its identity — memory,
+ * timing, and the transaction machinery belong to the instantiation.
+ */
+class Interconnect : public SimObject
+{
+  public:
+    /**
+     * @param carries Mask of trafficClassBit() values this switch is
+     *        meant to carry (advisory: routing is by address; the mask
+     *        feeds the misrouted-traffic counter and topology checks).
+     */
+    Interconnect(std::string name, EventQueue *eq, unsigned carries)
+        : SimObject(std::move(name), eq), carries_(carries)
+    {}
+
+    ~Interconnect() override;
+
+    /** Attach a client (caches in nodeId order, then I/O devices). */
+    virtual void addClient(BusClient *client) = 0;
+
+    /** The partition of main memory behind this switch. */
+    virtual Memory &memory() = 0;
+
+    /** Timing parameters. */
+    virtual const BusTiming &timing() const = 0;
+
+    /**
+     * Post a request for @p client.  A client has at most one pending
+     * request per interconnect; re-posting updates its priority.
+     */
+    virtual void request(BusClient *client,
+                         BusPriority pri = BusPriority::Normal) = 0;
+
+    /** Withdraw a pending request (e.g. busy-wait loser). */
+    virtual void cancel(BusClient *client) = 0;
+
+    /** True if @p client currently has a request queued. */
+    virtual bool requestPending(const BusClient *client) const = 0;
+
+    /** True while a transaction is in flight. */
+    virtual bool busy() const = 0;
+
+    /** True once any transaction has been broadcast (diagnostics). */
+    virtual bool hasLastMsg() const = 0;
+
+    /** The most recently broadcast message (valid if hasLastMsg()). */
+    virtual const BusMsg &lastMsg() const = 0;
+
+    /** Tick at which lastMsg() was broadcast. */
+    virtual Tick lastMsgTick() const = 0;
+
+    /** Traffic classes this switch is meant to carry. */
+    unsigned carries() const { return carries_; }
+
+    /** True if @p cls is among the classes this switch should carry. */
+    bool carriesClass(TrafficClass cls) const
+    {
+        return carries_ & trafficClassBit(cls);
+    }
+
+  private:
+    unsigned carries_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_MEM_INTERCONNECT_HH

@@ -3,8 +3,9 @@
 namespace csync
 {
 
-IODevice::IODevice(std::string name, EventQueue *eq, NodeId id, Bus *bus,
-                   Checker *checker, stats::Group *stats_parent)
+IODevice::IODevice(std::string name, EventQueue *eq, NodeId id,
+                   Interconnect *bus, Checker *checker,
+                   stats::Group *stats_parent)
     : SimObject(std::move(name), eq),
       statsGroup(this->name(), stats_parent),
       inputs(&statsGroup, "inputs", "I/O input operations"),
@@ -54,6 +55,8 @@ IODevice::busGrant(BusMsg &msg)
     sim_assert(!pending_.empty(), "I/O grant with nothing pending");
     const IOOp &op = pending_.front();
     msg.req = op.req;
+    // I/O broadcasts ride the synchronization system (Section E.2).
+    msg.cls = TrafficClass::Sync;
     msg.blockAddr = op.blockAddr;
     inFlight_ = true;
 

@@ -18,7 +18,7 @@
 #include <functional>
 #include <vector>
 
-#include "mem/bus.hh"
+#include "mem/interconnect.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "system/checker.hh"
@@ -35,8 +35,9 @@ class IODevice : public SimObject, public BusClient
     /** Callback delivering the data read (empty for input). */
     using IOCallback = std::function<void(const std::vector<Word> &)>;
 
-    IODevice(std::string name, EventQueue *eq, NodeId id, Bus *bus,
-             Checker *checker, stats::Group *stats_parent);
+    IODevice(std::string name, EventQueue *eq, NodeId id,
+             Interconnect *bus, Checker *checker,
+             stats::Group *stats_parent);
 
     /** Write @p data to @p block_addr, invalidating all cached copies. */
     void input(Addr block_addr, std::vector<Word> data, IOCallback cb);
@@ -81,7 +82,7 @@ class IODevice : public SimObject, public BusClient
     void post(IOOp op);
 
     NodeId id_;
-    Bus *bus_;
+    Interconnect *bus_;
     Checker *checker_;
     std::deque<IOOp> pending_;
     bool inFlight_ = false;

@@ -54,6 +54,10 @@ struct MemOp
     Word value = 0;
     /** Compiler hint: the datum is unshared (Feature 5 static). */
     bool privateHint = false;
+    /** The reference is part of a synchronization structure (Section
+     *  E.2): it should travel the synchronization system on a
+     *  class-split topology.  Lock/unlock ops are implicitly sync. */
+    bool sync = false;
 };
 
 /** What the cache returns to the processor. */

@@ -6,6 +6,15 @@ namespace csync
 Processor::Processor(std::string name, EventQueue *eq, NodeId id,
                      Cache *cache, std::unique_ptr<Workload> workload,
                      stats::Group *stats_parent)
+    : Processor(std::move(name), eq, id, std::vector<Cache *>{cache},
+                nullptr, std::move(workload), stats_parent)
+{
+}
+
+Processor::Processor(std::string name, EventQueue *eq, NodeId id,
+                     std::vector<Cache *> caches, const AddressMap *map,
+                     std::unique_ptr<Workload> workload,
+                     stats::Group *stats_parent)
     : SimObject(std::move(name), eq),
       statsGroup(this->name(), stats_parent),
       opsCompleted(&statsGroup, "opsCompleted", "memory ops completed"),
@@ -15,11 +24,26 @@ Processor::Processor(std::string name, EventQueue *eq, NodeId id,
       readySectionOps(&statsGroup, "readySectionOps",
                       "ops executed while busy-waiting for a lock"),
       id_(id),
-      cache_(cache),
+      caches_(std::move(caches)),
+      map_(map),
       workload_(std::move(workload))
 {
-    sim_assert(cache_ != nullptr, "processor needs a cache");
+    sim_assert(!caches_.empty(), "processor needs a cache");
+    for (Cache *c : caches_)
+        sim_assert(c != nullptr, "processor needs a cache");
+    sim_assert(caches_.size() == 1 || map_ != nullptr,
+               "multi-port processor needs an address map");
     sim_assert(workload_ != nullptr, "processor needs a workload");
+}
+
+Cache &
+Processor::portFor(Addr addr)
+{
+    if (caches_.size() == 1)
+        return *caches_.front();
+    std::size_t k = map_->switchFor(addr);
+    sim_assert(k < caches_.size(), "address map names a missing port");
+    return *caches_[k];
 }
 
 void
@@ -34,10 +58,14 @@ void
 Processor::enableWorkWhileWaiting()
 {
     workWhileWaiting_ = true;
-    cache_->setLockInterruptHandler(
-        [this](const MemOp &op, const AccessResult &r) {
-            onLockInterrupt(op, r);
-        });
+    // A lock can live behind any port; every port reports interrupts
+    // here (at most one lock request is outstanding at a time).
+    for (Cache *c : caches_) {
+        c->setLockInterruptHandler(
+            [this](const MemOp &op, const AccessResult &r) {
+                onLockInterrupt(op, r);
+            });
+    }
 }
 
 void
@@ -76,7 +104,8 @@ void
 Processor::issue(const MemOp &op)
 {
     sim_assert(!opInFlight_, "issue while op in flight");
-    if (!cache_->idle()) {
+    Cache &port = portFor(op.addr);
+    if (!port.idle()) {
         // The cache is finishing a busy-waited lock replay; retry.
         eventq()->scheduleIn(1, [this, op] { issue(op); });
         return;
@@ -86,7 +115,7 @@ Processor::issue(const MemOp &op)
     issueTick_ = curTick();
     if (waitingForLock_)
         ++readySectionOps;
-    cache_->access(op, [this, op](const AccessResult &r) {
+    port.access(op, [this, op](const AccessResult &r) {
         onResult(op, r);
     });
 }

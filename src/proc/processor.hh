@@ -11,22 +11,31 @@
 #define CSYNC_PROC_PROCESSOR_HH
 
 #include <memory>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "proc/workload.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
+#include "system/topology.hh"
 
 namespace csync
 {
 
 /**
- * One processor driving one cache.
+ * One processor driving one private cache port per interconnect switch
+ * (a single cache on the default single-bus topology).  Each operation
+ * is routed to the port whose switch backs its address.
  */
 class Processor : public SimObject
 {
   public:
     Processor(std::string name, EventQueue *eq, NodeId id, Cache *cache,
+              std::unique_ptr<Workload> workload,
+              stats::Group *stats_parent);
+
+    Processor(std::string name, EventQueue *eq, NodeId id,
+              std::vector<Cache *> caches, const AddressMap *map,
               std::unique_ptr<Workload> workload,
               stats::Group *stats_parent);
 
@@ -40,7 +49,10 @@ class Processor : public SimObject
     void enableWorkWhileWaiting();
 
     NodeId id() const { return id_; }
-    Cache &cache() { return *cache_; }
+    /** The first (on single-bus: the only) cache port. */
+    Cache &cache() { return *caches_.front(); }
+    /** The cache port that serves @p addr on this topology. */
+    Cache &portFor(Addr addr);
     Workload &workload() { return *workload_; }
 
     /** @name Statistics */
@@ -59,7 +71,8 @@ class Processor : public SimObject
     void onLockInterrupt(const MemOp &op, const AccessResult &r);
 
     NodeId id_;
-    Cache *cache_;
+    std::vector<Cache *> caches_;
+    const AddressMap *map_;
     std::unique_ptr<Workload> workload_;
     bool started_ = false;
     bool finished_ = false;

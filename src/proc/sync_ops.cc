@@ -30,14 +30,15 @@ LockDriver::acquireOp(MemOp &op)
     switch (state_) {
       case State::WantRmw:
         if (alg_ == LockAlg::CacheLock) {
-            op = MemOp{OpType::LockRead, lockAddr_, 0, false};
+            op = MemOp{OpType::LockRead, lockAddr_, 0, false, true};
         } else {
-            op = MemOp{OpType::Rmw, lockAddr_, 1, false};
+            op = MemOp{OpType::Rmw, lockAddr_, 1, false, true};
             ++rmwAttempts_;
         }
         return true;
       case State::Spinning:
-        op = MemOp{OpType::Read, lockAddr_, 0, false};
+        // Spin reads poll the lock word: synchronization traffic.
+        op = MemOp{OpType::Read, lockAddr_, 0, false, true};
         ++spinReads_;
         return true;
       case State::WaitInterrupt:
@@ -90,8 +91,8 @@ LockDriver::releaseOp() const
 {
     sim_assert(state_ == State::Held, "release while not held");
     if (alg_ == LockAlg::CacheLock)
-        return MemOp{OpType::UnlockWrite, lockAddr_, 0, false};
-    return MemOp{OpType::Write, lockAddr_, 0, false};
+        return MemOp{OpType::UnlockWrite, lockAddr_, 0, false, true};
+    return MemOp{OpType::Write, lockAddr_, 0, false, true};
 }
 
 } // namespace csync

@@ -28,7 +28,7 @@ BarrierWorkload::next(MemOp &op, Tick &think)
         return NextStatus::Op;
 
       case Phase::ReadCount:
-        op = MemOp{OpType::Read, countAddr(), 0, false};
+        op = MemOp{OpType::Read, countAddr(), 0, false, true};
         think = 0;
         return NextStatus::Op;
 
@@ -36,12 +36,12 @@ BarrierWorkload::next(MemOp &op, Tick &think)
         // The last arrival resets the counter for the next episode;
         // everyone else just registers its arrival.
         op = MemOp{OpType::Write, countAddr(),
-                   lastArrival_ ? 0 : count_ + 1, false};
+                   lastArrival_ ? 0 : count_ + 1, false, true};
         think = 0;
         return NextStatus::Op;
 
       case Phase::FlipSense:
-        op = MemOp{OpType::Write, p_.senseAddr, round_ + 1, false};
+        op = MemOp{OpType::Write, p_.senseAddr, round_ + 1, false, true};
         think = 0;
         return NextStatus::Op;
 
@@ -51,7 +51,7 @@ BarrierWorkload::next(MemOp &op, Tick &think)
         return NextStatus::Op;
 
       case Phase::SpinSense:
-        op = MemOp{OpType::Read, p_.senseAddr, 0, false};
+        op = MemOp{OpType::Read, p_.senseAddr, 0, false, true};
         think = p_.spinGap;
         return NextStatus::Op;
     }

@@ -20,7 +20,7 @@ MigrationWorkload::next(MemOp &op, Tick &think)
     switch (phase_) {
       case Phase::SpinToken:
         if (!haveToken_) {
-            op = MemOp{OpType::Read, p_.tokenAddr, 0, false};
+            op = MemOp{OpType::Read, p_.tokenAddr, 0, false, true};
             think = p_.spinGap;
             return NextStatus::Op;
         }
@@ -43,7 +43,7 @@ MigrationWorkload::next(MemOp &op, Tick &think)
         return NextStatus::Op;
 
       case Phase::PassToken:
-        op = MemOp{OpType::Write, p_.tokenAddr, tokenValue_ + 1, false};
+        op = MemOp{OpType::Write, p_.tokenAddr, tokenValue_ + 1, false, true};
         think = 0;
         return NextStatus::Op;
     }

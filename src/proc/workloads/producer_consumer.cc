@@ -20,7 +20,7 @@ ProducerWorkload::next(MemOp &op, Tick &think)
     switch (phase_) {
       case Phase::WaitReady:
         if (!flagClear_) {
-            op = MemOp{OpType::Read, p_.flagAddr, 0, false};
+            op = MemOp{OpType::Read, p_.flagAddr, 0, false, true};
             think = p_.spinGap;
             return NextStatus::Op;
         }
@@ -42,7 +42,7 @@ ProducerWorkload::next(MemOp &op, Tick &think)
         return NextStatus::Op;
 
       case Phase::SetFlag:
-        op = MemOp{OpType::Write, p_.flagAddr, item_ + 1, false};
+        op = MemOp{OpType::Write, p_.flagAddr, item_ + 1, false, true};
         think = p_.computeThink;
         return NextStatus::Op;
     }
@@ -72,7 +72,7 @@ ConsumerWorkload::next(MemOp &op, Tick &think)
     switch (phase_) {
       case Phase::WaitFlag:
         if (!flagSet_) {
-            op = MemOp{OpType::Read, p_.flagAddr, 0, false};
+            op = MemOp{OpType::Read, p_.flagAddr, 0, false, true};
             think = p_.spinGap;
             return NextStatus::Op;
         }
@@ -88,7 +88,7 @@ ConsumerWorkload::next(MemOp &op, Tick &think)
         return NextStatus::Op;
 
       case Phase::ClearFlag:
-        op = MemOp{OpType::Write, p_.flagAddr, 0, false};
+        op = MemOp{OpType::Write, p_.flagAddr, 0, false, true};
         think = p_.computeThink;
         return NextStatus::Op;
     }

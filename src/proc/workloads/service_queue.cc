@@ -44,30 +44,30 @@ ServiceQueueWorkload::next(MemOp &op, Tick &think)
         return NextStatus::Op;
 
       case Phase::ReadHead:
-        op = MemOp{OpType::Read, headAddr(), 0, false};
+        op = MemOp{OpType::Read, headAddr(), 0, false, true};
         think = 0;
         return NextStatus::Op;
 
       case Phase::ReadTail:
-        op = MemOp{OpType::Read, tailAddr(), 0, false};
+        op = MemOp{OpType::Read, tailAddr(), 0, false, true};
         think = 0;
         return NextStatus::Op;
 
       case Phase::SlotAccess:
         if (role_ == QueueRole::Producer) {
             op = MemOp{OpType::Write, slotAddr(tail_),
-                       payload(p_.procId, seq_), false};
+                       payload(p_.procId, seq_), false, true};
         } else {
-            op = MemOp{OpType::Read, slotAddr(head_), 0, false};
+            op = MemOp{OpType::Read, slotAddr(head_), 0, false, true};
         }
         think = 0;
         return NextStatus::Op;
 
       case Phase::WriteIndex:
         if (role_ == QueueRole::Producer)
-            op = MemOp{OpType::Write, tailAddr(), tail_ + 1, false};
+            op = MemOp{OpType::Write, tailAddr(), tail_ + 1, false, true};
         else
-            op = MemOp{OpType::Write, headAddr(), head_ + 1, false};
+            op = MemOp{OpType::Write, headAddr(), head_ + 1, false, true};
         think = 0;
         return NextStatus::Op;
 

@@ -20,7 +20,7 @@ StateSaveWorkload::next(MemOp &op, Tick &think)
     switch (phase_) {
       case Phase::SpinTurn:
         if (!myTurn_) {
-            op = MemOp{OpType::Read, p_.turnAddr, 0, false};
+            op = MemOp{OpType::Read, p_.turnAddr, 0, false, true};
             think = p_.spinGap;
             return NextStatus::Op;
         }
@@ -47,7 +47,7 @@ StateSaveWorkload::next(MemOp &op, Tick &think)
       }
 
       case Phase::PassTurn:
-        op = MemOp{OpType::Write, p_.turnAddr, turnValue_ + 1, false};
+        op = MemOp{OpType::Write, p_.turnAddr, turnValue_ + 1, false, true};
         think = 0;
         return NextStatus::Op;
     }

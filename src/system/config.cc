@@ -38,7 +38,13 @@ SystemConfig::validate() const
         known = known || name == protocol;
     if (!known)
         fatal("unknown protocol '%s'", protocol.c_str());
+    topology.validate();
     fault.validate();
+    if (!fault.target.empty() &&
+        topology.indexOf(fault.target) >= topology.switches.size()) {
+        fatal("fault target '%s' names no switch of topology '%s'",
+              fault.target.c_str(), topology.preset.c_str());
+    }
 }
 
 } // namespace csync

@@ -12,6 +12,7 @@
 #include "cache/cache.hh"
 #include "fault/fault_plan.hh"
 #include "mem/timing.hh"
+#include "system/topology.hh"
 
 namespace csync
 {
@@ -40,8 +41,11 @@ struct SystemConfig
     bool directoryFromProtocol = true;
     /** Attach the value-level coherence checker. */
     bool enableChecker = true;
+    /** Interconnect topology (default: the paper's single bus). */
+    TopologyConfig topology;
     /** Fault-injection schedule + watchdog window (default: no faults,
-     *  no stats-tree changes). */
+     *  no stats-tree changes).  fault.target selects which switch the
+     *  FaultyBus decorator wraps ("" = every switch). */
     FaultPlan fault;
 
     /** Sanity-check the configuration (fatal on nonsense). */

@@ -18,38 +18,62 @@ System::System(const SystemConfig &cfg)
                 cfg.fault.enabled() ? &root_ : nullptr)
 {
     cfg_.validate();
-
-    memory_ = std::make_unique<Memory>("memory", &eq_,
-                                       cfg_.cache.geom.blockWords, &root_);
-    if (cfg_.fault.enabled()) {
-        bus_ = std::make_unique<FaultyBus>("bus", &eq_, memory_.get(),
-                                           cfg_.timing, &root_, cfg_.fault);
-    } else {
-        bus_ = std::make_unique<Bus>("bus", &eq_, memory_.get(),
-                                     cfg_.timing, &root_);
-    }
+    map_ = AddressMap(cfg_.topology);
 
     Checker *chk = cfg_.enableChecker ? &checker_ : nullptr;
     unsigned p = cfg_.numProcessors;
-    for (unsigned i = 0; i < p; ++i) {
-        auto protocol = makeProtocol(cfg_.protocol);
-        CacheConfig cc = cfg_.cache;
-        if (cfg_.directoryFromProtocol)
-            cc.directory = protocol->features().directory;
-        caches_.push_back(std::make_unique<Cache>(
-            csprintf("cache%u", i), &eq_, NodeId(i), NodeId(p + i), cc,
-            std::move(protocol), bus_.get(), chk, &root_));
+    const auto &switches = cfg_.topology.switches;
+    // Per-class traffic counters exist only on multi-switch systems, so
+    // the single-bus stats tree stays byte-identical to before the
+    // topology layer existed.
+    bool multi = switches.size() > 1;
+
+    for (std::size_t k = 0; k < switches.size(); ++k) {
+        const SwitchSpec &sw = switches[k];
+        Port port;
+        port.memory = std::make_unique<Memory>(
+            multi ? sw.name + ".memory" : "memory", &eq_,
+            cfg_.cache.geom.blockWords, &root_);
+        bool faulted = cfg_.fault.enabled() &&
+                       (cfg_.fault.target.empty() ||
+                        cfg_.fault.target == sw.name);
+        if (faulted) {
+            port.bus = std::make_unique<FaultyBus>(
+                sw.name, &eq_, port.memory.get(), cfg_.timing, &root_,
+                cfg_.fault, sw.carries, multi,
+                multi ? sw.name + "." : "");
+        } else {
+            port.bus = std::make_unique<Bus>(sw.name, &eq_,
+                                             port.memory.get(), cfg_.timing,
+                                             &root_, sw.carries, multi);
+        }
+
+        for (unsigned i = 0; i < p; ++i) {
+            auto protocol = makeProtocol(cfg_.protocol);
+            CacheConfig cc = cfg_.cache;
+            if (cfg_.directoryFromProtocol)
+                cc.directory = protocol->features().directory;
+            port.caches.push_back(std::make_unique<Cache>(
+                multi ? csprintf("%s.cache%u", sw.name.c_str(), i)
+                      : csprintf("cache%u", i),
+                &eq_, NodeId(i), NodeId(p + i), cc, std::move(protocol),
+                port.bus.get(), chk, &root_));
+        }
+        // Caches first (they win supplier selection), then their
+        // busy-wait registers, then I/O.
+        for (auto &c : port.caches)
+            port.bus->addClient(c.get());
+        for (auto &c : port.caches)
+            port.bus->addClient(&c->busyWaitRegister());
+        ports_.push_back(std::move(port));
     }
-    // Caches first (they win supplier selection), then their busy-wait
-    // registers, then I/O.
-    for (auto &c : caches_)
-        bus_->addClient(c.get());
-    for (auto &c : caches_)
-        bus_->addClient(&c->busyWaitRegister());
+
     if (cfg_.withIODevice) {
+        // I/O broadcasts ride the synchronization system (Section E.2).
+        Port &sync_port = ports_[cfg_.topology.syncSwitch()];
         io_ = std::make_unique<IODevice>("io", &eq_, NodeId(2 * p),
-                                         bus_.get(), chk, &root_);
-        bus_->addClient(io_.get());
+                                         sync_port.bus.get(), chk, &root_);
+        sync_port.bus->addClient(io_.get());
     }
 }
 
@@ -58,10 +82,14 @@ System::addProcessor(std::unique_ptr<Workload> workload,
                      bool work_while_waiting)
 {
     unsigned idx = unsigned(procs_.size());
-    sim_assert(idx < caches_.size(), "more processors than caches");
+    sim_assert(idx < ports_.front().caches.size(),
+               "more processors than caches");
+    std::vector<Cache *> cache_ports;
+    for (auto &port : ports_)
+        cache_ports.push_back(port.caches[idx].get());
     procs_.push_back(std::make_unique<Processor>(
-        csprintf("proc%u", idx), &eq_, NodeId(idx), caches_[idx].get(),
-        std::move(workload), &root_));
+        csprintf("proc%u", idx), &eq_, NodeId(idx),
+        std::move(cache_ports), &map_, std::move(workload), &root_));
     if (work_while_waiting)
         procs_.back()->enableWorkWhileWaiting();
     return idx;
@@ -121,31 +149,36 @@ System::progressDiagnostic(const std::string &why) const
     os << why << " [tick " << eq_.now() << ", " << eq_.executed()
        << " events executed]";
 
-    if (bus_->hasLastMsg()) {
-        const BusMsg &m = bus_->lastMsg();
-        os << csprintf("; last bus msg: %s blk=%llx from node %d at tick "
+    bool any_msg = false;
+    for (const auto &port : ports_) {
+        if (!port.bus->hasLastMsg())
+            continue;
+        any_msg = true;
+        const BusMsg &m = port.bus->lastMsg();
+        os << csprintf("; last %s msg: %s blk=%llx from node %d at tick "
                        "%llu",
-                       busReqName(m.req), (unsigned long long)m.blockAddr,
-                       m.requester,
-                       (unsigned long long)bus_->lastMsgTick());
+                       port.bus->name().c_str(), busReqName(m.req),
+                       (unsigned long long)m.blockAddr, m.requester,
+                       (unsigned long long)port.bus->lastMsgTick());
         os << "; block states:";
-        for (unsigned i = 0; i < caches_.size(); ++i) {
-            os << csprintf(" cache%u=%s", i,
-                           stateName(caches_[i]->stateOf(m.blockAddr))
-                               .c_str());
+        for (const auto &c : port.caches) {
+            os << csprintf(" %s=%s", c->name().c_str(),
+                           stateName(c->stateOf(m.blockAddr)).c_str());
         }
-    } else {
-        os << "; no bus transaction was ever broadcast";
     }
+    if (!any_msg)
+        os << "; no bus transaction was ever broadcast";
 
     os << "; busy-wait registers:";
     bool any_armed = false;
-    for (unsigned i = 0; i < caches_.size(); ++i) {
-        if (caches_[i]->busyWaitArmed()) {
-            any_armed = true;
-            os << csprintf(" cache%u@%llx", i,
-                           (unsigned long long)
-                               caches_[i]->busyWaitRegister().blockAddr());
+    for (const auto &port : ports_) {
+        for (const auto &c : port.caches) {
+            if (c->busyWaitArmed()) {
+                any_armed = true;
+                os << csprintf(" %s@%llx", c->name().c_str(),
+                               (unsigned long long)
+                                   c->busyWaitRegister().blockAddr());
+            }
         }
     }
     if (!any_armed)
@@ -183,57 +216,62 @@ System::checkStateInvariants(std::string *why)
 
     struct Copy
     {
-        unsigned cache;
+        const Cache *cache;
         const Frame *frame;
     };
-    std::map<Addr, std::vector<Copy>> blocks;
-    for (unsigned i = 0; i < caches_.size(); ++i) {
-        caches_[i]->blocks().forEachValid([&](const Frame &f) {
-            blocks[f.blockAddr].push_back(Copy{i, &f});
-        });
-    }
+    // Coherence is per switch: each address has exactly one backing
+    // memory and one snoop domain, so copies are grouped within a port.
+    for (const auto &port : ports_) {
+        std::map<Addr, std::vector<Copy>> blocks;
+        for (const auto &c : port.caches) {
+            c->blocks().forEachValid([&](const Frame &f) {
+                blocks[f.blockAddr].push_back(Copy{c.get(), &f});
+            });
+        }
 
-    for (const auto &[addr, copies] : blocks) {
-        unsigned writable = 0, sources = 0, locked = 0, dirty = 0;
-        for (const auto &c : copies) {
-            if (canWrite(c.frame->state))
-                ++writable;
-            if (isSource(c.frame->state))
-                ++sources;
-            if (isLocked(c.frame->state))
-                ++locked;
-            if (isDirty(c.frame->state))
-                ++dirty;
-        }
-        if (writable > 1) {
-            report(csprintf("block %llx writable in %u caches",
-                            (unsigned long long)addr, writable));
-        }
-        if (sources > 1) {
-            report(csprintf("block %llx has %u sources",
-                            (unsigned long long)addr, sources));
-        }
-        if (locked > 1) {
-            report(csprintf("block %llx locked in %u caches",
-                            (unsigned long long)addr, locked));
-        }
-        if (writable >= 1 && copies.size() > 1) {
-            report(csprintf("block %llx writable with %zu copies",
-                            (unsigned long long)addr, copies.size()));
-        }
-        for (std::size_t i = 1; i < copies.size(); ++i) {
-            if (copies[i].frame->data != copies[0].frame->data) {
-                report(csprintf("block %llx copies differ (cache%u vs "
-                                "cache%u)",
-                                (unsigned long long)addr, copies[0].cache,
-                                copies[i].cache));
-                break;
+        for (const auto &[addr, copies] : blocks) {
+            unsigned writable = 0, sources = 0, locked = 0, dirty = 0;
+            for (const auto &c : copies) {
+                if (canWrite(c.frame->state))
+                    ++writable;
+                if (isSource(c.frame->state))
+                    ++sources;
+                if (isLocked(c.frame->state))
+                    ++locked;
+                if (isDirty(c.frame->state))
+                    ++dirty;
             }
-        }
-        if (dirty == 0 &&
-            copies[0].frame->data != memory_->peekBlock(addr)) {
-            report(csprintf("block %llx clean copies differ from memory",
-                            (unsigned long long)addr));
+            if (writable > 1) {
+                report(csprintf("block %llx writable in %u caches",
+                                (unsigned long long)addr, writable));
+            }
+            if (sources > 1) {
+                report(csprintf("block %llx has %u sources",
+                                (unsigned long long)addr, sources));
+            }
+            if (locked > 1) {
+                report(csprintf("block %llx locked in %u caches",
+                                (unsigned long long)addr, locked));
+            }
+            if (writable >= 1 && copies.size() > 1) {
+                report(csprintf("block %llx writable with %zu copies",
+                                (unsigned long long)addr, copies.size()));
+            }
+            for (std::size_t i = 1; i < copies.size(); ++i) {
+                if (copies[i].frame->data != copies[0].frame->data) {
+                    report(csprintf("block %llx copies differ (%s vs %s)",
+                                    (unsigned long long)addr,
+                                    copies[0].cache->name().c_str(),
+                                    copies[i].cache->name().c_str()));
+                    break;
+                }
+            }
+            if (dirty == 0 &&
+                copies[0].frame->data != port.memory->peekBlock(addr)) {
+                report(csprintf(
+                    "block %llx clean copies differ from memory",
+                    (unsigned long long)addr));
+            }
         }
     }
     return violations;

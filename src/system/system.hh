@@ -1,9 +1,11 @@
 /**
  * @file
- * The whole simulated machine: N processors with private snooping caches
- * on one full-broadcast bus in front of a simple main memory (Figure 11's
- * upper switch-memory system), plus the value checker and a structural
- * invariant scanner.
+ * The whole simulated machine: N processors, each with one private
+ * snooping cache port per interconnect switch, in front of per-switch
+ * partitions of main memory (Figure 11), plus the value checker and a
+ * structural invariant scanner.  The default topology is the paper's
+ * baseline — a single full-broadcast bus — and the two_switch preset is
+ * the Aquarius synchronization-bus / data-switch split of Section E.2.
  */
 
 #ifndef CSYNC_SYSTEM_SYSTEM_HH
@@ -36,14 +38,47 @@ class System
     const SystemConfig &config() const { return cfg_; }
     EventQueue &eventq() { return eq_; }
     Tick now() const { return eq_.now(); }
-    Bus &bus() { return *bus_; }
-    Memory &memory() { return *memory_; }
+    Bus &bus() { return *ports_.front().bus; }
+    Memory &memory() { return *ports_.front().memory; }
     Checker &checker() { return checker_; }
     stats::Group &rootStats() { return root_; }
     IODevice *io() { return io_.get(); }
 
-    unsigned numCaches() const { return unsigned(caches_.size()); }
-    Cache &cache(unsigned i) { return *caches_.at(i); }
+    /** Number of interconnect switches (1 on the default topology). */
+    unsigned numInterconnects() const { return unsigned(ports_.size()); }
+
+    /** Switch @p k, in topology order (port 0 is bus()). */
+    Bus &bus(unsigned k) { return *ports_.at(k).bus; }
+
+    /** The memory partition behind switch @p k. */
+    Memory &memory(unsigned k) { return *ports_.at(k).memory; }
+
+    /** The address -> switch routing of this machine. */
+    const AddressMap &addressMap() const { return map_; }
+
+    /**
+     * Total cache ports: numProcessors() x numInterconnects(), in
+     * port-major flat order (identical to the processor order on the
+     * single-bus topology).
+     */
+    unsigned numCaches() const
+    {
+        return unsigned(ports_.size() * ports_.front().caches.size());
+    }
+
+    /** Flat cache access: port i / P serves processor i % P. */
+    Cache &
+    cache(unsigned i)
+    {
+        unsigned p = unsigned(ports_.front().caches.size());
+        return *ports_.at(i / p).caches.at(i % p);
+    }
+
+    /** Processor @p proc's cache port on switch @p k. */
+    Cache &cache(unsigned proc, unsigned k)
+    {
+        return *ports_.at(k).caches.at(proc);
+    }
 
     /**
      * Attach a processor running @p workload to the next free cache.
@@ -108,14 +143,22 @@ class System
     unsigned checkStateInvariants(std::string *why = nullptr);
 
   private:
+    /** One interconnect switch: its memory partition, its bus, and one
+     *  cache port per processor. */
+    struct Port
+    {
+        std::unique_ptr<Memory> memory;
+        std::unique_ptr<Bus> bus;
+        std::vector<std::unique_ptr<Cache>> caches;
+    };
+
     SystemConfig cfg_;
     EventQueue eq_;
     stats::Group root_;
     Checker checker_;
     ProgressWatchdog watchdog_;
-    std::unique_ptr<Memory> memory_;
-    std::unique_ptr<Bus> bus_;
-    std::vector<std::unique_ptr<Cache>> caches_;
+    AddressMap map_;
+    std::vector<Port> ports_;
     std::unique_ptr<IODevice> io_;
     std::vector<std::unique_ptr<Processor>> procs_;
 };

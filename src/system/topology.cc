@@ -1,0 +1,208 @@
+#include "system/topology.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+namespace
+{
+
+/** Boundary between the sync and data partitions of the two-switch
+ *  preset.  Every shipped workload keeps its synchronization structures
+ *  (locks, queue descriptors, flags, barriers, I/O buffers) below
+ *  16 MiB and its private/streaming data at 0x10000000 and above. */
+constexpr Addr kTwoSwitchSplit = 0x0100'0000;
+
+} // namespace
+
+bool
+TopologyConfig::isSingleBus() const
+{
+    return switches.size() == 1;
+}
+
+TopologyConfig
+TopologyConfig::singleBus()
+{
+    return TopologyConfig{};
+}
+
+TopologyConfig
+TopologyConfig::twoSwitch()
+{
+    TopologyConfig t;
+    t.preset = "two_switch";
+    t.switches = {
+        {"sync_bus", trafficClassBit(TrafficClass::Sync),
+         {{0, kTwoSwitchSplit}}},
+        {"data_switch", trafficClassBit(TrafficClass::Data),
+         {{kTwoSwitchSplit, 0}}},
+    };
+    return t;
+}
+
+bool
+TopologyConfig::fromName(const std::string &name, TopologyConfig *out)
+{
+    if (name == "single_bus") {
+        *out = singleBus();
+        return true;
+    }
+    if (name == "two_switch") {
+        *out = twoSwitch();
+        return true;
+    }
+    return false;
+}
+
+const std::vector<std::string> &
+TopologyConfig::names()
+{
+    static const std::vector<std::string> presets = {
+        "single_bus",
+        "two_switch",
+    };
+    return presets;
+}
+
+bool
+TopologyConfig::check(std::string *err) const
+{
+    auto fail = [err](std::string msg) {
+        if (err)
+            *err = std::move(msg);
+        return false;
+    };
+
+    if (switches.empty())
+        return fail("topology needs at least one switch");
+
+    std::set<std::string> seen;
+    unsigned carried = 0;
+    for (const auto &sw : switches) {
+        if (sw.name.empty())
+            return fail("every switch needs a name");
+        if (!seen.insert(sw.name).second)
+            return fail(csprintf("duplicate switch name '%s'",
+                                 sw.name.c_str()));
+        if (sw.carries == 0 || (sw.carries & ~kAllTraffic) != 0) {
+            return fail(csprintf("switch '%s' has a bad carries mask %#x",
+                                 sw.name.c_str(), sw.carries));
+        }
+        carried |= sw.carries;
+        if (sw.ranges.empty())
+            return fail(csprintf("switch '%s' covers no addresses",
+                                 sw.name.c_str()));
+        for (const auto &r : sw.ranges) {
+            if (r.hi != 0 && r.hi <= r.lo) {
+                return fail(csprintf("switch '%s' has an empty range "
+                                     "[%#llx, %#llx)",
+                                     sw.name.c_str(),
+                                     (unsigned long long)r.lo,
+                                     (unsigned long long)r.hi));
+            }
+        }
+    }
+    if (carried != kAllTraffic)
+        return fail("no switch carries the data or sync traffic class");
+
+    // The address map must tile the whole space: sort every range and
+    // demand seamless coverage from 0 to the end.
+    struct Piece
+    {
+        Addr lo;
+        Addr hi;
+        const char *name;
+    };
+    std::vector<Piece> pieces;
+    for (const auto &sw : switches)
+        for (const auto &r : sw.ranges)
+            pieces.push_back({r.lo, r.hi, sw.name.c_str()});
+    std::sort(pieces.begin(), pieces.end(),
+              [](const Piece &a, const Piece &b) { return a.lo < b.lo; });
+
+    if (pieces.front().lo != 0) {
+        return fail(csprintf("address map leaves a gap below %#llx",
+                             (unsigned long long)pieces.front().lo));
+    }
+    for (std::size_t i = 1; i < pieces.size(); ++i) {
+        Addr prev_hi = pieces[i - 1].hi;
+        if (prev_hi == 0 || pieces[i].lo < prev_hi) {
+            return fail(csprintf("switches '%s' and '%s' overlap at %#llx",
+                                 pieces[i - 1].name, pieces[i].name,
+                                 (unsigned long long)pieces[i].lo));
+        }
+        if (pieces[i].lo > prev_hi) {
+            return fail(csprintf("address map leaves a gap at [%#llx, "
+                                 "%#llx)",
+                                 (unsigned long long)prev_hi,
+                                 (unsigned long long)pieces[i].lo));
+        }
+    }
+    if (pieces.back().hi != 0) {
+        return fail(csprintf("address map leaves a gap above %#llx",
+                             (unsigned long long)pieces.back().hi));
+    }
+    return true;
+}
+
+void
+TopologyConfig::validate() const
+{
+    std::string err;
+    if (!check(&err))
+        fatal("invalid topology '%s': %s", preset.c_str(), err.c_str());
+}
+
+std::size_t
+TopologyConfig::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < switches.size(); ++i)
+        if (switches[i].name == name)
+            return i;
+    return switches.size();
+}
+
+std::size_t
+TopologyConfig::syncSwitch() const
+{
+    for (std::size_t i = 0; i < switches.size(); ++i)
+        if (switches[i].carries & trafficClassBit(TrafficClass::Sync))
+            return i;
+    return 0;
+}
+
+AddressMap::AddressMap(const TopologyConfig &topo)
+{
+    entries_.clear();
+    numSwitches_ = topo.switches.size();
+    for (std::size_t i = 0; i < topo.switches.size(); ++i)
+        for (const auto &r : topo.switches[i].ranges)
+            entries_.push_back({r.lo, i});
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry &a, const Entry &b) { return a.lo < b.lo; });
+    sim_assert(!entries_.empty() && entries_.front().lo == 0,
+               "address map built from an unvalidated topology");
+}
+
+std::size_t
+AddressMap::switchFor(Addr addr) const
+{
+    // Last entry whose start is at or below addr; the ranges tile the
+    // space, so it owns the address.
+    std::size_t lo = 0, hi = entries_.size();
+    while (hi - lo > 1) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (entries_[mid].lo <= addr)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return entries_[lo].switchIdx;
+}
+
+} // namespace csync

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Interconnect topology of a System (Section E.2, Figure 11).  A
+ * topology is a list of switches, each carrying a set of traffic
+ * classes and backing a partition of the address space with its own
+ * memory.  The default is the paper's baseline — one broadcast bus
+ * carrying everything — and the named "two_switch" preset is the
+ * Aquarius design: a synchronization bus over the low (shared/sync)
+ * region and a data switch over the rest.
+ *
+ * Routing is strictly by address: every address belongs to exactly one
+ * switch, so each block has exactly one backing memory and one snoop
+ * domain, and the coherence argument of the single bus carries over
+ * per switch.  Traffic classes are advisory — they drive the per-switch
+ * misrouted-traffic counters that tell you whether the partition
+ * actually matches the paper's sync/data split.
+ */
+
+#ifndef CSYNC_SYSTEM_TOPOLOGY_HH
+#define CSYNC_SYSTEM_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/bus_msg.hh"
+#include "sim/types.hh"
+
+namespace csync
+{
+
+/** A half-open address interval [lo, hi); hi == 0 means "end of the
+ *  address space" (there is no representable one-past-the-end). */
+struct AddrRange
+{
+    Addr lo = 0;
+    Addr hi = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= lo && (hi == 0 || a < hi);
+    }
+};
+
+/** One switch of the interconnect fabric. */
+struct SwitchSpec
+{
+    /** Instance name; becomes the stat namespace ("sync_bus.*"). */
+    std::string name = "bus";
+    /** Mask of trafficClassBit() values this switch should carry. */
+    unsigned carries = kAllTraffic;
+    /** Address ranges routed to this switch. */
+    std::vector<AddrRange> ranges;
+};
+
+/**
+ * The interconnect fabric of one System: its switches and their address
+ * partition.  Built from a named preset (campaign axes and CLI flags
+ * speak preset names) or assembled by hand for custom machines.
+ */
+struct TopologyConfig
+{
+    /** Preset name this config was built from ("custom" if by hand);
+     *  used in campaign row names and spec echoes. */
+    std::string preset = "single_bus";
+
+    /** The switches, in port order; port 0 is System::bus(). */
+    std::vector<SwitchSpec> switches = {
+        {"bus", kAllTraffic, {{0, 0}}},
+    };
+
+    /** True for the paper's baseline: one switch carrying everything. */
+    bool isSingleBus() const;
+
+    /** The baseline: one bus named "bus" over the whole space. */
+    static TopologyConfig singleBus();
+
+    /**
+     * The Aquarius two-switch design (Figure 11): "sync_bus" carries
+     * synchronization traffic over the low 16 MiB (where every shipped
+     * workload places its locks, queues, flags, and I/O buffers) and
+     * "data_switch" carries data traffic over the rest (the workloads'
+     * private/streaming regions).
+     */
+    static TopologyConfig twoSwitch();
+
+    /** Resolve a preset by name; false if @p name is unknown. */
+    static bool fromName(const std::string &name, TopologyConfig *out);
+
+    /** The preset names fromName() accepts. */
+    static const std::vector<std::string> &names();
+
+    /**
+     * Structural validity: at least one switch; unique non-empty switch
+     * names; sane carries masks covering every class between them; and
+     * an address map that tiles the whole space — no gaps, no overlaps.
+     * @return true if valid, else false with @p err set.
+     */
+    bool check(std::string *err) const;
+
+    /** fatal() with a diagnostic if the topology is invalid. */
+    void validate() const;
+
+    /** Index of the switch named @p name, or switches.size() if none. */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** Index of the first switch carrying sync traffic (the one I/O
+     *  devices attach to, Section E.2); 0 if none claims it. */
+    std::size_t syncSwitch() const;
+};
+
+/**
+ * Address -> switch routing, flattened from a (valid) TopologyConfig
+ * for per-reference lookups.
+ */
+class AddressMap
+{
+  public:
+    AddressMap() = default;
+    explicit AddressMap(const TopologyConfig &topo);
+
+    /** Number of switches routed to. */
+    std::size_t numSwitches() const { return numSwitches_; }
+
+    /** The switch (port index) owning @p addr. */
+    std::size_t switchFor(Addr addr) const;
+
+  private:
+    struct Entry
+    {
+        Addr lo;
+        std::size_t switchIdx;
+    };
+
+    /** Range starts in ascending order; a lookup belongs to the last
+     *  entry at or below it (the ranges tile the space). */
+    std::vector<Entry> entries_ = {{0, 0}};
+    std::size_t numSwitches_ = 1;
+};
+
+} // namespace csync
+
+#endif // CSYNC_SYSTEM_TOPOLOGY_HH

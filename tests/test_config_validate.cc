@@ -147,6 +147,46 @@ TEST(ConfigValidate, RejectsBadFaultPlans)
     EXPECT_EQ(rejectionMessage(cfg), "");
 }
 
+TEST(ConfigValidate, RejectsBrokenTopologies)
+{
+    // A gap below the first range.
+    SystemConfig cfg = goodConfig();
+    cfg.topology = TopologyConfig::twoSwitch();
+    cfg.topology.switches[0].ranges[0].lo = 0x1000;
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("invalid topology 'two_switch'"),
+              std::string::npos) << msg;
+    EXPECT_NE(msg.find("gap"), std::string::npos) << msg;
+
+    // Overlapping switch partitions.
+    cfg = goodConfig();
+    cfg.topology = TopologyConfig::twoSwitch();
+    cfg.topology.switches[1].ranges[0].lo = 0x8000;
+    EXPECT_NE(rejectionMessage(cfg).find("overlap"), std::string::npos);
+
+    // The presets themselves are always acceptable.
+    cfg = goodConfig();
+    cfg.topology = TopologyConfig::twoSwitch();
+    EXPECT_EQ(rejectionMessage(cfg), "");
+}
+
+TEST(ConfigValidate, RejectsFaultTargetNamingNoSwitch)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.topology = TopologyConfig::twoSwitch();
+    cfg.fault.rate = 0.1;
+    cfg.fault.target = "ring_hub";
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("fault target 'ring_hub'"), std::string::npos)
+        << msg;
+
+    // A target that exists is fine; so is no target at all.
+    cfg.fault.target = "data_switch";
+    EXPECT_EQ(rejectionMessage(cfg), "");
+    cfg.fault.target = "";
+    EXPECT_EQ(rejectionMessage(cfg), "");
+}
+
 TEST(ConfigValidate, FatalStillExitsOutsideGuard)
 {
     SystemConfig cfg = goodConfig();

@@ -32,7 +32,8 @@ struct RunOutput
 RunOutput
 runOnce(const std::string &protocol, const std::string &workload,
         unsigned procs, std::uint64_t seed,
-        const FaultPlan &fault = FaultPlan{})
+        const FaultPlan &fault = FaultPlan{},
+        const TopologyConfig &topo = TopologyConfig::singleBus())
 {
     SystemConfig cfg;
     cfg.protocol = protocol;
@@ -40,6 +41,7 @@ runOnce(const std::string &protocol, const std::string &workload,
     cfg.cache.geom.frames = 64;
     cfg.cache.geom.blockWords = 4;
     cfg.fault = fault;
+    cfg.topology = topo;
     System sys(cfg);
     for (unsigned i = 0; i < procs; ++i) {
         WorkloadSlot slot;
@@ -85,6 +87,23 @@ TEST(Determinism, LockWorkloadIsByteIdentical)
     RunOutput b = runOnce("bitar", "critical_section", 3, 7);
     EXPECT_EQ(a.text, b.text);
     EXPECT_EQ(a.json, b.json);
+}
+
+TEST(Determinism, TwoSwitchRunsAreByteIdentical)
+{
+    // The multi-interconnect machine must be exactly as reproducible as
+    // the single bus: two event queues' worth of interleaving is still
+    // a pure function of the configuration.
+    for (const char *wl : {"service_queue", "random_sharing"}) {
+        RunOutput a = runOnce("bitar", wl, 4, 42, FaultPlan{},
+                              TopologyConfig::twoSwitch());
+        RunOutput b = runOnce("bitar", wl, 4, 42, FaultPlan{},
+                              TopologyConfig::twoSwitch());
+        EXPECT_EQ(a.ticks, b.ticks) << wl;
+        EXPECT_EQ(a.text, b.text) << wl;
+        EXPECT_EQ(a.json, b.json) << wl;
+        EXPECT_NE(a.text.find("sync_bus."), std::string::npos) << wl;
+    }
 }
 
 TEST(Determinism, DifferentSeedsDiverge)

@@ -94,6 +94,42 @@ TEST(SweepSpec, ExpandRejectsUnknownWorkload)
         << "error should list known workloads: " << err;
 }
 
+TEST(SweepSpec, TopologyAxisTagsJobNamesAndConfigs)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"random_sharing"};
+    spec.topologies = {"single_bus", "two_switch"};
+    spec.processorCounts = {2};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    ASSERT_TRUE(spec.expand(&jobs, &err)) << err;
+    ASSERT_EQ(jobs.size(), 2u);
+    // Single-bus rows keep their historical names (no topology tag) so
+    // pre-topology baselines still compare; two_switch rows are tagged.
+    EXPECT_EQ(jobs[0].name, "bitar/random_sharing/p2/bw4/f128/s1");
+    EXPECT_TRUE(jobs[0].config.topology.isSingleBus());
+    EXPECT_EQ(jobs[1].name,
+              "bitar/random_sharing/two_switch/p2/bw4/f128/s1");
+    EXPECT_EQ(jobs[1].config.topology.switches.size(), 2u);
+    EXPECT_EQ(jobs[1].config.topology.switches[0].name, "sync_bus");
+}
+
+TEST(SweepSpec, ExpandRejectsUnknownTopology)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"random_sharing"};
+    spec.topologies = {"hypercube"};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_FALSE(spec.expand(&jobs, &err));
+    EXPECT_NE(err.find("unknown topology 'hypercube'"),
+              std::string::npos) << err;
+    EXPECT_NE(err.find("two_switch"), std::string::npos)
+        << "error should list known topologies: " << err;
+}
+
 TEST(SweepSpec, ExpandRejectsEmptyAxis)
 {
     SweepSpec spec;
@@ -170,6 +206,22 @@ TEST(SweepSpec, ToJsonRoundTrips)
     EXPECT_EQ(again.name, "rt");
     EXPECT_EQ(again.seeds, (std::vector<std::uint64_t>{3, 4}));
     EXPECT_EQ(again.opsPerProcessor, spec.opsPerProcessor);
+}
+
+TEST(SweepSpec, ToJsonOmitsDefaultTopologyAxis)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"migration"};
+    // Pre-topology manifests must stay byte-identical: the axis only
+    // appears once somebody asks for a non-default topology.
+    EXPECT_FALSE(spec.toJson().has("topologies"));
+    spec.topologies = {"two_switch"};
+    SweepSpec again;
+    std::string err;
+    ASSERT_TRUE(SweepSpec::fromJson(spec.toJson(), &again, &err)) << err;
+    EXPECT_EQ(again.topologies,
+              (std::vector<std::string>{"two_switch"}));
 }
 
 TEST(WorkloadFactory, KnowsItsNamesAndRejectsOthers)

@@ -39,13 +39,15 @@ struct KernelSpec
     std::string protocol; // empty for the calibration kernel
     std::string workload;
     unsigned procs = 8;
+    std::string topology = "single_bus";
 };
 
 /**
  * The standard kernel set.  Calibration comes first so both the emitted
  * document and the compare normalization always see it; the simulator
  * kernels cover the write-once scheme against the classic invalidate
- * and update protocols on the contended workloads.
+ * and update protocols on the contended workloads, plus the Figure 11
+ * two-interconnect Aquarius topology (the multi-switch hot path).
  */
 std::vector<KernelSpec>
 standardKernels()
@@ -58,6 +60,8 @@ standardKernels()
         {"goodman_random_sharing", "goodman", "random_sharing", 8},
         {"illinois_random_sharing", "illinois", "random_sharing", 8},
         {"dragon_random_sharing", "dragon", "random_sharing", 8},
+        {"bitar_service_queue_two_switch", "bitar", "service_queue", 8,
+         "two_switch"},
     };
 }
 
@@ -91,6 +95,7 @@ makeJob(const KernelSpec &k, std::uint64_t ops, JobSpec *out,
     spec.name = k.name;
     spec.protocols = {k.protocol};
     spec.workloads = {k.workload};
+    spec.topologies = {k.topology};
     spec.processorCounts = {k.procs};
     spec.opsPerProcessor = ops;
     std::vector<JobSpec> grid;
@@ -248,8 +253,11 @@ doList()
             std::printf("%-28s (pure-CPU machine-speed reference)\n",
                         k.name.c_str());
         else
-            std::printf("%-28s %s / %s, %u procs\n", k.name.c_str(),
-                        k.protocol.c_str(), k.workload.c_str(), k.procs);
+            std::printf("%-28s %s / %s, %u procs%s%s\n", k.name.c_str(),
+                        k.protocol.c_str(), k.workload.c_str(), k.procs,
+                        k.topology == "single_bus" ? "" : ", ",
+                        k.topology == "single_bus" ? ""
+                                                   : k.topology.c_str());
     }
     return 0;
 }

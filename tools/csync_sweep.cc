@@ -46,6 +46,7 @@ usage(const char *argv0)
         "it)\n"
         "  --protocols A,B,...  protocol axis\n"
         "  --workloads A,B,...  workload axis\n"
+        "  --topology A,B,...   topology axis (default single_bus)\n"
         "  --procs N,M,...      processor-count axis (default 4)\n"
         "  --block-words N,...  block-size axis, bus words (default 4)\n"
         "  --frames N,...       cache-frames axis (default 128)\n"
@@ -141,6 +142,9 @@ doList()
     std::printf("\nworkloads:");
     for (const auto &w : workloadNames())
         std::printf(" %s", w.c_str());
+    std::printf("\ntopologies:");
+    for (const auto &t : TopologyConfig::names())
+        std::printf(" %s", t.c_str());
     std::printf("\n");
     return 0;
 }
@@ -190,6 +194,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     SweepSpec cli; // axes given on the command line
     bool have_protocols = false, have_workloads = false;
+    bool have_topos = false;
     bool have_procs = false, have_bw = false, have_frames = false;
     bool have_seeds = false, have_ops = false, have_ticks = false;
     bool have_frates = false, have_fseeds = false, have_fkinds = false;
@@ -233,6 +238,12 @@ main(int argc, char **argv)
             if (!(v = next_arg(i, "--workloads")))
                 return 2;
             have_workloads = splitList(v, &cli.workloads);
+        } else if (a == "--topology") {
+            if (!(v = next_arg(i, "--topology")))
+                return 2;
+            have_topos = splitList(v, &cli.topologies);
+            if (!have_topos)
+                return cliError("--topology: empty list");
         } else if (a == "--procs") {
             if (!(v = next_arg(i, "--procs")))
                 return 2;
@@ -332,6 +343,8 @@ main(int argc, char **argv)
         spec.protocols = cli.protocols;
     if (have_workloads)
         spec.workloads = cli.workloads;
+    if (have_topos)
+        spec.topologies = cli.topologies;
     if (have_procs)
         spec.processorCounts = cli.processorCounts;
     if (have_bw)
