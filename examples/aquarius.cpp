@@ -64,6 +64,8 @@ class PredicateProcessWorkload : public Workload
                 if (dataFinished_)
                     return NextStatus::WaitForLock;
                 break;
+              case NextStatus::Stalled:
+                break; // synthetic sub-workloads never stall
               case NextStatus::Finished:
                 syncFinished_ = true;
                 break;
@@ -79,7 +81,8 @@ class PredicateProcessWorkload : public Workload
                 dataFinished_ = true;
                 break;
               case NextStatus::WaitForLock:
-                break; // the data stream takes no locks
+              case NextStatus::Stalled:
+                break; // the data stream takes no locks or deps
             }
         }
         if (!syncFinished_) {
@@ -90,6 +93,8 @@ class PredicateProcessWorkload : public Workload
                 return NextStatus::Op;
               case NextStatus::WaitForLock:
                 return NextStatus::WaitForLock;
+              case NextStatus::Stalled:
+                break; // synthetic sub-workloads never stall
               case NextStatus::Finished:
                 syncFinished_ = true;
                 break;

@@ -9,6 +9,7 @@
 #include "harness/workload_factory.hh"
 #include "sim/stats_json.hh"
 #include "system/system.hh"
+#include "trace/replay.hh"
 
 namespace csync
 {
@@ -56,6 +57,10 @@ CampaignRunner::runJob(const JobSpec &spec)
     ScopedFatalThrow capture;
     try {
         spec.config.validate();
+        // Trace-replay jobs share one streaming engine across all the
+        // run's workload slots; it must outlive the System (whose
+        // processors own the workloads pointing at it).
+        std::shared_ptr<trace::TraceReplayEngine> traceEngine;
         System sys(spec.config);
         for (unsigned i = 0; i < spec.config.numProcessors; ++i) {
             WorkloadSlot slot;
@@ -66,6 +71,7 @@ CampaignRunner::runJob(const JobSpec &spec)
             slot.blockBytes =
                 Addr(spec.config.cache.geom.blockWords) * bytesPerWord;
             slot.protocol = spec.config.protocol;
+            slot.traceEngine = &traceEngine;
             std::string werr;
             auto w = makeWorkload(spec.workload, slot, &werr);
             if (!w)

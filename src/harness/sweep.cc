@@ -5,6 +5,7 @@
 #include "coherence/protocol.hh"
 #include "harness/workload_factory.hh"
 #include "sim/logging.hh"
+#include "trace/reader.hh"
 
 namespace csync
 {
@@ -82,6 +83,21 @@ scalarNumber(const Json &doc, const char *key, T *out, std::string *err)
     return true;
 }
 
+/** "traces/foo.ctrace" -> "foo": the job-name tag of a trace path. */
+std::string
+traceStem(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::string ext = ".ctrace";
+    if (stem.size() > ext.size() &&
+        stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+        stem.resize(stem.size() - ext.size());
+    }
+    return stem;
+}
+
 } // anonymous namespace
 
 bool
@@ -91,10 +107,10 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
         return parseError(err, "document is not a JSON object");
 
     static const char *known[] = {
-        "name", "protocols", "workloads", "topologies", "processors",
-        "block_words", "frames", "seeds", "ops_per_processor",
-        "max_ticks", "ways", "enable_checker", "fault_rates",
-        "fault_seeds", "fault_kinds", "fault",
+        "name", "protocols", "workloads", "traces", "topologies",
+        "processors", "block_words", "frames", "seeds",
+        "ops_per_processor", "max_ticks", "ways", "enable_checker",
+        "fault_rates", "fault_seeds", "fault_kinds", "fault",
     };
     for (const auto &kv : doc.members()) {
         if (std::find_if(std::begin(known), std::end(known),
@@ -113,6 +129,7 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
     }
     if (!stringAxis(doc, "protocols", &spec.protocols, err) ||
         !stringAxis(doc, "workloads", &spec.workloads, err) ||
+        !stringAxis(doc, "traces", &spec.traces, err) ||
         !stringAxis(doc, "topologies", &spec.topologies, err) ||
         !numberAxis(doc, "processors", &spec.processorCounts, err) ||
         !numberAxis(doc, "block_words", &spec.blockWords, err) ||
@@ -141,8 +158,11 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
     }
     if (spec.protocols.empty())
         return parseError(err, "\"protocols\" axis is missing or empty");
-    if (spec.workloads.empty())
-        return parseError(err, "\"workloads\" axis is missing or empty");
+    if (spec.workloads.empty() && spec.traces.empty()) {
+        return parseError(
+            err, "\"workloads\" and \"traces\" axes are both missing "
+                 "or empty (one is needed)");
+    }
     *out = std::move(spec);
     return true;
 }
@@ -156,9 +176,10 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
         return false;
     };
 
-    if (protocols.empty() || workloads.empty() || topologies.empty() ||
-        processorCounts.empty() || blockWords.empty() || frames.empty() ||
-        seeds.empty() || faultRates.empty() || faultSeeds.empty()) {
+    if (protocols.empty() || (workloads.empty() && traces.empty()) ||
+        topologies.empty() || processorCounts.empty() ||
+        blockWords.empty() || frames.empty() || seeds.empty() ||
+        faultRates.empty() || faultSeeds.empty()) {
         return axisError("every axis needs at least one value");
     }
     // Vet the topology axis up front (csync-sweep exits 2 on a typo).
@@ -204,10 +225,25 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
             return axisError(msg);
         }
     }
+    // Vet the trace axis up front too: a missing or corrupt trace file
+    // is a usage error, not 500 error rows.
+    for (const auto &t : traces) {
+        trace::TraceReader reader;
+        std::string terr;
+        if (!reader.open(t, &terr))
+            return axisError(terr);
+    }
+    // Traces expand like workloads; their job tag is the file stem.
+    std::vector<std::pair<std::string, std::string>> runs; // recipe,tag
+    for (const auto &w : workloads)
+        runs.emplace_back(w, w);
+    for (const auto &t : traces)
+        runs.emplace_back(std::string(kTraceRecipePrefix) + t,
+                          "trace:" + traceStem(t));
 
     out->clear();
     for (const auto &proto : protocols) {
-        for (const auto &wl : workloads) {
+        for (const auto &[wl, wl_tag] : runs) {
           for (const auto &[topo, topo_cfg] : topos) {
             // Single-bus job names carry no topology segment, so rows of
             // pre-topology campaigns keep comparing.
@@ -222,7 +258,7 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                               JobSpec job;
                               job.name = csprintf(
                                   "%s/%s%s/p%u/bw%u/f%u/s%llu",
-                                  proto.c_str(), wl.c_str(),
+                                  proto.c_str(), wl_tag.c_str(),
                                   topo_tag.c_str(), procs, bw, fr,
                                   (unsigned long long)seed);
                               if (frate > 0.0) {
@@ -281,6 +317,9 @@ SweepSpec::toJson() const
     };
     doc.set("protocols", strings(protocols));
     doc.set("workloads", strings(workloads));
+    // Omitted when empty so pre-trace manifests stay identical.
+    if (!traces.empty())
+        doc.set("traces", strings(traces));
     // Omitted on the default so pre-topology manifests stay identical.
     if (topologies != std::vector<std::string>{"single_bus"})
         doc.set("topologies", strings(topologies));

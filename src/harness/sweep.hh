@@ -51,6 +51,10 @@ struct SweepSpec
     /// @{
     std::vector<std::string> protocols;
     std::vector<std::string> workloads;
+    /** Captured traces to replay (.ctrace paths); each expands like a
+     *  workload, named "trace:<stem>" in job keys.  May be used
+     *  instead of (or alongside) the workloads axis. */
+    std::vector<std::string> traces;
     /** Interconnect topology presets (TopologyConfig::names()); the
      *  default single entry keeps campaigns on the paper's baseline
      *  single bus (and their job names unchanged). */

@@ -10,6 +10,7 @@
 #include "proc/workloads/random_sharing.hh"
 #include "proc/workloads/service_queue.hh"
 #include "sim/logging.hh"
+#include "trace/replay.hh"
 
 namespace csync
 {
@@ -152,6 +153,72 @@ makeServiceQueue(const WorkloadSlot &s, std::string *err)
         p, s.procId % 2 ? QueueRole::Consumer : QueueRole::Producer);
 }
 
+/**
+ * Lock algorithm for replaying a trace's lock/unlock events.  Starts
+ * from the protocol's best algorithm (lockAlgFor), with one replay
+ * twist: a blocking cache-lock acquire parks its whole processor, so
+ * when threads are multiplexed (more trace threads than processors)
+ * the lock holder can be parked behind a waiter on its own processor
+ * — a deadlock no trace content can avoid.  Multiplexed replays spin
+ * with test-and-test-and-set instead.
+ */
+bool
+traceLockAlg(const std::string &protocol, unsigned num_threads,
+             unsigned num_procs, LockAlg *alg, std::string *err)
+{
+    if (!lockAlgFor(protocol, "trace replay", alg, err))
+        return false;
+    if (*alg == LockAlg::CacheLock && num_threads > num_procs) {
+        if (!makeProtocol(protocol)->features().atomicRmw) {
+            if (err) {
+                *err = csprintf(
+                    "trace replay with %u threads on %u processors "
+                    "needs atomic read-modify-write to spin, but "
+                    "protocol '%s' has none (cache locking would "
+                    "deadlock a multiplexed processor)",
+                    num_threads, num_procs, protocol.c_str());
+            }
+            return false;
+        }
+        *alg = LockAlg::TestTestSet;
+    }
+    return true;
+}
+
+std::unique_ptr<Workload>
+makeTraceReplay(const std::string &path, const WorkloadSlot &s,
+                std::string *err)
+{
+    if (path.empty()) {
+        if (err)
+            *err = "trace recipe names no file (use trace:<path>)";
+        return nullptr;
+    }
+    if (!s.traceEngine) {
+        if (err) {
+            *err = "trace replay needs a run-scoped engine slot "
+                   "(WorkloadSlot::traceEngine), which this embedder "
+                   "does not provide";
+        }
+        return nullptr;
+    }
+    std::shared_ptr<trace::TraceReplayEngine> &eng = *s.traceEngine;
+    if (!eng) {
+        auto fresh = std::make_shared<trace::TraceReplayEngine>();
+        if (!fresh->open(path, err))
+            return nullptr;
+        LockAlg alg = LockAlg::TestTestSet;
+        if (fresh->header().hasLocks() &&
+            !traceLockAlg(s.protocol, fresh->numThreads(), s.numProcs,
+                          &alg, err)) {
+            return nullptr;
+        }
+        fresh->configure(s.numProcs, alg);
+        eng = std::move(fresh);
+    }
+    return eng->makeWorkload(s.procId);
+}
+
 struct Recipe
 {
     const char *name;
@@ -177,6 +244,8 @@ const Recipe kRecipes[] = {
 
 } // anonymous namespace
 
+const char kTraceRecipePrefix[] = "trace:";
+
 std::vector<std::string>
 workloadNames()
 {
@@ -200,6 +269,10 @@ std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadSlot &slot,
              std::string *err)
 {
+    if (name.rfind(kTraceRecipePrefix, 0) == 0) {
+        return makeTraceReplay(
+            name.substr(sizeof(kTraceRecipePrefix) - 1), slot, err);
+    }
     for (const auto &r : kRecipes) {
         if (name == r.name)
             return r.make(slot, err);
@@ -208,8 +281,9 @@ makeWorkload(const std::string &name, const WorkloadSlot &slot,
         std::string known;
         for (const auto &r : kRecipes)
             known += std::string(known.empty() ? "" : ", ") + r.name;
-        *err = csprintf("unknown workload '%s' (known: %s)", name.c_str(),
-                        known.c_str());
+        *err = csprintf("unknown workload '%s' (known: %s; or "
+                        "trace:<path> to replay a captured trace)",
+                        name.c_str(), known.c_str());
     }
     return nullptr;
 }

@@ -19,6 +19,12 @@
 
 namespace csync
 {
+
+namespace trace
+{
+class TraceReplayEngine;
+} // namespace trace
+
 namespace harness
 {
 
@@ -37,7 +43,18 @@ struct WorkloadSlot
     std::uint64_t blockBytes = 32;
     /** Protocol the system runs (selects lock algorithm / hints). */
     std::string protocol = "bitar";
+    /**
+     * Run-scoped slot for the "trace:<path>" recipe: all of a run's
+     * processors must share one replay engine, so the caller provides
+     * a place to keep it.  The first trace slot built opens the trace
+     * and fills the slot; later slots reuse it.  Left null, trace
+     * recipes are rejected with an error.
+     */
+    std::shared_ptr<trace::TraceReplayEngine> *traceEngine = nullptr;
 };
+
+/** The prefix selecting trace replay: "trace:<path-to-.ctrace>". */
+extern const char kTraceRecipePrefix[];
 
 /** Registered workload names, sorted (the sweep "workloads" axis). */
 std::vector<std::string> workloadNames();

@@ -34,6 +34,7 @@ Processor::Processor(std::string name, EventQueue *eq, NodeId id,
     sim_assert(caches_.size() == 1 || map_ != nullptr,
                "multi-port processor needs an address map");
     sim_assert(workload_ != nullptr, "processor needs a workload");
+    workload_->setWakeHook([this] { wake(); });
 }
 
 Cache &
@@ -69,6 +70,18 @@ Processor::enableWorkWhileWaiting()
 }
 
 void
+Processor::wake()
+{
+    if (wakePending_)
+        return;
+    wakePending_ = true;
+    eventq()->scheduleIn(0, [this] {
+        wakePending_ = false;
+        scheduleNext();
+    });
+}
+
+void
 Processor::scheduleNext()
 {
     if (finished_ || opInFlight_ || issuePending_)
@@ -80,6 +93,12 @@ Processor::scheduleNext()
       case NextStatus::Finished:
         finished_ = true;
         trace(TraceFlag::Processor, "workload finished");
+        return;
+
+      case NextStatus::Stalled:
+        // Quiet until the workload's wake hook fires (a cross-thread
+        // dependency or barrier elsewhere must make progress first).
+        trace(TraceFlag::Processor, "workload stalled");
         return;
 
       case NextStatus::WaitForLock:

@@ -48,6 +48,15 @@ class Processor : public SimObject
     /** Enable work-while-waiting (installs the lock-interrupt handler). */
     void enableWorkWhileWaiting();
 
+    /**
+     * Resume a processor whose workload returned Stalled (fired through
+     * the workload's wake hook).  Coalesces repeated wakes and defers
+     * through the event queue, so it is safe to call from any point of
+     * the simulation — including from inside another processor's
+     * workload callback.
+     */
+    void wake();
+
     NodeId id() const { return id_; }
     /** The first (on single-bus: the only) cache port. */
     Cache &cache() { return *caches_.front(); }
@@ -80,6 +89,7 @@ class Processor : public SimObject
     bool issuePending_ = false;
     bool waitingForLock_ = false;
     bool workWhileWaiting_ = false;
+    bool wakePending_ = false;
     Tick issueTick_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #ifndef CSYNC_PROC_WORKLOAD_HH
 #define CSYNC_PROC_WORKLOAD_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,9 @@ enum class NextStatus
     Op,
     /** Nothing to do until the pending lock interrupt arrives. */
     WaitForLock,
+    /** Nothing runnable now; the workload fires its wake hook when
+     *  progress becomes possible (cross-thread dependency stalls). */
+    Stalled,
     /** The workload has finished. */
     Finished,
 };
@@ -53,6 +57,13 @@ class Workload
     {
         onResult(op, r);
     }
+
+    /**
+     * Install the hook the workload fires to resume its processor
+     * after returning Stalled.  Workloads that never stall (all the
+     * synthetic recipes) ignore it.
+     */
+    virtual void setWakeHook(std::function<void()>) {}
 
     /** One-line description for logs. */
     virtual std::string describe() const = 0;

@@ -1,0 +1,139 @@
+#include "trace/format.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Compute:
+        return "compute";
+      case EventKind::Read:
+        return "read";
+      case EventKind::Write:
+        return "write";
+      case EventKind::Lock:
+        return "lock";
+      case EventKind::Unlock:
+        return "unlock";
+      case EventKind::Barrier:
+        return "barrier";
+      case EventKind::Dep:
+        return "dep";
+    }
+    return "?";
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(char((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(char(v));
+}
+
+bool
+getU32(const std::string &buf, std::size_t &pos, std::uint32_t *v)
+{
+    if (pos + 4 > buf.size())
+        return false;
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i)
+        r |= std::uint32_t(std::uint8_t(buf[pos + i])) << (8 * i);
+    pos += 4;
+    *v = r;
+    return true;
+}
+
+bool
+getU64(const std::string &buf, std::size_t &pos, std::uint64_t *v)
+{
+    if (pos + 8 > buf.size())
+        return false;
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i)
+        r |= std::uint64_t(std::uint8_t(buf[pos + i])) << (8 * i);
+    pos += 8;
+    *v = r;
+    return true;
+}
+
+bool
+getVarint(const std::string &buf, std::size_t &pos, std::uint64_t *v)
+{
+    std::uint64_t r = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= buf.size())
+            return false;
+        std::uint8_t byte = std::uint8_t(buf[pos++]);
+        r |= std::uint64_t(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            *v = r;
+            return true;
+        }
+    }
+    return false; // over-long encoding
+}
+
+void
+encodeEvent(std::string &out, const TraceEvent &ev)
+{
+    out.push_back(char(ev.kind));
+    putVarint(out, ev.a);
+    if (ev.kind == EventKind::Barrier || ev.kind == EventKind::Dep)
+        putVarint(out, ev.b);
+}
+
+bool
+decodeEvent(const std::string &buf, std::size_t &pos, TraceEvent *ev,
+            std::string *err)
+{
+    if (pos >= buf.size()) {
+        *err = "truncated trace: event runs past its chunk";
+        return false;
+    }
+    std::uint8_t kind = std::uint8_t(buf[pos++]);
+    if (kind >= kNumEventKinds) {
+        *err = csprintf("corrupt trace: unknown event kind %u at chunk "
+                        "byte %zu",
+                        kind, pos - 1);
+        return false;
+    }
+    ev->kind = EventKind(kind);
+    ev->b = 0;
+    if (!getVarint(buf, pos, &ev->a)) {
+        *err = "truncated trace: event runs past its chunk";
+        return false;
+    }
+    if (ev->kind == EventKind::Barrier || ev->kind == EventKind::Dep) {
+        if (!getVarint(buf, pos, &ev->b)) {
+            *err = "truncated trace: event runs past its chunk";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace trace
+} // namespace csync

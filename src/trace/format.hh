@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The `.ctrace` binary format: a compact, versioned container for
+ * captured multithreaded program traces (SynchroTrace-style per-thread
+ * event streams).  The layout is built for streaming — a reader never
+ * needs more than one chunk per thread in memory, however large the
+ * trace:
+ *
+ *   header          magic, version, thread count, flags, totals
+ *   thread table    per thread: event count + offset of its first chunk
+ *   chunks          per-thread event runs; each chunk links to the same
+ *                   thread's next chunk, so readers seek along a
+ *                   per-thread chain instead of scanning the file
+ *
+ * Events are a kind byte plus LEB128 varint operands (a multi-million
+ * event trace is a few bytes per event).  The vocabulary mirrors what a
+ * pthread-level capture tool sees:
+ *
+ *   Compute(delay)        local work, no memory traffic
+ *   Read(addr)/Write(addr) one shared-memory reference
+ *   Lock(addr)/Unlock(addr) pthread_mutex/spinlock acquire + release;
+ *                         replay translates these into the active
+ *                         protocol's sync primitives
+ *   Barrier(id, n)        pthread_barrier_wait across n threads
+ *   Dep(thread, count)    happens-before edge: stall this thread until
+ *                         @p thread has retired @p count events
+ *
+ * All integers are little-endian and written byte-by-byte, so a trace
+ * generated with a given seed is byte-identical on any host.
+ */
+
+#ifndef CSYNC_TRACE_FORMAT_HH
+#define CSYNC_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+/** File magic, bytes "CTRC" on disk. */
+constexpr std::uint32_t kMagic = 0x43525443u;
+
+/** Per-chunk marker, bytes "CHNK" on disk (truncation tripwire). */
+constexpr std::uint32_t kChunkMagic = 0x4b4e4843u;
+
+/** Current format version. */
+constexpr std::uint32_t kVersion = 1;
+
+/** Fixed header size in bytes (thread table follows). */
+constexpr std::uint64_t kHeaderBytes = 32;
+
+/** Bytes per thread-table entry: event count + first-chunk offset. */
+constexpr std::uint64_t kTableEntryBytes = 16;
+
+/** Chunk header size in bytes (payload follows). */
+constexpr std::uint64_t kChunkHeaderBytes = 24;
+
+/** Header flag bits (what the trace contains; replay checks support
+ *  up front instead of failing mid-stream). */
+enum HeaderFlag : std::uint32_t
+{
+    kFlagHasLocks = 1u << 0,
+    kFlagHasBarriers = 1u << 1,
+    kFlagHasDeps = 1u << 2,
+};
+
+/** Kinds of trace events. */
+enum class EventKind : std::uint8_t
+{
+    Compute = 0,
+    Read = 1,
+    Write = 2,
+    Lock = 3,
+    Unlock = 4,
+    Barrier = 5,
+    Dep = 6,
+};
+
+/** Number of distinct event kinds. */
+constexpr unsigned kNumEventKinds = 7;
+
+/** Name of an event kind ("compute", "read", ...). */
+const char *eventKindName(EventKind k);
+
+/** One decoded trace event.  Operand meaning depends on the kind:
+ *  Compute: a=delay; Read/Write/Lock/Unlock: a=addr;
+ *  Barrier: a=id, b=participants; Dep: a=thread, b=retired count. */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Compute;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+
+    static TraceEvent
+    compute(Tick delay)
+    {
+        return {EventKind::Compute, delay, 0};
+    }
+
+    static TraceEvent read(Addr addr) { return {EventKind::Read, addr, 0}; }
+
+    static TraceEvent
+    write(Addr addr)
+    {
+        return {EventKind::Write, addr, 0};
+    }
+
+    static TraceEvent lock(Addr addr) { return {EventKind::Lock, addr, 0}; }
+
+    static TraceEvent
+    unlock(Addr addr)
+    {
+        return {EventKind::Unlock, addr, 0};
+    }
+
+    static TraceEvent
+    barrier(std::uint64_t id, std::uint64_t participants)
+    {
+        return {EventKind::Barrier, id, participants};
+    }
+
+    static TraceEvent
+    dep(unsigned thread, std::uint64_t count)
+    {
+        return {EventKind::Dep, thread, count};
+    }
+};
+
+/** Decoded file header (plus the thread table, read separately). */
+struct TraceHeader
+{
+    std::uint32_t version = kVersion;
+    std::uint32_t numThreads = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t totalEvents = 0;
+    std::uint32_t chunkCount = 0;
+
+    bool hasLocks() const { return flags & kFlagHasLocks; }
+    bool hasBarriers() const { return flags & kFlagHasBarriers; }
+    bool hasDeps() const { return flags & kFlagHasDeps; }
+};
+
+/** @name Little-endian scalar and LEB128 varint codec
+ *  Append/decode helpers shared by the writer and reader. */
+/// @{
+void putU32(std::string &out, std::uint32_t v);
+void putU64(std::string &out, std::uint64_t v);
+void putVarint(std::string &out, std::uint64_t v);
+
+/** @return false when fewer than 4/8 bytes remain. */
+bool getU32(const std::string &buf, std::size_t &pos, std::uint32_t *v);
+bool getU64(const std::string &buf, std::size_t &pos, std::uint64_t *v);
+
+/** @return false on a truncated or over-long (>10 byte) varint. */
+bool getVarint(const std::string &buf, std::size_t &pos,
+               std::uint64_t *v);
+/// @}
+
+/** Append one encoded event to @p out. */
+void encodeEvent(std::string &out, const TraceEvent &ev);
+
+/**
+ * Decode one event from @p buf at @p pos.
+ * @return false with *err set on a malformed or truncated event.
+ */
+bool decodeEvent(const std::string &buf, std::size_t &pos,
+                 TraceEvent *ev, std::string *err);
+
+} // namespace trace
+} // namespace csync
+
+#endif // CSYNC_TRACE_FORMAT_HH

@@ -1,0 +1,246 @@
+#include "trace/gen.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "trace/writer.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+namespace
+{
+
+/** Lock words: below the 16 MiB class split (synchronization bus). */
+constexpr Addr kLockBase = 0x200000;
+/** Lock stride: one block per lock on any reasonable block size. */
+constexpr Addr kLockStride = 64;
+/** Shared data: above the class split (data switch). */
+constexpr Addr kSharedBase = 0x2000000;
+/** Per-thread private regions. */
+constexpr Addr kPrivateBase = 0x30000000;
+constexpr Addr kPrivateStride = 0x10000;
+
+Addr
+privateWord(unsigned t, std::uint64_t i)
+{
+    return kPrivateBase + Addr(t) * kPrivateStride +
+           Addr(i % 32) * bytesPerWord;
+}
+
+/** Per-thread RNG, decorrelated from the other threads. */
+Random
+threadRng(const GenParams &p, unsigned t)
+{
+    return Random(p.seed * 1000003 + t * 104729 + 17);
+}
+
+/**
+ * All threads hammer one spinlock: each iteration thinks, acquires,
+ * bounces the guarded counter, and releases — the Sections E.3-E.4
+ * contention pattern as a trace (5 events per iteration).
+ */
+void
+genSpinlock(const GenParams &p, TraceWriter &w)
+{
+    std::uint64_t iters =
+        std::max<std::uint64_t>(1, p.events / (p.threads * 5));
+    for (unsigned t = 0; t < p.threads; ++t) {
+        Random rng = threadRng(p, t);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            w.append(t, TraceEvent::compute(rng.range(1, 6)));
+            w.append(t, TraceEvent::lock(kLockBase));
+            w.append(t, TraceEvent::read(kLockBase + bytesPerWord));
+            w.append(t, TraceEvent::write(kLockBase + bytesPerWord));
+            w.append(t, TraceEvent::unlock(kLockBase));
+        }
+    }
+}
+
+/**
+ * Threads pair up (2k produces for 2k+1) over per-pair data slots;
+ * the consumer's Dep events encode the happens-before edge a capture
+ * tool would have observed (5 events per item on both sides).  An odd
+ * trailing thread runs private traffic.
+ */
+void
+genProducerConsumer(const GenParams &p, TraceWriter &w)
+{
+    constexpr unsigned kDataWords = 4;
+    std::uint64_t items =
+        std::max<std::uint64_t>(1, p.events / (p.threads * 5));
+    for (unsigned t = 0; t < p.threads; ++t) {
+        Random rng = threadRng(p, t);
+        if (p.threads % 2 != 0 && t == p.threads - 1) {
+            for (std::uint64_t i = 0; i < items; ++i) {
+                w.append(t, TraceEvent::compute(rng.range(1, 4)));
+                w.append(t, TraceEvent::read(privateWord(t, i)));
+                w.append(t, TraceEvent::write(privateWord(t, i)));
+                w.append(t, TraceEvent::read(privateWord(t, i + 7)));
+                w.append(t, TraceEvent::write(privateWord(t, i + 7)));
+            }
+            continue;
+        }
+        unsigned pair = t / 2;
+        Addr base = kSharedBase + Addr(pair) * 0x10000;
+        for (std::uint64_t i = 0; i < items; ++i) {
+            // Items rotate over 8 slots so producer and consumer can
+            // run several items apart without clobbering live data.
+            Addr slot =
+                base + Addr(i % 8) * kDataWords * bytesPerWord;
+            if (t % 2 == 0) {
+                w.append(t, TraceEvent::compute(rng.range(1, 4)));
+                for (unsigned d = 0; d < kDataWords; ++d) {
+                    w.append(t, TraceEvent::write(
+                                    slot + Addr(d) * bytesPerWord));
+                }
+            } else {
+                // Wait for the producer to finish item i: 5 events
+                // per item on its side.
+                w.append(t, TraceEvent::dep(t - 1, (i + 1) * 5));
+                for (unsigned d = 0; d < kDataWords; ++d) {
+                    w.append(t, TraceEvent::read(
+                                    slot + Addr(d) * bytesPerWord));
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Barrier phases: each phase every thread works a slice of a shared
+ * array (4 read-modify-write word pairs), then meets the others at a
+ * phase barrier (10 events per phase).  Lock-free, so it replays on
+ * every protocol — including the ones with no lock support at all.
+ */
+void
+genBarrier(const GenParams &p, TraceWriter &w)
+{
+    std::uint64_t phases =
+        std::max<std::uint64_t>(1, p.events / (p.threads * 10));
+    for (unsigned t = 0; t < p.threads; ++t) {
+        Random rng = threadRng(p, t);
+        for (std::uint64_t ph = 0; ph < phases; ++ph) {
+            w.append(t, TraceEvent::compute(rng.range(1, 6)));
+            for (unsigned k = 0; k < 4; ++k) {
+                // Slices rotate across phases, so each word is shared
+                // over time but uncontended within a phase.
+                Addr a = kSharedBase +
+                         Addr((t + ph) % p.threads) * 0x400 +
+                         Addr(k) * bytesPerWord;
+                w.append(t, TraceEvent::read(a));
+                w.append(t, TraceEvent::write(a));
+            }
+            w.append(t, TraceEvent::barrier(ph, p.threads));
+        }
+    }
+}
+
+/**
+ * The full vocabulary in one kernel: every round is exactly 11 events
+ * — think, a lock-guarded critical section, shared and private
+ * traffic, a dependency on the neighbour's progress, and a round
+ * barrier.  The fixed round size makes the Dep targets exact: the
+ * neighbour has passed its critical section for round r once it has
+ * retired r*11 + 5 events, which every thread reaches before its own
+ * Dep (event 10 of the round), so the chain can stall but never
+ * deadlock.
+ */
+void
+genMix(const GenParams &p, TraceWriter &w)
+{
+    constexpr std::uint64_t kRoundEvents = 11;
+    std::uint64_t rounds = std::max<std::uint64_t>(
+        1, p.events / (p.threads * kRoundEvents));
+    for (unsigned t = 0; t < p.threads; ++t) {
+        Random rng = threadRng(p, t);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+            Addr lock = kLockBase + Addr(r % 4) * kLockStride;
+            w.append(t, TraceEvent::compute(rng.range(1, 6)));
+            w.append(t, TraceEvent::lock(lock));
+            w.append(t, TraceEvent::read(lock + bytesPerWord));
+            w.append(t, TraceEvent::write(lock + bytesPerWord));
+            w.append(t, TraceEvent::unlock(lock));
+            Addr shared = kSharedBase +
+                          Addr((t * 97 + r * 13) % 512) * bytesPerWord;
+            w.append(t, TraceEvent::read(shared));
+            w.append(t, TraceEvent::write(shared));
+            w.append(t, TraceEvent::read(privateWord(t, r)));
+            w.append(t, TraceEvent::write(privateWord(t, r)));
+            w.append(t, TraceEvent::dep((t + 1) % p.threads,
+                                        r * kRoundEvents + 5));
+            w.append(t, TraceEvent::barrier(r, p.threads));
+        }
+    }
+}
+
+struct Kernel
+{
+    const char *name;
+    void (*gen)(const GenParams &, TraceWriter &);
+};
+
+const Kernel kKernels[] = {
+    {"barrier", genBarrier},
+    {"mix", genMix},
+    {"producer_consumer", genProducerConsumer},
+    {"spinlock", genSpinlock},
+};
+
+} // anonymous namespace
+
+std::vector<std::string>
+genKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &k : kKernels)
+        names.push_back(k.name);
+    return names;
+}
+
+bool
+genKernelKnown(const std::string &kernel)
+{
+    for (const auto &k : kKernels) {
+        if (kernel == k.name)
+            return true;
+    }
+    return false;
+}
+
+bool
+generateTrace(const GenParams &p, const std::string &path,
+              std::string *err)
+{
+    const Kernel *kernel = nullptr;
+    for (const auto &k : kKernels) {
+        if (p.kernel == k.name)
+            kernel = &k;
+    }
+    if (!kernel) {
+        if (err) {
+            std::string known;
+            for (const auto &k : kKernels)
+                known += std::string(known.empty() ? "" : ", ") + k.name;
+            *err = csprintf("unknown trace kernel '%s' (known: %s)",
+                            p.kernel.c_str(), known.c_str());
+        }
+        return false;
+    }
+    if (p.threads == 0) {
+        if (err)
+            *err = "a trace needs at least one thread";
+        return false;
+    }
+    TraceWriter w;
+    if (!w.open(path, p.threads, p.chunkEvents, err))
+        return false;
+    kernel->gen(p, w);
+    return w.finalize(err);
+}
+
+} // namespace trace
+} // namespace csync

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Seeded synthetic trace generation: pthread-style kernels rendered
+ * into the `.ctrace` format so the replay path can be exercised (and
+ * regression-tested) without a real capture tool.  Generation is a
+ * pure function of the parameters — the same seed produces the same
+ * bytes on any host.
+ *
+ * Address layout matches the machine presets: locks and other
+ * synchronization words sit below the two_switch topology's 16 MiB
+ * class split (they travel the synchronization bus), shared data sits
+ * above it, and per-thread private regions are far above both.
+ */
+
+#ifndef CSYNC_TRACE_GEN_HH
+#define CSYNC_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csync
+{
+namespace trace
+{
+
+/** Parameters of one synthetic trace. */
+struct GenParams
+{
+    /** Kernel name (see genKernelNames()). */
+    std::string kernel = "mix";
+    /** Trace threads. */
+    unsigned threads = 4;
+    /** Approximate total events (rounded to whole iterations). */
+    std::uint64_t events = 10000;
+    /** Generation seed (think times, address jitter). */
+    std::uint64_t seed = 1;
+    /** Events per chunk in the emitted file. */
+    unsigned chunkEvents = 4096;
+};
+
+/** Registered kernel names, sorted. */
+std::vector<std::string> genKernelNames();
+
+/** True if @p kernel is a registered kernel. */
+bool genKernelKnown(const std::string &kernel);
+
+/**
+ * Generate the trace described by @p p into @p path.
+ * @return false with *err set on an unknown kernel, bad parameters,
+ *         or an I/O failure.
+ */
+bool generateTrace(const GenParams &p, const std::string &path,
+                   std::string *err);
+
+} // namespace trace
+} // namespace csync
+
+#endif // CSYNC_TRACE_GEN_HH

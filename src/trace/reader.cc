@@ -1,0 +1,268 @@
+#include "trace/reader.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+namespace
+{
+
+/** Read exactly @p n bytes at @p offset into @p out. */
+bool
+readAt(std::ifstream &in, std::uint64_t offset, std::size_t n,
+       std::string *out)
+{
+    out->resize(n);
+    in.clear();
+    in.seekg(std::streamoff(offset));
+    in.read(&(*out)[0], std::streamsize(n));
+    return std::size_t(in.gcount()) == n;
+}
+
+} // anonymous namespace
+
+bool
+TraceReader::open(const std::string &path, std::string *err)
+{
+    sim_assert(err, "trace reader needs an error sink");
+    in_.open(path, std::ios::in | std::ios::binary);
+    if (!in_) {
+        *err = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    path_ = path;
+    in_.seekg(0, std::ios::end);
+    fileBytes_ = std::uint64_t(in_.tellg());
+
+    std::string hdr;
+    if (!readAt(in_, 0, kHeaderBytes, &hdr)) {
+        *err = csprintf("truncated trace '%s': %llu bytes, header "
+                        "needs %llu",
+                        path.c_str(), (unsigned long long)fileBytes_,
+                        (unsigned long long)kHeaderBytes);
+        return false;
+    }
+    std::size_t pos = 0;
+    std::uint32_t magic = 0, reserved = 0;
+    getU32(hdr, pos, &magic);
+    getU32(hdr, pos, &header_.version);
+    getU32(hdr, pos, &header_.numThreads);
+    getU32(hdr, pos, &header_.flags);
+    getU64(hdr, pos, &header_.totalEvents);
+    getU32(hdr, pos, &header_.chunkCount);
+    getU32(hdr, pos, &reserved);
+    if (magic != kMagic) {
+        *err = csprintf("not a csync trace: bad magic 0x%08x in '%s' "
+                        "(expected 0x%08x \"CTRC\")",
+                        magic, path.c_str(), kMagic);
+        return false;
+    }
+    if (header_.version != kVersion) {
+        *err = csprintf("unsupported trace version %u in '%s' (this "
+                        "build reads version %u)",
+                        header_.version, path.c_str(), kVersion);
+        return false;
+    }
+    if (header_.numThreads == 0) {
+        *err = csprintf("corrupt trace '%s': zero threads", path.c_str());
+        return false;
+    }
+    std::uint64_t table_bytes =
+        std::uint64_t(header_.numThreads) * kTableEntryBytes;
+    if (kHeaderBytes + table_bytes > fileBytes_) {
+        *err = csprintf("truncated trace '%s': thread table for %u "
+                        "threads runs past end of file",
+                        path.c_str(), header_.numThreads);
+        return false;
+    }
+    std::string table;
+    if (!readAt(in_, kHeaderBytes, std::size_t(table_bytes), &table)) {
+        *err = csprintf("I/O error reading thread table of '%s'",
+                        path.c_str());
+        return false;
+    }
+    cursors_.assign(header_.numThreads, Cursor());
+    pos = 0;
+    std::uint64_t events_sum = 0;
+    for (unsigned t = 0; t < header_.numThreads; ++t) {
+        Cursor &c = cursors_[t];
+        getU64(table, pos, &c.tableEvents);
+        getU64(table, pos, &c.nextChunk);
+        events_sum += c.tableEvents;
+        if (c.nextChunk == 0 && c.tableEvents != 0) {
+            *err = csprintf("corrupt trace '%s': thread %u claims %llu "
+                            "events but has no chunks",
+                            path.c_str(), t,
+                            (unsigned long long)c.tableEvents);
+            return false;
+        }
+        if (c.nextChunk != 0 &&
+            c.nextChunk + kChunkHeaderBytes > fileBytes_) {
+            *err = csprintf("corrupt trace '%s': thread %u's first "
+                            "chunk offset %llu runs past end of file",
+                            path.c_str(), t,
+                            (unsigned long long)c.nextChunk);
+            return false;
+        }
+    }
+    if (events_sum != header_.totalEvents) {
+        *err = csprintf("corrupt trace '%s': header counts %llu events "
+                        "but the thread table sums to %llu",
+                        path.c_str(),
+                        (unsigned long long)header_.totalEvents,
+                        (unsigned long long)events_sum);
+        return false;
+    }
+    return true;
+}
+
+void
+TraceReader::releasePayload(Cursor &c)
+{
+    resident_ -= c.payload.size();
+    c.payload.clear();
+    c.payload.shrink_to_fit();
+    c.pos = 0;
+}
+
+bool
+TraceReader::loadChunk(unsigned thread, std::string *err)
+{
+    Cursor &c = cursors_[thread];
+    std::uint64_t at = c.nextChunk;
+    std::string hdr;
+    if (!readAt(in_, at, kChunkHeaderBytes, &hdr)) {
+        *err = csprintf("truncated trace '%s': chunk header at offset "
+                        "%llu runs past end of file",
+                        path_.c_str(), (unsigned long long)at);
+        return false;
+    }
+    std::size_t pos = 0;
+    std::uint32_t magic = 0, owner = 0, events = 0, payload_bytes = 0;
+    std::uint64_t next = 0;
+    getU32(hdr, pos, &magic);
+    getU32(hdr, pos, &owner);
+    getU32(hdr, pos, &events);
+    getU32(hdr, pos, &payload_bytes);
+    getU64(hdr, pos, &next);
+    if (magic != kChunkMagic) {
+        *err = csprintf("corrupt trace '%s': bad chunk marker 0x%08x "
+                        "at offset %llu (expected \"CHNK\")",
+                        path_.c_str(), magic, (unsigned long long)at);
+        return false;
+    }
+    if (owner != thread) {
+        *err = csprintf("corrupt trace '%s': chunk at offset %llu "
+                        "belongs to thread %u but is chained to "
+                        "thread %u",
+                        path_.c_str(), (unsigned long long)at, owner, thread);
+        return false;
+    }
+    if (events == 0) {
+        *err = csprintf("corrupt trace '%s': empty chunk at offset "
+                        "%llu",
+                        path_.c_str(), (unsigned long long)at);
+        return false;
+    }
+    if (at + kChunkHeaderBytes + payload_bytes > fileBytes_) {
+        *err = csprintf("truncated trace '%s': chunk at offset %llu "
+                        "declares %u payload bytes but the file ends "
+                        "mid-chunk",
+                        path_.c_str(), (unsigned long long)at, payload_bytes);
+        return false;
+    }
+    releasePayload(c);
+    if (!readAt(in_, at + kChunkHeaderBytes, payload_bytes,
+                &c.payload)) {
+        *err = csprintf("I/O error reading chunk at offset %llu of "
+                        "'%s'",
+                        (unsigned long long)at, path_.c_str());
+        return false;
+    }
+    resident_ += c.payload.size();
+    if (resident_ > maxResident_)
+        maxResident_ = resident_;
+    c.pos = 0;
+    c.chunkRemaining = events;
+    c.chunkOffset = at;
+    c.nextChunk = next;
+    return true;
+}
+
+TraceReader::Status
+TraceReader::next(unsigned thread, TraceEvent *ev, std::string *err)
+{
+    sim_assert(thread < cursors_.size(), "thread %u of %zu", thread,
+               cursors_.size());
+    Cursor &c = cursors_[thread];
+    if (c.chunkRemaining == 0) {
+        if (c.nextChunk == 0) {
+            if (c.eventsRead != c.tableEvents) {
+                *err = csprintf(
+                    "corrupt trace '%s': thread %u's chunk chain "
+                    "holds %llu events but the thread table "
+                    "promises %llu",
+                    path_.c_str(), thread, (unsigned long long)c.eventsRead,
+                    (unsigned long long)c.tableEvents);
+                return Status::Error;
+            }
+            releasePayload(c);
+            return Status::End;
+        }
+        if (!loadChunk(thread, err))
+            return Status::Error;
+    }
+    std::string dec_err;
+    if (!decodeEvent(c.payload, c.pos, ev, &dec_err)) {
+        *err = csprintf("%s (thread %u, chunk at offset %llu of '%s')",
+                        dec_err.c_str(), thread,
+                        (unsigned long long)c.chunkOffset, path_.c_str());
+        return Status::Error;
+    }
+    if (ev->kind == EventKind::Dep && ev->a >= header_.numThreads) {
+        *err = csprintf("corrupt trace '%s': thread %u depends on "
+                        "nonexistent thread %llu (trace has %u "
+                        "threads)",
+                        path_.c_str(), thread, (unsigned long long)ev->a,
+                        header_.numThreads);
+        return Status::Error;
+    }
+    --c.chunkRemaining;
+    ++c.eventsRead;
+    if (c.chunkRemaining == 0 && c.pos != c.payload.size()) {
+        *err = csprintf("corrupt trace '%s': chunk at offset %llu has "
+                        "%zu bytes of trailing garbage",
+                        path_.c_str(), (unsigned long long)c.chunkOffset,
+                        c.payload.size() - c.pos);
+        return Status::Error;
+    }
+    return Status::Event;
+}
+
+bool
+TraceReader::validate(std::string *err, TraceStats *stats)
+{
+    TraceStats local;
+    TraceStats *s = stats ? stats : &local;
+    for (unsigned t = 0; t < header_.numThreads; ++t) {
+        sim_assert(cursors_[t].eventsRead == 0,
+                   "validate on a partially consumed reader");
+        for (;;) {
+            TraceEvent ev;
+            Status st = next(t, &ev, err);
+            if (st == Status::Error)
+                return false;
+            if (st == Status::End)
+                break;
+            ++s->byKind[unsigned(ev.kind)];
+            ++s->total;
+        }
+    }
+    return true;
+}
+
+} // namespace trace
+} // namespace csync

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Streaming `.ctrace` reader.  Each thread has an independent cursor
+ * that follows its chunk chain through the file, holding at most one
+ * decoded chunk payload in memory — replaying a multi-million-event
+ * trace never materializes it.  Every malformed input (bad magic,
+ * unsupported version, truncated chunk, dependency on a nonexistent
+ * thread, ...) fails with a distinct, precise error message rather
+ * than a crash or a hang.
+ */
+
+#ifndef CSYNC_TRACE_READER_HH
+#define CSYNC_TRACE_READER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+/** Per-kind event totals gathered by a validating scan. */
+struct TraceStats
+{
+    std::uint64_t byKind[kNumEventKinds] = {};
+    std::uint64_t total = 0;
+};
+
+/** Reads one `.ctrace` file as per-thread event streams. */
+class TraceReader
+{
+  public:
+    /** Outcome of next(). */
+    enum class Status
+    {
+        /** *ev holds the thread's next event. */
+        Event,
+        /** The thread's stream is exhausted. */
+        End,
+        /** Malformed input; *err describes it. */
+        Error,
+    };
+
+    /**
+     * Open @p path and validate the header and thread table.
+     * @return false with *err set on any malformed input.
+     */
+    bool open(const std::string &path, std::string *err);
+
+    const TraceHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+    std::uint32_t numThreads() const { return header_.numThreads; }
+
+    /** Events in @p thread's stream (thread table). */
+    std::uint64_t threadEvents(unsigned thread) const
+    {
+        return cursors_.at(thread).tableEvents;
+    }
+
+    /** Produce @p thread's next event, streaming chunks on demand. */
+    Status next(unsigned thread, TraceEvent *ev, std::string *err);
+
+    /**
+     * Stream every thread to completion, checking chunk chains, event
+     * encodings, dependency targets, and per-thread/total event counts.
+     * Usable only on a freshly opened reader.
+     * @return false with *err set on the first problem found.
+     */
+    bool validate(std::string *err, TraceStats *stats = nullptr);
+
+    /** Chunk payload bytes currently resident across all cursors. */
+    std::uint64_t residentPayloadBytes() const { return resident_; }
+
+    /** High-water mark of residentPayloadBytes() (streaming proof). */
+    std::uint64_t maxResidentPayloadBytes() const { return maxResident_; }
+
+  private:
+    struct Cursor
+    {
+        std::uint64_t tableEvents = 0;
+        std::uint64_t nextChunk = 0; // 0 = no further chunks
+        std::string payload;
+        std::size_t pos = 0;
+        std::uint32_t chunkRemaining = 0;
+        std::uint64_t eventsRead = 0;
+        std::uint64_t chunkOffset = 0; // of the loaded chunk (errors)
+    };
+
+    bool loadChunk(unsigned thread, std::string *err);
+    void releasePayload(Cursor &c);
+
+    std::ifstream in_;
+    std::string path_;
+    std::uint64_t fileBytes_ = 0;
+    TraceHeader header_;
+    std::vector<Cursor> cursors_;
+    std::uint64_t resident_ = 0;
+    std::uint64_t maxResident_ = 0;
+};
+
+} // namespace trace
+} // namespace csync
+
+#endif // CSYNC_TRACE_READER_HH

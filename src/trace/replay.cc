@@ -1,0 +1,416 @@
+#include "trace/replay.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+namespace
+{
+
+/** Think cycles between spin reads of a test-and-test-and-set
+ *  acquire, matching the synthetic lock workloads. */
+constexpr Tick kSpinGap = 2;
+
+} // anonymous namespace
+
+/**
+ * The Workload face of the engine: round-robins over the threads
+ * mapped to one processor, forwarding ops and results to the shared
+ * engine.
+ */
+class TraceReplayWorkload : public Workload
+{
+  public:
+    TraceReplayWorkload(TraceReplayEngine *engine, unsigned proc,
+                        std::vector<unsigned> threads)
+        : engine_(engine), proc_(proc), threads_(std::move(threads))
+    {
+        engine_->workloads_[proc_] = this;
+    }
+
+    ~TraceReplayWorkload() override
+    {
+        if (engine_->workloads_[proc_] == this)
+            engine_->workloads_[proc_] = nullptr;
+    }
+
+    NextStatus
+    next(MemOp &op, Tick &think) override
+    {
+        for (std::size_t scan = 0; scan < threads_.size(); ++scan) {
+            unsigned t = threads_[rr_];
+            rr_ = (rr_ + 1) % threads_.size();
+            if (engine_->emitOp(t, &op, &think)) {
+                curThread_ = t;
+                return NextStatus::Op;
+            }
+        }
+        if (done())
+            return NextStatus::Finished;
+        engine_->maybeReportDeadlock();
+        return NextStatus::Stalled;
+    }
+
+    void
+    onResult(const MemOp &op, const AccessResult &r) override
+    {
+        engine_->onOpResult(curThread_, op, r);
+    }
+
+    void
+    setWakeHook(std::function<void()> hook) override
+    {
+        wakeHook_ = std::move(hook);
+    }
+
+    std::string
+    describe() const override
+    {
+        return csprintf("trace-replay(%s, proc %u, %zu threads, %s)",
+                        engine_->path().c_str(), proc_,
+                        threads_.size(),
+                        lockAlgName(engine_->lockAlg()));
+    }
+
+    bool
+    done() const override
+    {
+        for (unsigned t : threads_) {
+            if (!engine_->threadDone(t))
+                return false;
+        }
+        return true;
+    }
+
+    void
+    fireWake()
+    {
+        if (wakeHook_)
+            wakeHook_();
+    }
+
+  private:
+    TraceReplayEngine *engine_;
+    unsigned proc_;
+    std::vector<unsigned> threads_;
+    std::size_t rr_ = 0;
+    unsigned curThread_ = 0;
+    std::function<void()> wakeHook_;
+};
+
+TraceReplayEngine::TraceReplayEngine() = default;
+TraceReplayEngine::~TraceReplayEngine() = default;
+
+bool
+TraceReplayEngine::open(const std::string &path, std::string *err)
+{
+    if (!reader_.open(path, err))
+        return false;
+    threads_.resize(reader_.numThreads());
+    return true;
+}
+
+void
+TraceReplayEngine::configure(unsigned num_procs, LockAlg lock_alg)
+{
+    sim_assert(!threads_.empty(), "configure before open");
+    sim_assert(!configured_, "engine configured twice");
+    sim_assert(num_procs > 0, "replay needs at least one processor");
+    configured_ = true;
+    numProcs_ = num_procs;
+    lockAlg_ = lock_alg;
+    procThreads_.resize(num_procs);
+    workloads_.assign(num_procs, nullptr);
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        threads_[t].proc = t % num_procs;
+        procThreads_[t % num_procs].push_back(t);
+    }
+}
+
+std::unique_ptr<Workload>
+TraceReplayEngine::makeWorkload(unsigned proc_id)
+{
+    sim_assert(configured_, "makeWorkload before configure");
+    sim_assert(proc_id < numProcs_, "processor %u of %u", proc_id,
+               numProcs_);
+    return std::make_unique<TraceReplayWorkload>(
+        this, proc_id, procThreads_[proc_id]);
+}
+
+std::uint64_t
+TraceReplayEngine::retiredEvents(unsigned thread) const
+{
+    return threads_.at(thread).retired;
+}
+
+std::uint64_t
+TraceReplayEngine::totalRetired() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ts : threads_)
+        n += ts.retired;
+    return n;
+}
+
+bool
+TraceReplayEngine::threadDone(unsigned thread) const
+{
+    return threads_.at(thread).status == Status::Done;
+}
+
+void
+TraceReplayEngine::wakeProc(unsigned proc)
+{
+    if (workloads_[proc])
+        workloads_[proc]->fireWake();
+}
+
+LockDriver &
+TraceReplayEngine::driverFor(ThreadState &ts, Addr addr)
+{
+    auto it = ts.locks.find(addr);
+    if (it == ts.locks.end())
+        it = ts.locks.emplace(addr, LockDriver(lockAlg_)).first;
+    return it->second;
+}
+
+bool
+TraceReplayEngine::emitOp(unsigned thread, MemOp *op, Tick *think)
+{
+    ThreadState &ts = threads_[thread];
+    if (ts.status != Status::Runnable || ts.opInFlight)
+        return false;
+    for (;;) {
+        if (!ts.curValid) {
+            std::string err;
+            auto st = reader_.next(thread, &ts.cur, &err);
+            if (st == TraceReader::Status::Error)
+                fatal("%s", err.c_str());
+            if (st == TraceReader::Status::End) {
+                ts.status = Status::Done;
+                return false;
+            }
+            ts.curValid = true;
+        }
+        switch (ts.cur.kind) {
+          case EventKind::Compute:
+            ts.pendingThink += ts.cur.a;
+            retire(thread);
+            continue;
+
+          case EventKind::Dep:
+            if (threads_[unsigned(ts.cur.a)].retired >= ts.cur.b) {
+                retire(thread);
+                continue;
+            }
+            ts.status = Status::DepWait;
+            return false;
+
+          case EventKind::Barrier:
+            if (arriveBarrier(thread))
+                continue;
+            return false;
+
+          case EventKind::Read:
+            *op = MemOp{OpType::Read, wordAlign(ts.cur.a), 0, false};
+            *think = ts.pendingThink;
+            ts.pendingThink = 0;
+            ts.phase = Phase::Plain;
+            ts.opInFlight = true;
+            return true;
+
+          case EventKind::Write: {
+            // The trace records no data values; synthesize a value
+            // that is a pure function of (thread, position) so replay
+            // is deterministic and the coherence checker still
+            // validates reader-sees-last-write end to end.
+            Word v = (Word(thread + 1) << 32) ^ Word(ts.retired + 1);
+            *op = MemOp{OpType::Write, wordAlign(ts.cur.a), v, false};
+            *think = ts.pendingThink;
+            ts.pendingThink = 0;
+            ts.phase = Phase::Plain;
+            ts.opInFlight = true;
+            return true;
+          }
+
+          case EventKind::Lock: {
+            Addr addr = wordAlign(ts.cur.a);
+            LockDriver &drv = driverFor(ts, addr);
+            if (!drv.acquiring()) {
+                if (drv.held()) {
+                    fatal("trace replay: thread %u locks 0x%llx "
+                          "twice without unlocking it",
+                          thread, (unsigned long long)addr);
+                }
+                drv.beginAcquire(addr);
+            }
+            bool have = drv.acquireOp(*op);
+            sim_assert(have, "blocking lock acquire produced no op");
+            *think = ts.pendingThink;
+            ts.pendingThink = 0;
+            if (op->type == OpType::Read)
+                *think += kSpinGap;
+            ts.phase = Phase::Acquiring;
+            ts.syncAddr = addr;
+            ts.opInFlight = true;
+            return true;
+          }
+
+          case EventKind::Unlock: {
+            Addr addr = wordAlign(ts.cur.a);
+            auto it = ts.locks.find(addr);
+            if (it == ts.locks.end() || !it->second.held()) {
+                fatal("trace replay: thread %u unlocks 0x%llx, "
+                      "which it does not hold",
+                      thread, (unsigned long long)addr);
+            }
+            *op = it->second.releaseOp();
+            *think = ts.pendingThink;
+            ts.pendingThink = 0;
+            ts.phase = Phase::Releasing;
+            ts.syncAddr = addr;
+            ts.opInFlight = true;
+            return true;
+          }
+        }
+        panic("unreachable");
+    }
+}
+
+void
+TraceReplayEngine::onOpResult(unsigned thread, const MemOp &op,
+                              const AccessResult &r)
+{
+    ThreadState &ts = threads_[thread];
+    sim_assert(ts.opInFlight, "result for thread %u with no op",
+               thread);
+    ts.opInFlight = false;
+    switch (ts.phase) {
+      case Phase::Plain:
+        retire(thread);
+        return;
+
+      case Phase::Acquiring: {
+        LockDriver &drv = driverFor(ts, ts.syncAddr);
+        drv.onResult(op, r);
+        if (drv.held()) {
+            ts.phase = Phase::Plain;
+            retire(thread);
+        }
+        // Otherwise the acquire retries (spin/RMW) on the thread's
+        // next turn; the Lock event stays current.
+        return;
+      }
+
+      case Phase::Releasing: {
+        driverFor(ts, ts.syncAddr).onReleased();
+        ts.phase = Phase::Plain;
+        retire(thread);
+        return;
+      }
+    }
+}
+
+void
+TraceReplayEngine::retire(unsigned thread)
+{
+    ThreadState &ts = threads_[thread];
+    sim_assert(ts.curValid, "retire with no current event");
+    ts.curValid = false;
+    ++ts.retired;
+    // Wake any thread whose dependency on this one is now satisfied.
+    for (auto &us : threads_) {
+        if (us.status == Status::DepWait && us.curValid &&
+            unsigned(us.cur.a) == thread && ts.retired >= us.cur.b) {
+            us.status = Status::Runnable;
+            wakeProc(us.proc);
+        }
+    }
+}
+
+bool
+TraceReplayEngine::arriveBarrier(unsigned thread)
+{
+    ThreadState &ts = threads_[thread];
+    std::uint64_t id = ts.cur.a;
+    std::uint64_t n = ts.cur.b;
+    if (n == 0 || n > threads_.size()) {
+        fatal("trace replay: barrier %llu declares %llu participants "
+              "(trace has %zu threads)",
+              (unsigned long long)id, (unsigned long long)n,
+              threads_.size());
+    }
+    BarrierState &b = barriers_[id];
+    if (b.arrived.empty()) {
+        b.expected = n;
+    } else if (b.expected != n) {
+        fatal("trace replay: barrier %llu arrived with %llu "
+              "participants by thread %u but %llu earlier",
+              (unsigned long long)id, (unsigned long long)n, thread,
+              (unsigned long long)b.expected);
+    }
+    b.arrived.push_back(thread);
+    if (b.arrived.size() < b.expected) {
+        ts.status = Status::BarrierWait;
+        return false;
+    }
+    // Last arrival: release everyone, retiring their barrier events.
+    std::vector<unsigned> members = std::move(b.arrived);
+    barriers_.erase(id);
+    for (unsigned u : members) {
+        threads_[u].status = Status::Runnable;
+        retire(u);
+        if (u != thread)
+            wakeProc(threads_[u].proc);
+    }
+    return true;
+}
+
+void
+TraceReplayEngine::maybeReportDeadlock()
+{
+    unsigned unfinished = 0;
+    for (const auto &ts : threads_) {
+        if (ts.status == Status::Done)
+            continue;
+        ++unfinished;
+        if (ts.status == Status::Runnable || ts.opInFlight)
+            return; // something can still make progress
+    }
+    if (unfinished == 0)
+        return;
+    std::string who;
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        const ThreadState &ts = threads_[t];
+        if (ts.status == Status::DepWait) {
+            who += csprintf(
+                "%sthread %u waits for thread %llu to retire %llu "
+                "events (it has retired %llu)",
+                who.empty() ? "" : "; ", t,
+                (unsigned long long)ts.cur.a,
+                (unsigned long long)ts.cur.b,
+                (unsigned long long)threads_[unsigned(ts.cur.a)]
+                    .retired);
+        } else if (ts.status == Status::BarrierWait) {
+            auto it = barriers_.find(ts.cur.a);
+            who += csprintf(
+                "%sthread %u waits at barrier %llu (%zu of %llu "
+                "arrived)",
+                who.empty() ? "" : "; ", t,
+                (unsigned long long)ts.cur.a,
+                it == barriers_.end() ? std::size_t(0)
+                                      : it->second.arrived.size(),
+                (unsigned long long)ts.cur.b);
+        }
+    }
+    fatal("trace replay deadlocked in '%s': %s", path().c_str(),
+          who.c_str());
+}
+
+} // namespace trace
+} // namespace csync

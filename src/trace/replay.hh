@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace-driven workload replay.  A TraceReplayEngine streams one
+ * `.ctrace` file and drives one Workload per processor; when the trace
+ * has more threads than the machine has processors, threads are
+ * multiplexed round-robin (thread t runs on processor t mod P).  The
+ * engine honours the trace's cross-thread dependency and barrier
+ * events by stalling the affected processor (NextStatus::Stalled) and
+ * waking it through the workload wake hook once the prerequisite
+ * thread has retired far enough, and translates lock/unlock events
+ * into the active protocol's synchronization primitives via the same
+ * LockDriver the synthetic workloads use.
+ */
+
+#ifndef CSYNC_TRACE_REPLAY_HH
+#define CSYNC_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proc/sync_ops.hh"
+#include "proc/workload.hh"
+#include "trace/reader.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+class TraceReplayWorkload;
+
+/**
+ * Shared replay state for one System run: the streaming reader, the
+ * per-thread progress/stall bookkeeping, and the thread-to-processor
+ * mapping.  One engine is shared by all of a run's workload instances;
+ * a fresh engine is needed per run (the trace is consumed as it
+ * streams).
+ */
+class TraceReplayEngine
+{
+  public:
+    TraceReplayEngine();
+    ~TraceReplayEngine();
+
+    /**
+     * Open the trace and validate its header.
+     * @return false with *err set on a malformed file.
+     */
+    bool open(const std::string &path, std::string *err);
+
+    /**
+     * Fix the machine size and lock algorithm; must be called once,
+     * after open() and before the first makeWorkload().
+     */
+    void configure(unsigned num_procs, LockAlg lock_alg);
+
+    /** Build the workload driving processor @p proc_id's threads. */
+    std::unique_ptr<Workload> makeWorkload(unsigned proc_id);
+
+    const TraceHeader &header() const { return reader_.header(); }
+    const std::string &path() const { return reader_.path(); }
+    unsigned numThreads() const { return reader_.numThreads(); }
+    unsigned numProcs() const { return numProcs_; }
+    LockAlg lockAlg() const { return lockAlg_; }
+
+    /** Events retired so far by @p thread. */
+    std::uint64_t retiredEvents(unsigned thread) const;
+
+    /** Events retired so far across all threads. */
+    std::uint64_t totalRetired() const;
+
+    /** Peak chunk bytes the reader held resident (bounded-memory
+     *  evidence). */
+    std::uint64_t
+    maxResidentPayloadBytes() const
+    {
+        return reader_.maxResidentPayloadBytes();
+    }
+
+  private:
+    friend class TraceReplayWorkload;
+
+    /** Why a thread is not currently producing ops. */
+    enum class Status
+    {
+        Runnable,
+        DepWait,
+        BarrierWait,
+        Done,
+    };
+
+    /** What the op in flight will mean when its result arrives. */
+    enum class Phase
+    {
+        Plain,
+        Acquiring,
+        Releasing,
+    };
+
+    struct ThreadState
+    {
+        Status status = Status::Runnable;
+        Phase phase = Phase::Plain;
+        TraceEvent cur;
+        bool curValid = false;
+        bool opInFlight = false;
+        std::uint64_t retired = 0;
+        Tick pendingThink = 0;
+        unsigned proc = 0;
+        /** Lock word of the acquire/release op in flight. */
+        Addr syncAddr = 0;
+        /** One driver per lock word (traces may nest locks). */
+        std::map<Addr, LockDriver> locks;
+    };
+
+    struct BarrierState
+    {
+        std::uint64_t expected = 0;
+        std::vector<unsigned> arrived;
+    };
+
+    /**
+     * Advance @p thread to its next memory operation, retiring
+     * compute/dep/barrier events inline.
+     * @return true with *op / *think filled, false if the thread is
+     *         done, stalled, or already has an op in flight.
+     */
+    bool emitOp(unsigned thread, MemOp *op, Tick *think);
+
+    /** Deliver the result of @p thread's op in flight. */
+    void onOpResult(unsigned thread, const MemOp &op,
+                    const AccessResult &r);
+
+    /** Retire @p thread's current event and wake satisfied waiters. */
+    void retire(unsigned thread);
+
+    /**
+     * Arrive at the current event's barrier.
+     * @return true if this arrival released the barrier (the caller's
+     *         event is retired and it should continue).
+     */
+    bool arriveBarrier(unsigned thread);
+
+    /** fatal() with a per-thread stall listing if nothing can ever
+     *  make progress again. */
+    void maybeReportDeadlock();
+
+    bool threadDone(unsigned thread) const;
+    void wakeProc(unsigned proc);
+    LockDriver &driverFor(ThreadState &ts, Addr addr);
+
+    TraceReader reader_;
+    std::vector<ThreadState> threads_;
+    std::map<std::uint64_t, BarrierState> barriers_;
+    /** proc -> the threads it multiplexes (t ranges over t%P==proc). */
+    std::vector<std::vector<unsigned>> procThreads_;
+    /** proc -> its live workload (wake routing); null once destroyed. */
+    std::vector<TraceReplayWorkload *> workloads_;
+    unsigned numProcs_ = 0;
+    LockAlg lockAlg_ = LockAlg::TestTestSet;
+    bool configured_ = false;
+};
+
+} // namespace trace
+} // namespace csync
+
+#endif // CSYNC_TRACE_REPLAY_HH

@@ -1,0 +1,153 @@
+#include "trace/writer.hh"
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+namespace
+{
+
+std::string
+encodeHeader(const TraceHeader &h)
+{
+    std::string out;
+    putU32(out, kMagic);
+    putU32(out, h.version);
+    putU32(out, h.numThreads);
+    putU32(out, h.flags);
+    putU64(out, h.totalEvents);
+    putU32(out, h.chunkCount);
+    putU32(out, 0); // reserved
+    return out;
+}
+
+} // anonymous namespace
+
+bool
+TraceWriter::open(const std::string &path, unsigned num_threads,
+                  unsigned chunk_events, std::string *err)
+{
+    sim_assert(!openDone_, "trace writer opened twice");
+    sim_assert(num_threads > 0, "trace needs at least one thread");
+    sim_assert(chunk_events > 0, "chunk size must be nonzero");
+    out_.open(path, std::ios::in | std::ios::out | std::ios::trunc |
+                        std::ios::binary);
+    if (!out_) {
+        if (err)
+            *err = "cannot create trace file '" + path + "'";
+        return false;
+    }
+    path_ = path;
+    chunkEvents_ = chunk_events;
+    threads_.resize(num_threads);
+    // Placeholder header + thread table; finalize() rewrites both.
+    std::string prefix = encodeHeader(TraceHeader{});
+    for (unsigned t = 0; t < num_threads; ++t) {
+        threads_[t].patchPos =
+            kHeaderBytes + std::uint64_t(t) * kTableEntryBytes + 8;
+        putU64(prefix, 0); // event count
+        putU64(prefix, 0); // first chunk offset
+    }
+    out_.write(prefix.data(), std::streamsize(prefix.size()));
+    openDone_ = true;
+    return true;
+}
+
+void
+TraceWriter::append(unsigned thread, const TraceEvent &ev)
+{
+    sim_assert(openDone_, "append before open");
+    sim_assert(thread < threads_.size(), "append to thread %u of %zu",
+               thread, threads_.size());
+    switch (ev.kind) {
+      case EventKind::Lock:
+      case EventKind::Unlock:
+        flags_ |= kFlagHasLocks;
+        break;
+      case EventKind::Barrier:
+        flags_ |= kFlagHasBarriers;
+        break;
+      case EventKind::Dep:
+        flags_ |= kFlagHasDeps;
+        break;
+      default:
+        break;
+    }
+    ThreadBuf &tb = threads_[thread];
+    encodeEvent(tb.payload, ev);
+    ++tb.events;
+    ++tb.eventsTotal;
+    ++totalEvents_;
+    if (tb.events >= chunkEvents_)
+        flushChunk(thread);
+}
+
+void
+TraceWriter::flushChunk(unsigned thread)
+{
+    ThreadBuf &tb = threads_[thread];
+    if (tb.events == 0)
+        return;
+    out_.seekp(0, std::ios::end);
+    std::uint64_t chunk_pos = std::uint64_t(out_.tellp());
+    // Link the previous chunk (or the thread-table entry) here.
+    std::string link;
+    putU64(link, chunk_pos);
+    out_.seekp(std::streamoff(tb.patchPos));
+    out_.write(link.data(), std::streamsize(link.size()));
+    out_.seekp(std::streamoff(chunk_pos));
+
+    std::string hdr;
+    putU32(hdr, kChunkMagic);
+    putU32(hdr, thread);
+    putU32(hdr, tb.events);
+    putU32(hdr, std::uint32_t(tb.payload.size()));
+    putU64(hdr, 0); // next-chunk link, patched by the next flush
+    out_.write(hdr.data(), std::streamsize(hdr.size()));
+    out_.write(tb.payload.data(), std::streamsize(tb.payload.size()));
+
+    tb.patchPos = chunk_pos + 16;
+    tb.payload.clear();
+    tb.events = 0;
+    ++chunkCount_;
+}
+
+bool
+TraceWriter::finalize(std::string *err)
+{
+    sim_assert(openDone_, "finalize before open");
+    for (unsigned t = 0; t < threads_.size(); ++t)
+        flushChunk(t);
+
+    TraceHeader h;
+    h.version = kVersion;
+    h.numThreads = std::uint32_t(threads_.size());
+    h.flags = flags_;
+    h.totalEvents = totalEvents_;
+    h.chunkCount = chunkCount_;
+    // Rewrite the header, then each table entry's event count without
+    // touching its already-patched chunk offset.
+    std::string prefix = encodeHeader(h);
+    out_.seekp(0);
+    out_.write(prefix.data(), std::streamsize(prefix.size()));
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        std::string entry;
+        putU64(entry, threads_[t].eventsTotal);
+        out_.seekp(std::streamoff(kHeaderBytes +
+                                  std::uint64_t(t) * kTableEntryBytes));
+        out_.write(entry.data(), std::streamsize(entry.size()));
+    }
+    out_.flush();
+    bool ok = bool(out_);
+    out_.close();
+    openDone_ = false;
+    if (!ok && err)
+        *err = "I/O error writing trace file '" + path_ + "'";
+    return ok;
+}
+
+} // namespace trace
+} // namespace csync

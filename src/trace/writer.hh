@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Streaming `.ctrace` writer.  Events are appended per thread into an
+ * in-memory chunk buffer; when a buffer fills it is flushed to the file
+ * and linked into that thread's chunk chain, so writer memory is
+ * bounded by (threads x chunk size) no matter how many events the
+ * trace holds.  finalize() back-patches the header with the real
+ * totals, making the emitted bytes a pure function of the append
+ * sequence.
+ */
+
+#ifndef CSYNC_TRACE_WRITER_HH
+#define CSYNC_TRACE_WRITER_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace csync
+{
+namespace trace
+{
+
+/** Writes one `.ctrace` file. */
+class TraceWriter
+{
+  public:
+    /**
+     * Create @p path (truncating) for a trace of @p num_threads
+     * threads.  @p chunk_events bounds events per chunk (and thus both
+     * writer and reader memory).
+     * @return false with *err set if the file cannot be created.
+     */
+    bool open(const std::string &path, unsigned num_threads,
+              unsigned chunk_events = 4096, std::string *err = nullptr);
+
+    /** Append @p ev to @p thread's stream. @p thread must be valid. */
+    void append(unsigned thread, const TraceEvent &ev);
+
+    /**
+     * Flush all pending chunks and back-patch the header.  The writer
+     * is unusable afterwards.
+     * @return false with *err set on an I/O failure.
+     */
+    bool finalize(std::string *err = nullptr);
+
+    /** Events appended so far (all threads). */
+    std::uint64_t totalEvents() const { return totalEvents_; }
+
+    /** Header flags accumulated from the appended events. */
+    std::uint32_t flags() const { return flags_; }
+
+  private:
+    struct ThreadBuf
+    {
+        std::string payload;
+        std::uint32_t events = 0;
+        std::uint64_t eventsTotal = 0;
+        /** File offset of the u64 to patch with the next chunk's
+         *  offset: the thread-table entry first, then the previous
+         *  chunk's link field. */
+        std::uint64_t patchPos = 0;
+    };
+
+    void flushChunk(unsigned thread);
+
+    std::fstream out_;
+    std::string path_;
+    std::vector<ThreadBuf> threads_;
+    unsigned chunkEvents_ = 4096;
+    std::uint64_t totalEvents_ = 0;
+    std::uint32_t chunkCount_ = 0;
+    std::uint32_t flags_ = 0;
+    bool openDone_ = false;
+};
+
+} // namespace trace
+} // namespace csync
+
+#endif // CSYNC_TRACE_WRITER_HH

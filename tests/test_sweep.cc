@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "harness/sweep.hh"
 #include "harness/workload_factory.hh"
+#include "trace/gen.hh"
 
 using namespace csync;
 using namespace csync::harness;
@@ -173,7 +176,8 @@ TEST(SweepSpec, FromJsonErrorMessages)
                   .find("\"protocols\" axis is missing"),
               std::string::npos);
     EXPECT_NE(specError(R"({"protocols": ["bitar"]})")
-                  .find("\"workloads\" axis is missing"),
+                  .find("\"workloads\" and \"traces\" axes are both "
+                        "missing"),
               std::string::npos);
     EXPECT_NE(specError(R"({"protocols": "bitar",
                             "workloads": ["barrier"]})")
@@ -224,6 +228,68 @@ TEST(SweepSpec, ToJsonOmitsDefaultTopologyAxis)
               (std::vector<std::string>{"two_switch"}));
 }
 
+TEST(SweepSpec, TracesAxisExpandsLikeAWorkload)
+{
+    // A real trace file: expand() opens every entry up front.
+    trace::GenParams p;
+    p.kernel = "mix";
+    p.threads = 2;
+    p.events = 100;
+    std::string path = ::testing::TempDir() + "sweep_axis.ctrace";
+    std::string err;
+    ASSERT_TRUE(trace::generateTrace(p, path, &err)) << err;
+
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.traces = {path};
+    spec.processorCounts = {2};
+    std::vector<JobSpec> jobs;
+    ASSERT_TRUE(spec.expand(&jobs, &err)) << err;
+    ASSERT_EQ(jobs.size(), 1u);
+    // Job names carry the file stem, not the host-specific path.
+    EXPECT_EQ(jobs[0].name, "bitar/trace:sweep_axis/p2/bw4/f128/s1");
+    EXPECT_EQ(jobs[0].workload, std::string(kTraceRecipePrefix) + path);
+    std::remove(path.c_str());
+}
+
+TEST(SweepSpec, ExpandRejectsMissingTraceFile)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.traces = {"/nonexistent/campaign.ctrace"};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_FALSE(spec.expand(&jobs, &err));
+    EXPECT_NE(err.find("/nonexistent/campaign.ctrace"),
+              std::string::npos) << err;
+}
+
+TEST(SweepSpec, TracesOnlySpecParses)
+{
+    SweepSpec spec = parseSpec(R"({
+        "protocols": ["bitar"],
+        "traces": ["captures/app.ctrace"]
+    })");
+    EXPECT_TRUE(spec.workloads.empty());
+    EXPECT_EQ(spec.traces,
+              (std::vector<std::string>{"captures/app.ctrace"}));
+}
+
+TEST(SweepSpec, ToJsonOmitsEmptyTracesAxis)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"migration"};
+    // Pre-trace manifests must stay byte-identical: the axis only
+    // appears once a trace is actually named.
+    EXPECT_FALSE(spec.toJson().has("traces"));
+    spec.traces = {"captures/app.ctrace"};
+    SweepSpec again;
+    std::string err;
+    ASSERT_TRUE(SweepSpec::fromJson(spec.toJson(), &again, &err)) << err;
+    EXPECT_EQ(again.traces, spec.traces);
+}
+
 TEST(WorkloadFactory, KnowsItsNamesAndRejectsOthers)
 {
     auto names = workloadNames();
@@ -240,6 +306,12 @@ TEST(WorkloadFactory, KnowsItsNamesAndRejectsOthers)
     std::string err;
     EXPECT_EQ(makeWorkload("nope", WorkloadSlot{}, &err), nullptr);
     EXPECT_NE(err.find("unknown workload 'nope'"), std::string::npos);
+    for (const auto &n : names) {
+        EXPECT_NE(err.find(n), std::string::npos)
+            << "error should list every recipe: " << err;
+    }
+    EXPECT_NE(err.find("trace:<path>"), std::string::npos)
+        << "error should mention the trace recipe: " << err;
 }
 
 TEST(WorkloadFactory, LockWorkloadsNeedFeature6)

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the `.ctrace` byte-level codec: little-endian scalars,
+ * LEB128 varints (including truncated and over-long rejection), and
+ * the per-kind event encoding round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <limits>
+
+#include "trace/format.hh"
+
+using namespace csync;
+using namespace csync::trace;
+
+TEST(TraceFormat, ScalarsAreLittleEndian)
+{
+    std::string buf;
+    putU32(buf, 0x11223344u);
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(std::uint8_t(buf[0]), 0x44);
+    EXPECT_EQ(std::uint8_t(buf[1]), 0x33);
+    EXPECT_EQ(std::uint8_t(buf[2]), 0x22);
+    EXPECT_EQ(std::uint8_t(buf[3]), 0x11);
+
+    putU64(buf, 0x0102030405060708ull);
+    std::size_t pos = 0;
+    std::uint32_t v32 = 0;
+    std::uint64_t v64 = 0;
+    EXPECT_TRUE(getU32(buf, pos, &v32));
+    EXPECT_EQ(v32, 0x11223344u);
+    EXPECT_TRUE(getU64(buf, pos, &v64));
+    EXPECT_EQ(v64, 0x0102030405060708ull);
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TraceFormat, ScalarReadsRejectTruncation)
+{
+    std::string buf = "\x01\x02\x03"; // 3 bytes: not even a u32
+    std::size_t pos = 0;
+    std::uint32_t v32 = 0;
+    std::uint64_t v64 = 0;
+    EXPECT_FALSE(getU32(buf, pos, &v32));
+    EXPECT_FALSE(getU64(buf, pos, &v64));
+}
+
+TEST(TraceFormat, VarintRoundTripsEdgeValues)
+{
+    const std::uint64_t values[] = {
+        0, 1, 127, 128, 16383, 16384, 0xdeadbeefull,
+        std::numeric_limits<std::uint64_t>::max(),
+    };
+    const std::size_t lengths[] = {1, 1, 1, 2, 2, 3, 5, 10};
+    for (std::size_t i = 0; i < std::size(values); ++i) {
+        std::string buf;
+        putVarint(buf, values[i]);
+        EXPECT_EQ(buf.size(), lengths[i]) << values[i];
+        std::size_t pos = 0;
+        std::uint64_t v = 0;
+        ASSERT_TRUE(getVarint(buf, pos, &v)) << values[i];
+        EXPECT_EQ(v, values[i]);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(TraceFormat, VarintRejectsTruncatedAndOverlong)
+{
+    // A continuation bit with no following byte.
+    std::string truncated = "\x80";
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    EXPECT_FALSE(getVarint(truncated, pos, &v));
+
+    // Eleven continuation bytes: longer than any u64 needs.
+    std::string overlong(11, char(0x80));
+    overlong += '\x01';
+    pos = 0;
+    EXPECT_FALSE(getVarint(overlong, pos, &v));
+}
+
+TEST(TraceFormat, EventCodecRoundTripsEveryKind)
+{
+    const TraceEvent events[] = {
+        TraceEvent::compute(17),
+        TraceEvent::read(0x2000040),
+        TraceEvent::write(0x30001234),
+        TraceEvent::lock(0x200000),
+        TraceEvent::unlock(0x200000),
+        TraceEvent::barrier(42, 8),
+        TraceEvent::dep(3, 123456789ull),
+    };
+    std::string buf;
+    for (const auto &ev : events)
+        encodeEvent(buf, ev);
+    std::size_t pos = 0;
+    for (const auto &ev : events) {
+        TraceEvent got;
+        std::string err;
+        ASSERT_TRUE(decodeEvent(buf, pos, &got, &err)) << err;
+        EXPECT_EQ(got.kind, ev.kind);
+        EXPECT_EQ(got.a, ev.a);
+        EXPECT_EQ(got.b, ev.b);
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TraceFormat, DecodeEventRejectsUnknownKindAndTruncation)
+{
+    std::string bad;
+    bad += char(kNumEventKinds); // first kind value out of range
+    bad += '\x05';
+    std::size_t pos = 0;
+    TraceEvent ev;
+    std::string err;
+    EXPECT_FALSE(decodeEvent(bad, pos, &ev, &err));
+    EXPECT_NE(err.find("unknown event kind"), std::string::npos) << err;
+
+    std::string cut;
+    encodeEvent(cut, TraceEvent::dep(1, 300));
+    cut.resize(cut.size() - 1); // lop off the tail of the second operand
+    pos = 0;
+    err.clear();
+    EXPECT_FALSE(decodeEvent(cut, pos, &ev, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, EventKindNamesAreDistinct)
+{
+    EXPECT_STREQ(eventKindName(EventKind::Compute), "compute");
+    EXPECT_STREQ(eventKindName(EventKind::Read), "read");
+    EXPECT_STREQ(eventKindName(EventKind::Write), "write");
+    EXPECT_STREQ(eventKindName(EventKind::Lock), "lock");
+    EXPECT_STREQ(eventKindName(EventKind::Unlock), "unlock");
+    EXPECT_STREQ(eventKindName(EventKind::Barrier), "barrier");
+    EXPECT_STREQ(eventKindName(EventKind::Dep), "dep");
+}

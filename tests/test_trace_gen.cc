@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: every kernel emits a valid
+ * stream, generation is byte-reproducible for a seed, and parameter
+ * errors are reported up front.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/gen.hh"
+#include "trace/reader.hh"
+
+using namespace csync;
+using namespace csync::trace;
+
+namespace
+{
+
+std::string
+tempTrace(const std::string &tag)
+{
+    return ::testing::TempDir() + "csync_gen_" + tag + ".ctrace";
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // anonymous namespace
+
+TEST(TraceGen, EveryKernelEmitsAValidStream)
+{
+    for (const auto &kernel : genKernelNames()) {
+        EXPECT_TRUE(genKernelKnown(kernel));
+        GenParams p;
+        p.kernel = kernel;
+        p.threads = 3;
+        p.events = 500;
+        p.seed = 11;
+        std::string path = tempTrace(kernel);
+        std::string err;
+        ASSERT_TRUE(generateTrace(p, path, &err)) << kernel << ": "
+                                                  << err;
+        TraceReader r;
+        ASSERT_TRUE(r.open(path, &err)) << kernel << ": " << err;
+        TraceStats stats;
+        EXPECT_TRUE(r.validate(&err, &stats)) << kernel << ": " << err;
+        EXPECT_GT(stats.total, 0u) << kernel;
+        EXPECT_EQ(stats.total, r.header().totalEvents) << kernel;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceGen, GenerationIsByteReproducible)
+{
+    GenParams p;
+    p.kernel = "mix";
+    p.threads = 4;
+    p.events = 2000;
+    p.seed = 99;
+    std::string a = tempTrace("repro_a"), b = tempTrace("repro_b");
+    std::string err;
+    ASSERT_TRUE(generateTrace(p, a, &err)) << err;
+    ASSERT_TRUE(generateTrace(p, b, &err)) << err;
+    EXPECT_EQ(fileBytes(a), fileBytes(b));
+
+    p.seed = 100;
+    ASSERT_TRUE(generateTrace(p, b, &err)) << err;
+    EXPECT_NE(fileBytes(a), fileBytes(b))
+        << "different seeds must give different traces";
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(TraceGen, UnknownKernelListsTheRealOnes)
+{
+    GenParams p;
+    p.kernel = "fibonacci";
+    std::string err;
+    EXPECT_FALSE(generateTrace(p, tempTrace("unknown"), &err));
+    EXPECT_NE(err.find("unknown trace kernel 'fibonacci'"),
+              std::string::npos) << err;
+    EXPECT_NE(err.find("mix"), std::string::npos)
+        << "error should list known kernels: " << err;
+}
+
+TEST(TraceGen, ZeroThreadsIsRejected)
+{
+    GenParams p;
+    p.threads = 0;
+    std::string err;
+    EXPECT_FALSE(generateTrace(p, tempTrace("zero"), &err));
+    EXPECT_NE(err.find("at least one thread"), std::string::npos) << err;
+}
+
+TEST(TraceGen, FlagsReflectTheKernelVocabulary)
+{
+    struct Case
+    {
+        const char *kernel;
+        bool locks, barriers, deps;
+    };
+    const Case cases[] = {
+        {"spinlock", true, false, false},
+        {"barrier", false, true, false},
+        {"producer_consumer", false, false, true},
+        {"mix", true, true, true},
+    };
+    for (const auto &c : cases) {
+        GenParams p;
+        p.kernel = c.kernel;
+        p.threads = 4;
+        p.events = 400;
+        std::string path = tempTrace(std::string("flags_") + c.kernel);
+        std::string err;
+        ASSERT_TRUE(generateTrace(p, path, &err)) << err;
+        TraceReader r;
+        ASSERT_TRUE(r.open(path, &err)) << err;
+        EXPECT_EQ(r.header().hasLocks(), c.locks) << c.kernel;
+        EXPECT_EQ(r.header().hasBarriers(), c.barriers) << c.kernel;
+        EXPECT_EQ(r.header().hasDeps(), c.deps) << c.kernel;
+        std::remove(path.c_str());
+    }
+}

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the trace replay path: writer/reader round trip, the
+ * reader's malformed-input error vocabulary (each failure mode gets a
+ * distinct message, never a crash or a hang), end-to-end replay
+ * through the campaign engine (including thread multiplexing and
+ * determinism), bounded-memory streaming on a million-event trace,
+ * and the committed golden trace staying a pure function of its
+ * generation parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/sweep.hh"
+#include "trace/gen.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+
+using namespace csync;
+using namespace csync::harness;
+using namespace csync::trace;
+
+#ifndef CSYNC_GOLDEN_DIR
+#error "CSYNC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace
+{
+
+std::string
+tempTrace(const std::string &tag)
+{
+    return ::testing::TempDir() + "csync_replay_" + tag + ".ctrace";
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << path;
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+/** Generate a small mix trace and return its path. */
+std::string
+makeMixTrace(const std::string &tag, unsigned threads,
+             std::uint64_t events, std::uint64_t seed = 1)
+{
+    GenParams p;
+    p.kernel = "mix";
+    p.threads = threads;
+    p.events = events;
+    p.seed = seed;
+    std::string path = tempTrace(tag);
+    std::string err;
+    EXPECT_TRUE(generateTrace(p, path, &err)) << err;
+    return path;
+}
+
+/** Expand a one-trace, one-protocol grid into its single job. */
+JobSpec
+traceJob(const std::string &trace_path, const std::string &protocol,
+         unsigned procs, const std::string &topology = "single_bus")
+{
+    SweepSpec spec;
+    spec.protocols = {protocol};
+    spec.traces = {trace_path};
+    spec.topologies = {topology};
+    spec.processorCounts = {procs};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_TRUE(spec.expand(&jobs, &err)) << err;
+    EXPECT_EQ(jobs.size(), 1u);
+    return jobs.at(0);
+}
+
+} // anonymous namespace
+
+TEST(TraceWriterReader, RoundTripsAcrossChunkBoundaries)
+{
+    std::string path = tempTrace("roundtrip");
+    TraceWriter w;
+    std::string err;
+    // Two-event chunks force every stream through several chunks.
+    ASSERT_TRUE(w.open(path, 2, 2, &err)) << err;
+    std::vector<std::vector<TraceEvent>> want(2);
+    for (unsigned t = 0; t < 2; ++t) {
+        for (std::uint64_t i = 0; i < 5; ++i) {
+            want[t].push_back(TraceEvent::compute(i + t));
+            want[t].push_back(TraceEvent::read(0x2000000 + i * 8));
+            want[t].push_back(TraceEvent::write(0x2000000 + i * 8));
+        }
+    }
+    want[0].push_back(TraceEvent::lock(0x200000));
+    want[0].push_back(TraceEvent::unlock(0x200000));
+    want[1].push_back(TraceEvent::dep(0, 3));
+    want[1].push_back(TraceEvent::barrier(0, 2));
+    for (unsigned t = 0; t < 2; ++t) {
+        for (const auto &ev : want[t])
+            w.append(t, ev);
+    }
+    ASSERT_TRUE(w.finalize(&err)) << err;
+
+    TraceReader r;
+    ASSERT_TRUE(r.open(path, &err)) << err;
+    EXPECT_EQ(r.numThreads(), 2u);
+    EXPECT_EQ(r.header().totalEvents, want[0].size() + want[1].size());
+    EXPECT_TRUE(r.header().hasLocks());
+    EXPECT_TRUE(r.header().hasBarriers());
+    EXPECT_TRUE(r.header().hasDeps());
+    for (unsigned t = 0; t < 2; ++t) {
+        EXPECT_EQ(r.threadEvents(t), want[t].size());
+        for (const auto &exp : want[t]) {
+            TraceEvent got;
+            ASSERT_EQ(r.next(t, &got, &err), TraceReader::Status::Event)
+                << err;
+            EXPECT_EQ(got.kind, exp.kind);
+            EXPECT_EQ(got.a, exp.a);
+            EXPECT_EQ(got.b, exp.b);
+        }
+        TraceEvent got;
+        EXPECT_EQ(r.next(t, &got, &err), TraceReader::Status::End);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderErrors, BadMagicIsRejectedWithAClearMessage)
+{
+    std::string path = makeMixTrace("badmagic", 2, 200);
+    std::string bytes = fileBytes(path);
+    bytes[0] = 'X';
+    writeBytes(path, bytes);
+    TraceReader r;
+    std::string err;
+    EXPECT_FALSE(r.open(path, &err));
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+    EXPECT_NE(err.find("CTRC"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderErrors, UnsupportedVersionNamesBothVersions)
+{
+    std::string path = makeMixTrace("badversion", 2, 200);
+    std::string bytes = fileBytes(path);
+    bytes[4] = 99; // version u32 follows the magic
+    writeBytes(path, bytes);
+    TraceReader r;
+    std::string err;
+    EXPECT_FALSE(r.open(path, &err));
+    EXPECT_NE(err.find("unsupported trace version 99"),
+              std::string::npos) << err;
+    EXPECT_NE(err.find("version 1"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderErrors, TruncatedChunkIsReportedNotCrashed)
+{
+    std::string path = makeMixTrace("truncated", 2, 200);
+    std::string bytes = fileBytes(path);
+    // Lop off the tail: the last chunk now ends mid-payload.
+    bytes.resize(bytes.size() - 7);
+    writeBytes(path, bytes);
+    TraceReader r;
+    std::string err;
+    // The header and thread table are intact, so open() may succeed;
+    // streaming must then fail with a truncation error.
+    if (r.open(path, &err)) {
+        TraceStats stats;
+        EXPECT_FALSE(r.validate(&err, &stats));
+    }
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderErrors, HeaderShorterThanFixedSizeIsTruncation)
+{
+    std::string path = tempTrace("stub");
+    writeBytes(path, "CTRC");
+    TraceReader r;
+    std::string err;
+    EXPECT_FALSE(r.open(path, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderErrors, DepOnNonexistentThreadIsRejected)
+{
+    std::string path = tempTrace("baddep");
+    TraceWriter w;
+    std::string err;
+    ASSERT_TRUE(w.open(path, 2, 4096, &err)) << err;
+    w.append(0, TraceEvent::read(0x2000000));
+    w.append(1, TraceEvent::dep(7, 10)); // thread 7 of 2: nonsense
+    ASSERT_TRUE(w.finalize(&err)) << err;
+
+    TraceReader r;
+    ASSERT_TRUE(r.open(path, &err)) << err;
+    EXPECT_FALSE(r.validate(&err));
+    EXPECT_NE(err.find("depends on nonexistent thread 7"),
+              std::string::npos) << err;
+    EXPECT_NE(err.find("trace has 2 threads"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ReplaysThroughTheCampaignEngine)
+{
+    std::string path = makeMixTrace("e2e", 4, 2000);
+    for (const char *topo : {"single_bus", "two_switch"}) {
+        JobResult row =
+            CampaignRunner::runJob(traceJob(path, "bitar", 4, topo));
+        EXPECT_TRUE(row.ok()) << topo << ": " << row.status << " "
+                              << row.error;
+        EXPECT_GT(row.memOps, 0u) << topo;
+        EXPECT_EQ(row.checkerViolations, 0u) << topo;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, MultiplexesMoreThreadsThanProcessors)
+{
+    std::string path = makeMixTrace("mux", 6, 2400);
+    JobResult row = CampaignRunner::runJob(traceJob(path, "bitar", 2));
+    EXPECT_TRUE(row.ok()) << row.status << " " << row.error;
+    EXPECT_GT(row.memOps, 0u);
+    EXPECT_EQ(row.checkerViolations, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ReplayIsDeterministic)
+{
+    std::string path = makeMixTrace("det", 6, 2400, 3);
+    JobSpec job = traceJob(path, "bitar", 4);
+    JobResult a = CampaignRunner::runJob(job);
+    JobResult b = CampaignRunner::runJob(job);
+    ASSERT_TRUE(a.ok()) << a.error;
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.memOps, b.memOps);
+    // The full flattened stat tree must match, not just the headline
+    // numbers.
+    EXPECT_EQ(a.stats, b.stats);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, LockFreeTraceReplaysOnLocklessProtocols)
+{
+    GenParams p;
+    p.kernel = "barrier";
+    p.threads = 4;
+    p.events = 1200;
+    std::string path = tempTrace("lockfree");
+    std::string err;
+    ASSERT_TRUE(generateTrace(p, path, &err)) << err;
+    // goodman has neither cache locks nor atomic RMW; a lock-free
+    // trace must still replay there.
+    JobResult row = CampaignRunner::runJob(traceJob(path, "goodman", 4));
+    EXPECT_TRUE(row.ok()) << row.status << " " << row.error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, LockTraceOnLocklessProtocolIsAnErrorRow)
+{
+    std::string path = makeMixTrace("nolocks", 4, 1100);
+    JobResult row = CampaignRunner::runJob(traceJob(path, "goodman", 4));
+    EXPECT_EQ(row.status, "error");
+    EXPECT_NE(row.error.find("lock"), std::string::npos) << row.error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, MillionEventTraceStreamsWithBoundedMemory)
+{
+    GenParams p;
+    p.kernel = "mix";
+    p.threads = 8;
+    p.events = 1'000'000;
+    std::string path = tempTrace("million");
+    std::string err;
+    ASSERT_TRUE(generateTrace(p, path, &err)) << err;
+
+    TraceReader r;
+    ASSERT_TRUE(r.open(path, &err)) << err;
+    TraceStats stats;
+    ASSERT_TRUE(r.validate(&err, &stats)) << err;
+    EXPECT_GE(stats.total, 990'000u);
+    // Streaming proof: a ~1M-event trace is several MB on disk, but
+    // the reader never holds more than one chunk per thread.
+    EXPECT_LT(r.maxResidentPayloadBytes(), 64u * 1024u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, CommittedGoldenTraceMatchesItsGenerator)
+{
+    // The golden is `csync-trace gen --kernel mix --threads 8
+    // --events 100000 --seed 1`; regenerating must give the same
+    // bytes, or replay baselines quietly drift.
+    GenParams p;
+    p.kernel = "mix";
+    p.threads = 8;
+    p.events = 100'000;
+    p.seed = 1;
+    std::string path = tempTrace("golden_regen");
+    std::string err;
+    ASSERT_TRUE(generateTrace(p, path, &err)) << err;
+    std::string golden =
+        std::string(CSYNC_GOLDEN_DIR) + "/mix_100k.ctrace";
+    EXPECT_EQ(fileBytes(path), fileBytes(golden));
+    std::remove(path.c_str());
+}

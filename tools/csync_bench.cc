@@ -32,7 +32,8 @@ using namespace csync::perf;
 namespace
 {
 
-/** One named bench kernel: a protocol/workload pair, or calibration. */
+/** One named bench kernel: a protocol/workload pair (or a captured
+ *  trace to replay), or calibration. */
 struct KernelSpec
 {
     std::string name;
@@ -40,14 +41,39 @@ struct KernelSpec
     std::string workload;
     unsigned procs = 8;
     std::string topology = "single_bus";
+    std::string trace = ""; // .ctrace path; replaces the workload
 };
+
+/** The committed golden trace the replay kernels stream. */
+std::string
+goldenTrace()
+{
+    return std::string(CSYNC_GOLDEN_DIR) + "/mix_100k.ctrace";
+}
+
+/** "tests/golden/mix_100k.ctrace" -> "trace:mix_100k" (doc tag). */
+std::string
+traceTag(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = stem.rfind(".ctrace");
+    if (dot != std::string::npos)
+        stem.resize(dot);
+    return "trace:" + stem;
+}
 
 /**
  * The standard kernel set.  Calibration comes first so both the emitted
  * document and the compare normalization always see it; the simulator
  * kernels cover the write-once scheme against the classic invalidate
  * and update protocols on the contended workloads, plus the Figure 11
- * two-interconnect Aquarius topology (the multi-switch hot path).
+ * two-interconnect Aquarius topology (the multi-switch hot path).  The
+ * replay kernels stream the committed ~100k-event golden trace through
+ * the trace front-end on both topology presets, so the long-horizon
+ * replay path (chunk streaming + stall/wake multiplexing) is on the
+ * performance trajectory too.
  */
 std::vector<KernelSpec>
 standardKernels()
@@ -62,6 +88,10 @@ standardKernels()
         {"dragon_random_sharing", "dragon", "random_sharing", 8},
         {"bitar_service_queue_two_switch", "bitar", "service_queue", 8,
          "two_switch"},
+        {"bitar_replay_mix100k", "bitar", "", 8, "single_bus",
+         goldenTrace()},
+        {"bitar_replay_mix100k_two_switch", "bitar", "", 8, "two_switch",
+         goldenTrace()},
     };
 }
 
@@ -94,7 +124,10 @@ makeJob(const KernelSpec &k, std::uint64_t ops, JobSpec *out,
     SweepSpec spec;
     spec.name = k.name;
     spec.protocols = {k.protocol};
-    spec.workloads = {k.workload};
+    if (k.trace.empty())
+        spec.workloads = {k.workload};
+    else
+        spec.traces = {k.trace};
     spec.topologies = {k.topology};
     spec.processorCounts = {k.procs};
     spec.opsPerProcessor = ops;
@@ -232,7 +265,8 @@ runKernels(const std::vector<std::string> &only, std::uint64_t ops,
                 continue;
             }
             r.protocol = k.protocol;
-            r.workload = k.workload;
+            r.workload = k.trace.empty() ? k.workload
+                                         : traceTag(k.trace);
             r.procs = k.procs;
         }
         if (!quiet) {
@@ -249,15 +283,18 @@ int
 doList()
 {
     for (const auto &k : standardKernels()) {
-        if (k.protocol.empty())
+        if (k.protocol.empty()) {
             std::printf("%-28s (pure-CPU machine-speed reference)\n",
                         k.name.c_str());
-        else
+        } else {
+            std::string wl =
+                k.trace.empty() ? k.workload : traceTag(k.trace);
             std::printf("%-28s %s / %s, %u procs%s%s\n", k.name.c_str(),
-                        k.protocol.c_str(), k.workload.c_str(), k.procs,
+                        k.protocol.c_str(), wl.c_str(), k.procs,
                         k.topology == "single_bus" ? "" : ", ",
                         k.topology == "single_bus" ? ""
                                                    : k.topology.c_str());
+        }
     }
     return 0;
 }

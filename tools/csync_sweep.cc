@@ -194,7 +194,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     SweepSpec cli; // axes given on the command line
     bool have_protocols = false, have_workloads = false;
-    bool have_topos = false;
+    bool have_traces = false, have_topos = false;
     bool have_procs = false, have_bw = false, have_frames = false;
     bool have_seeds = false, have_ops = false, have_ticks = false;
     bool have_frates = false, have_fseeds = false, have_fkinds = false;
@@ -238,6 +238,12 @@ main(int argc, char **argv)
             if (!(v = next_arg(i, "--workloads")))
                 return 2;
             have_workloads = splitList(v, &cli.workloads);
+        } else if (a == "--trace") {
+            if (!(v = next_arg(i, "--trace")))
+                return 2;
+            have_traces = splitList(v, &cli.traces);
+            if (!have_traces)
+                return cliError("--trace: empty list");
         } else if (a == "--topology") {
             if (!(v = next_arg(i, "--topology")))
                 return 2;
@@ -343,6 +349,8 @@ main(int argc, char **argv)
         spec.protocols = cli.protocols;
     if (have_workloads)
         spec.workloads = cli.workloads;
+    if (have_traces)
+        spec.traces = cli.traces;
     if (have_topos)
         spec.topologies = cli.topologies;
     if (have_procs)
@@ -368,9 +376,9 @@ main(int argc, char **argv)
     if (spec.protocols.empty())
         return cliError("no protocol axis (--protocols or --spec); "
                         "try --list");
-    if (spec.workloads.empty())
-        return cliError("no workload axis (--workloads or --spec); "
-                        "try --list");
+    if (spec.workloads.empty() && spec.traces.empty())
+        return cliError("no workload or trace axis (--workloads, "
+                        "--trace, or --spec); try --list");
 
     std::vector<JobSpec> grid;
     if (!spec.expand(&grid, &err))
