@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "harness/runner_proc.hh"
 #include "harness/workload_factory.hh"
 #include "sim/stats_json.hh"
 #include "system/system.hh"
@@ -26,6 +28,23 @@ msSince(std::chrono::steady_clock::time_point t0)
     return duration<double, std::milli>(steady_clock::now() - t0).count();
 }
 
+std::int64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One worker's in-flight-job record, scanned by the watchdog. */
+struct DeadlineSlot
+{
+    std::atomic<bool> active{false};
+    std::atomic<bool> cancel{false};
+    std::atomic<std::int64_t> deadlineAtMs{0};
+};
+
 } // anonymous namespace
 
 unsigned
@@ -38,16 +57,28 @@ CampaignResult::failures() const
 }
 
 JobResult
-CampaignRunner::runJob(const JobSpec &spec)
+rowForSpec(const JobSpec &spec)
 {
     JobResult r;
     r.name = spec.name;
     r.protocol = spec.config.protocol;
     r.workload = spec.workload;
+    r.topology = spec.config.topology.preset;
+    if (spec.workload.rfind(kTraceRecipePrefix, 0) == 0)
+        r.trace = spec.workload.substr(
+            std::string(kTraceRecipePrefix).size());
     r.procs = spec.config.numProcessors;
     r.blockWords = spec.config.cache.geom.blockWords;
     r.frames = spec.config.cache.geom.frames;
     r.seed = spec.seed;
+    return r;
+}
+
+JobResult
+CampaignRunner::runJob(const JobSpec &spec,
+                       const std::atomic<bool> *cancel)
+{
+    JobResult r = rowForSpec(spec);
 
     auto t0 = std::chrono::steady_clock::now();
     // Isolate this thread's narration and convert fatal() into a
@@ -79,7 +110,7 @@ CampaignRunner::runJob(const JobSpec &spec)
             sys.addProcessor(std::move(w));
         }
         sys.start();
-        r.ticks = sys.run(spec.maxTicks);
+        r.ticks = sys.run(spec.maxTicks, cancel);
 
         for (unsigned i = 0; i < sys.numCaches(); ++i)
             r.memOps += std::uint64_t(sys.cache(i).accesses.value());
@@ -120,10 +151,22 @@ CampaignRunner::runJob(const JobSpec &spec)
             r.firstViolationTick = r.ticks;
             r.failingStat = spec.config.name + ".watchdog.trips";
         } else if (!sys.allDone()) {
-            r.status = "timeout";
-            r.error = csprintf("workloads unfinished after %llu ticks",
-                               (unsigned long long)spec.maxTicks);
-            r.firstViolationTick = r.ticks;
+            if (cancel && cancel->load(std::memory_order_relaxed) &&
+                r.ticks < spec.maxTicks) {
+                // The harness watchdog pulled the plug: a host-side
+                // event, not a simulation result.
+                r.status = "wall_timeout";
+                r.error = csprintf(
+                    "wall-clock deadline exceeded at tick %llu",
+                    (unsigned long long)r.ticks);
+                r.firstViolationTick = r.ticks;
+            } else {
+                r.status = "timeout";
+                r.error = csprintf(
+                    "workloads unfinished after %llu ticks",
+                    (unsigned long long)spec.maxTicks);
+                r.firstViolationTick = r.ticks;
+            }
         }
     } catch (const FatalError &e) {
         r.status = "error";
@@ -158,12 +201,86 @@ CampaignRunner::run(const std::vector<JobSpec> &jobs, const Options &opts)
     std::atomic<std::size_t> done{0};
     std::mutex reportMutex;
 
-    auto worker = [&]() {
+    // One deadline slot per worker; the watchdog thread scans them.
+    std::vector<std::unique_ptr<DeadlineSlot>> slots;
+    for (unsigned t = 0; t < workers; ++t)
+        slots.push_back(std::make_unique<DeadlineSlot>());
+    // The in-process watchdog is only needed when jobs run on our own
+    // threads; isolated children are policed by their parent worker's
+    // poll loop, and the executor seam polices itself.
+    bool needWatchdog =
+        opts.wallDeadlineMs > 0 && !opts.isolate && !opts.executor;
+    std::atomic<bool> watchdogStop{false};
+    std::thread watchdog;
+    if (needWatchdog) {
+        watchdog = std::thread([&]() {
+            while (!watchdogStop.load(std::memory_order_relaxed)) {
+                std::int64_t now = nowMs();
+                for (auto &slot : slots) {
+                    if (slot->active.load(std::memory_order_acquire) &&
+                        now >= slot->deadlineAtMs.load(
+                                   std::memory_order_relaxed)) {
+                        slot->cancel.store(true,
+                                           std::memory_order_relaxed);
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+        });
+    }
+
+    // Run one attempt of one job, by whichever mechanism is selected.
+    auto attemptJob = [&](const JobSpec &spec, unsigned attempt,
+                          DeadlineSlot &slot) -> JobResult {
+        if (opts.executor)
+            return opts.executor(spec, attempt);
+        if (opts.isolate)
+            return runJobInChild(spec, opts.wallDeadlineMs);
+        if (opts.wallDeadlineMs > 0) {
+            slot.cancel.store(false, std::memory_order_relaxed);
+            slot.deadlineAtMs.store(
+                nowMs() + std::int64_t(opts.wallDeadlineMs),
+                std::memory_order_relaxed);
+            slot.active.store(true, std::memory_order_release);
+            JobResult r = runJob(spec, &slot.cancel);
+            slot.active.store(false, std::memory_order_release);
+            return r;
+        }
+        return runJob(spec);
+    };
+
+    auto worker = [&](unsigned widx) {
+        DeadlineSlot &slot = *slots[widx];
         while (true) {
+            if (opts.stop &&
+                opts.stop->load(std::memory_order_relaxed)) {
+                return; // graceful drain: claim nothing further
+            }
             std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
-            JobResult row = runJob(jobs[i]);
+
+            // Host-side failures (wall-clock timeouts, crashed
+            // children) get bounded retries with exponential backoff;
+            // deterministic simulation outcomes never do.
+            JobResult row;
+            double backoff = opts.retryBackoffMs;
+            double slept = 0;
+            for (unsigned attempt = 1;; ++attempt) {
+                row = attemptJob(jobs[i], attempt, slot);
+                bool transient = row.status == "wall_timeout" ||
+                                 row.status == "crashed";
+                row.attempts = attempt;
+                row.retryBackoffMs = slept;
+                if (!transient || attempt > opts.maxRetries)
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(backoff));
+                slept += backoff;
+                backoff *= 2;
+            }
+
             std::size_t finished = done.fetch_add(1) + 1;
             if (opts.onJobDone) {
                 std::lock_guard<std::mutex> lock(reportMutex);
@@ -174,13 +291,28 @@ CampaignRunner::run(const std::vector<JobSpec> &jobs, const Options &opts)
     };
 
     if (workers <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> pool;
         for (unsigned t = 0; t < workers; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (auto &t : pool)
             t.join();
+    }
+    if (watchdog.joinable()) {
+        watchdogStop.store(true);
+        watchdog.join();
+    }
+
+    // Jobs never claimed (graceful drain) become explicit "skipped"
+    // rows so no caller mistakes a default row for a clean result.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (result.rows[i].name.empty()) {
+            result.rows[i] = rowForSpec(jobs[i]);
+            result.rows[i].status = "skipped";
+            result.rows[i].error = "drained before the job ran";
+            result.interrupted = true;
+        }
     }
     result.wallMs = msSince(t0);
     return result;

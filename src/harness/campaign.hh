@@ -15,6 +15,7 @@
 #ifndef CSYNC_HARNESS_CAMPAIGN_HH
 #define CSYNC_HARNESS_CAMPAIGN_HH
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -36,16 +37,31 @@ struct JobResult
     /// @{
     std::string protocol;
     std::string workload;
+    /** Interconnect preset the job ran on ("single_bus", ...). */
+    std::string topology;
+    /** Trace file replayed ("" for synthetic workloads). */
+    std::string trace;
     unsigned procs = 0;
     unsigned blockWords = 0;
     unsigned frames = 0;
     std::uint64_t seed = 0;
     /// @}
 
-    /** "ok", "timeout", "livelock", or "error". */
+    /**
+     * "ok", "timeout" (simulated-time budget), "livelock", "error",
+     * "wall_timeout" (host wall-clock deadline), "crashed" (isolated
+     * child died), or "skipped" (graceful drain before the job ran).
+     */
     std::string status = "ok";
     /** Failure description when status != "ok". */
     std::string error;
+    /** Execution attempts (1 unless the harness retried). */
+    unsigned attempts = 1;
+    /** Total milliseconds slept in retry backoff. */
+    double retryBackoffMs = 0;
+    /** Tail of the child's stderr ("crashed"/"wall_timeout" rows under
+     *  process isolation). */
+    std::string stderrTail;
     /** Tick the failure was first observed (0 when ok/unknown). */
     Tick firstViolationTick = 0;
     /** Flattened stat path that flagged the failure ("" when ok). */
@@ -81,6 +97,9 @@ struct CampaignResult
     unsigned workers = 0;
     /** Whole-campaign wall clock, milliseconds. */
     double wallMs = 0;
+    /** True if a graceful drain stopped the run before every job ran
+     *  (the unrun jobs carry status "skipped"). */
+    bool interrupted = false;
     /** One row per job, in job-list order. */
     std::vector<JobResult> rows;
 
@@ -99,14 +118,44 @@ class CampaignRunner
          *  total, and the finished row. */
         std::function<void(std::size_t, std::size_t, const JobResult &)>
             onJobDone;
+        /**
+         * Per-attempt wall-clock deadline, milliseconds (0 = none).
+         * Enforced by a harness watchdog thread in-process, or by the
+         * parent's poll loop (SIGKILL) under isolation.
+         */
+        double wallDeadlineMs = 0;
+        /** Extra attempts granted to host-side failures — wall-clock
+         *  timeouts and crashed children.  Deterministic simulation
+         *  outcomes (ok/timeout/livelock/error) never retry. */
+        unsigned maxRetries = 0;
+        /** Delay before the first retry, milliseconds; doubles each
+         *  further retry (exponential backoff). */
+        double retryBackoffMs = 100.0;
+        /** Run every attempt in a forked child process, so a crashing
+         *  or aborting simulation becomes a "crashed" row instead of
+         *  killing the campaign (POSIX only). */
+        bool isolate = false;
+        /**
+         * Graceful-drain flag (e.g. set from a SIGINT handler):
+         * workers stop claiming new jobs once it reads true; in-flight
+         * jobs finish or hit their deadline, and unrun jobs come back
+         * as "skipped" rows with CampaignResult::interrupted set.
+         */
+        const std::atomic<bool> *stop = nullptr;
+        /** Test seam: replaces job execution entirely (retry/backoff,
+         *  drain, and journaling logic still apply). */
+        std::function<JobResult(const JobSpec &, unsigned attempt)>
+            executor;
     };
 
     /**
      * Run one job synchronously on the calling thread.  Never throws
      * for configuration/workload errors — they come back as an error
-     * row.
+     * row.  If @p cancel becomes true mid-run the simulation stops at
+     * the next event batch and the row is marked "wall_timeout".
      */
-    static JobResult runJob(const JobSpec &spec);
+    static JobResult runJob(const JobSpec &spec,
+                            const std::atomic<bool> *cancel = nullptr);
 
     /** Run @p jobs on the pool and collect every row. */
     CampaignResult run(const std::vector<JobSpec> &jobs,
@@ -118,6 +167,9 @@ class CampaignRunner
         return run(jobs, Options());
     }
 };
+
+/** A row pre-filled with @p spec's axis echo (no results yet). */
+JobResult rowForSpec(const JobSpec &spec);
 
 } // namespace harness
 } // namespace csync

@@ -12,6 +12,108 @@ namespace harness
 {
 
 Json
+rowToJson(const JobResult &r)
+{
+    Json row = Json::object();
+    row.set("name", r.name);
+    row.set("protocol", r.protocol);
+    row.set("workload", r.workload);
+    row.set("topology", r.topology);
+    // The trace axis travels only on trace-replay rows, so synthetic
+    // campaigns keep their exact shape.
+    if (!r.trace.empty())
+        row.set("trace", r.trace);
+    row.set("procs", r.procs);
+    row.set("block_words", r.blockWords);
+    row.set("frames", r.frames);
+    row.set("seed", r.seed);
+    row.set("status", r.status);
+    if (!r.error.empty())
+        row.set("error", r.error);
+    // Failure forensics travel only on non-ok rows, so ok-only
+    // campaigns (e.g. the committed golden) keep their exact shape.
+    if (r.firstViolationTick)
+        row.set("first_violation_tick", r.firstViolationTick);
+    if (!r.failingStat.empty())
+        row.set("failing_stat", r.failingStat);
+    // Retry accounting appears only once the harness actually retried
+    // or captured a crash, so deterministic campaigns stay
+    // byte-stable.
+    if (r.attempts > 1)
+        row.set("attempts", r.attempts);
+    if (r.retryBackoffMs != 0)
+        row.set("retry_backoff_ms", r.retryBackoffMs);
+    if (!r.stderrTail.empty())
+        row.set("stderr_tail", r.stderrTail);
+    row.set("ticks", r.ticks);
+    row.set("mem_ops", r.memOps);
+    row.set("checker_violations", r.checkerViolations);
+    row.set("invariant_violations", r.invariantViolations);
+    // Host timing is omitted when zero: journal-finalized documents
+    // zero it so resumed and uninterrupted runs serialize identically.
+    if (r.wallMs != 0)
+        row.set("wall_ms", r.wallMs);
+    if (r.hostMops != 0)
+        row.set("host_mops", r.hostMops);
+    Json stats = Json::object();
+    for (const auto &kv : r.stats)
+        stats.set(kv.first, kv.second);
+    row.set("stats", stats);
+    return row;
+}
+
+bool
+rowFromJson(const Json &row, JobResult *out, std::string *err)
+{
+    if (!row.isObject() || !row["name"].isString()) {
+        if (err)
+            *err = "row is not an object with a \"name\"";
+        return false;
+    }
+    JobResult r;
+    r.name = row["name"].asString();
+    r.protocol = row["protocol"].asString();
+    r.workload = row["workload"].asString();
+    r.topology = row["topology"].asString();
+    r.trace = row["trace"].asString();
+    r.procs = unsigned(row["procs"].asNumber());
+    r.blockWords = unsigned(row["block_words"].asNumber());
+    r.frames = unsigned(row["frames"].asNumber());
+    r.seed = std::uint64_t(row["seed"].asNumber());
+    r.status = row["status"].isString() ? row["status"].asString()
+                                        : "ok";
+    r.error = row["error"].asString();
+    r.firstViolationTick = Tick(row["first_violation_tick"].asNumber());
+    r.failingStat = row["failing_stat"].asString();
+    r.attempts = unsigned(row["attempts"].asNumber(1));
+    r.retryBackoffMs = row["retry_backoff_ms"].asNumber();
+    r.stderrTail = row["stderr_tail"].asString();
+    r.ticks = Tick(row["ticks"].asNumber());
+    r.memOps = std::uint64_t(row["mem_ops"].asNumber());
+    r.checkerViolations = unsigned(row["checker_violations"].asNumber());
+    r.invariantViolations =
+        unsigned(row["invariant_violations"].asNumber());
+    r.wallMs = row["wall_ms"].asNumber();
+    r.hostMops = row["host_mops"].asNumber();
+    if (!row["stats"].isNull() && !row["stats"].isObject()) {
+        if (err)
+            *err = "row \"stats\" is not an object";
+        return false;
+    }
+    for (const auto &kv : row["stats"].members()) {
+        if (!kv.second.isNumber()) {
+            if (err)
+                *err = csprintf("row stat \"%s\" is not a number",
+                                kv.first.c_str());
+            return false;
+        }
+        r.stats[kv.first] = kv.second.asNumber();
+    }
+    *out = std::move(r);
+    return true;
+}
+
+Json
 campaignToJson(const CampaignResult &result)
 {
     Json doc = Json::object();
@@ -20,41 +122,18 @@ campaignToJson(const CampaignResult &result)
     if (!result.specJson.isNull())
         doc.set("spec", result.specJson);
     doc.set("jobs", double(result.rows.size()));
-    doc.set("workers", result.workers);
-    doc.set("wall_ms", result.wallMs);
+    // Worker count and wall clock are host facts, not simulation
+    // results; finalized documents zero them (and omit them here) so
+    // the same campaign serializes identically on any machine.
+    if (result.workers)
+        doc.set("workers", result.workers);
+    if (result.wallMs != 0)
+        doc.set("wall_ms", result.wallMs);
     doc.set("failures", result.failures());
 
     Json rows = Json::array();
-    for (const auto &r : result.rows) {
-        Json row = Json::object();
-        row.set("name", r.name);
-        row.set("protocol", r.protocol);
-        row.set("workload", r.workload);
-        row.set("procs", r.procs);
-        row.set("block_words", r.blockWords);
-        row.set("frames", r.frames);
-        row.set("seed", r.seed);
-        row.set("status", r.status);
-        if (!r.error.empty())
-            row.set("error", r.error);
-        // Failure forensics travel only on non-ok rows, so ok-only
-        // campaigns (e.g. the committed golden) keep their exact shape.
-        if (r.firstViolationTick)
-            row.set("first_violation_tick", r.firstViolationTick);
-        if (!r.failingStat.empty())
-            row.set("failing_stat", r.failingStat);
-        row.set("ticks", r.ticks);
-        row.set("mem_ops", r.memOps);
-        row.set("checker_violations", r.checkerViolations);
-        row.set("invariant_violations", r.invariantViolations);
-        row.set("wall_ms", r.wallMs);
-        row.set("host_mops", r.hostMops);
-        Json stats = Json::object();
-        for (const auto &kv : r.stats)
-            stats.set(kv.first, kv.second);
-        row.set("stats", stats);
-        rows.push(std::move(row));
-    }
+    for (const auto &r : result.rows)
+        rows.push(rowToJson(r));
     doc.set("rows", std::move(rows));
     return doc;
 }
@@ -82,42 +161,10 @@ campaignFromJson(const Json &doc, CampaignResult *out, std::string *err)
     result.workers = unsigned(doc["workers"].asNumber());
     result.wallMs = doc["wall_ms"].asNumber();
     for (std::size_t i = 0; i < doc["rows"].size(); ++i) {
-        const Json &row = doc["rows"].at(i);
-        if (!row.isObject() || !row["name"].isString())
-            return loadError(csprintf("row %zu has no \"name\"", i));
         JobResult r;
-        r.name = row["name"].asString();
-        r.protocol = row["protocol"].asString();
-        r.workload = row["workload"].asString();
-        r.procs = unsigned(row["procs"].asNumber());
-        r.blockWords = unsigned(row["block_words"].asNumber());
-        r.frames = unsigned(row["frames"].asNumber());
-        r.seed = std::uint64_t(row["seed"].asNumber());
-        r.status = row["status"].isString() ? row["status"].asString()
-                                            : "ok";
-        r.error = row["error"].asString();
-        r.firstViolationTick =
-            Tick(row["first_violation_tick"].asNumber());
-        r.failingStat = row["failing_stat"].asString();
-        r.ticks = Tick(row["ticks"].asNumber());
-        r.memOps = std::uint64_t(row["mem_ops"].asNumber());
-        r.checkerViolations =
-            unsigned(row["checker_violations"].asNumber());
-        r.invariantViolations =
-            unsigned(row["invariant_violations"].asNumber());
-        r.wallMs = row["wall_ms"].asNumber();
-        r.hostMops = row["host_mops"].asNumber();
-        if (!row["stats"].isNull() && !row["stats"].isObject())
-            return loadError(csprintf("row %zu \"stats\" is not an "
-                                      "object", i));
-        for (const auto &kv : row["stats"].members()) {
-            if (!kv.second.isNumber()) {
-                return loadError(csprintf(
-                    "row %zu stat \"%s\" is not a number", i,
-                    kv.first.c_str()));
-            }
-            r.stats[kv.first] = kv.second.asNumber();
-        }
+        std::string rerr;
+        if (!rowFromJson(doc["rows"].at(i), &r, &rerr))
+            return loadError(csprintf("row %zu: %s", i, rerr.c_str()));
         result.rows.push_back(std::move(r));
     }
     *out = std::move(result);
@@ -142,14 +189,15 @@ campaignToCsv(const CampaignResult &result, std::ostream &os)
         return out + "\"";
     };
 
-    os << "name,protocol,workload,procs,block_words,frames,seed,status,"
-          "ticks,mem_ops,wall_ms,host_mops";
+    os << "name,protocol,workload,topology,trace,procs,block_words,"
+          "frames,seed,status,ticks,mem_ops,wall_ms,host_mops";
     for (const auto &k : keys)
         os << "," << quote(k);
     os << "\n";
     for (const auto &r : result.rows) {
         os << quote(r.name) << "," << quote(r.protocol) << ","
-           << quote(r.workload) << "," << r.procs << "," << r.blockWords
+           << quote(r.workload) << "," << quote(r.topology) << ","
+           << quote(r.trace) << "," << r.procs << "," << r.blockWords
            << "," << r.frames << "," << r.seed << "," << r.status << ","
            << r.ticks << "," << r.memOps << ","
            << stats::jsonNumber(r.wallMs) << ","

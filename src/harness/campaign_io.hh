@@ -24,6 +24,20 @@ namespace harness
 /** Current campaign document version. */
 constexpr int kCampaignVersion = 1;
 
+/**
+ * Serialize one row.  Host-timing fields (`wall_ms`, `host_mops`) and
+ * retry accounting (`attempts`, `retry_backoff_ms`) are emitted only
+ * when set, so documents finalized from a journal — which zeroes host
+ * timing — are a pure function of the simulations.
+ */
+Json rowToJson(const JobResult &row);
+
+/**
+ * Reconstruct a row from its document form.
+ * @return false with *err set if @p row is not a row object.
+ */
+bool rowFromJson(const Json &row, JobResult *out, std::string *err);
+
 /** Serialize a finished campaign into its JSON document. */
 Json campaignToJson(const CampaignResult &result);
 

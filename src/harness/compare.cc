@@ -56,6 +56,11 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
 {
     CompareReport rep;
     Report out(opts.maxReportLines);
+    auto note = [&](const std::string &detail) {
+        if (rep.firstDiff.empty())
+            rep.firstDiff = detail;
+        out.line(detail);
+    };
 
     std::map<std::string, const JobResult *> newRows;
     for (const auto &r : newc.rows)
@@ -67,8 +72,8 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
     for (const auto &r : newc.rows) {
         if (!oldRows.count(r.name)) {
             ++rep.missing;
-            out.line(csprintf("job %s: only in new campaign",
-                              r.name.c_str()));
+            note(csprintf("job %s: only in new campaign",
+                          r.name.c_str()));
         }
     }
 
@@ -76,8 +81,8 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
         auto it = newRows.find(oldRow.name);
         if (it == newRows.end()) {
             ++rep.missing;
-            out.line(csprintf("job %s: missing from new campaign",
-                              oldRow.name.c_str()));
+            note(csprintf("job %s: missing from new campaign",
+                          oldRow.name.c_str()));
             continue;
         }
         const JobResult &newRow = *it->second;
@@ -93,11 +98,11 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
                         ? "?"
                         : newRow.failingStat.c_str());
             }
-            out.line(csprintf("job %s: status %s -> %s%s%s%s",
-                              oldRow.name.c_str(), oldRow.status.c_str(),
-                              newRow.status.c_str(), forensics.c_str(),
-                              newRow.error.empty() ? "" : ": ",
-                              newRow.error.c_str()));
+            note(csprintf("job %s: status %s -> %s%s%s%s",
+                          oldRow.name.c_str(), oldRow.status.c_str(),
+                          newRow.status.c_str(), forensics.c_str(),
+                          newRow.error.empty() ? "" : ": ",
+                          newRow.error.c_str()));
             continue;
         }
 
@@ -107,7 +112,7 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
                                     double(newRow.ticks));
         if (tickDrift > opts.tolerancePct) {
             ++rep.drifted;
-            out.line(csprintf(
+            note(csprintf(
                 "job %s: ticks %llu -> %llu (%.3f%% drift)",
                 oldRow.name.c_str(),
                 (unsigned long long)oldRow.ticks,
@@ -118,16 +123,16 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
             auto ns = newRow.stats.find(kv.first);
             if (ns == newRow.stats.end()) {
                 ++rep.missing;
-                out.line(csprintf("job %s: stat %s missing from new "
-                                  "campaign", oldRow.name.c_str(),
-                                  kv.first.c_str()));
+                note(csprintf("job %s: stat %s missing from new "
+                              "campaign", oldRow.name.c_str(),
+                              kv.first.c_str()));
                 continue;
             }
             ++rep.compared;
             double d = driftPct(kv.second, ns->second);
             if (d > opts.tolerancePct) {
                 ++rep.drifted;
-                out.line(csprintf(
+                note(csprintf(
                     "job %s: %s %s -> %s (%.3f%% drift)",
                     oldRow.name.c_str(), kv.first.c_str(),
                     stats::jsonNumber(kv.second).c_str(),
@@ -137,9 +142,9 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
         for (const auto &kv : newRow.stats) {
             if (!oldRow.stats.count(kv.first)) {
                 ++rep.missing;
-                out.line(csprintf("job %s: stat %s only in new campaign",
-                                  oldRow.name.c_str(),
-                                  kv.first.c_str()));
+                note(csprintf("job %s: stat %s only in new campaign",
+                              oldRow.name.c_str(),
+                              kv.first.c_str()));
             }
         }
     }
@@ -151,6 +156,11 @@ compareCampaigns(const CampaignResult &oldc, const CampaignResult &newc,
         "beyond %.3f%%, %u missing, %u status changes -> %s\n",
         rep.compared, oldc.rows.size(), rep.drifted, opts.tolerancePct,
         rep.missing, rep.statusChanges, rep.ok ? "OK" : "FAIL");
+    // Lead with the first offender: golden regressions should be
+    // localizable from the first two lines of output even when the
+    // per-stat detail below is suppressed.
+    if (!rep.ok && !rep.firstDiff.empty())
+        summary += "first difference: " + rep.firstDiff + "\n";
     rep.text = summary + out.take();
     return rep;
 }

@@ -43,6 +43,13 @@ struct CompareReport
     unsigned statusChanges = 0;
     /** Stats compared in total. */
     unsigned compared = 0;
+    /**
+     * The first difference found, fully located: the row's job name,
+     * the stat path (or field) that differs, and both values.  Empty
+     * when ok.  Repeated in the summary so a golden regression names
+     * its first offender even when the detail lines are suppressed.
+     */
+    std::string firstDiff;
     /** Human-readable diff report. */
     std::string text;
 };

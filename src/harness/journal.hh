@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Streaming campaign journal: an append-only JSONL file that records
+ * each finished job as it completes, so a campaign interrupted by a
+ * crash, OOM kill, or SIGKILL loses at most the rows still in flight.
+ *
+ * Every job has a *content-hashed stable ID* — a pure function of its
+ * fully-expanded spec — so a journal can be resumed (`csync-sweep
+ * --resume`) or sharded across machines (`--shard i/N` + `csync-sweep
+ * merge`) and still reassemble into the one canonical campaign
+ * document, byte-identical to an uninterrupted run.
+ *
+ * File layout (one JSON document per line):
+ *
+ *   {"csync_journal":1,"name":...,"spec":{...},"jobs":N,"shard":"i/N"}
+ *   {"job_id":"9f2c...","name":"bitar/...","wall_ms":1.2,"row":{...}}
+ *   ...
+ *
+ * The writer flushes after every row; the reader tolerates a torn
+ * trailing line (the signature a SIGKILL leaves behind) by dropping it.
+ */
+
+#ifndef CSYNC_HARNESS_JOURNAL_HH
+#define CSYNC_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/json.hh"
+#include "harness/sweep.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** Current journal line-format version. */
+constexpr int kJournalVersion = 1;
+
+/**
+ * Canonical fingerprint of a fully-expanded job: every field that
+ * changes what the simulation computes, in a fixed text layout.  Two
+ * jobs with equal fingerprints are the same experiment.
+ */
+std::string jobFingerprint(const JobSpec &spec);
+
+/** Stable job ID: 16 hex digits of FNV-1a64 over the fingerprint. */
+std::string jobId(const JobSpec &spec);
+
+/** A deterministic 1-of-N partition of a campaign grid. */
+struct Shard
+{
+    /** Zero-based shard index. */
+    unsigned index = 0;
+    /** Total shards (1 = the whole grid). */
+    unsigned count = 1;
+
+    bool whole() const { return count <= 1; }
+    /** Render as the CLI/journal "i/N" form (1-based). */
+    std::string str() const;
+};
+
+/**
+ * Parse "i/N" (1-based, 1 <= i <= N).
+ * @return false with *err set on malformed input.
+ */
+bool parseShard(const std::string &text, Shard *out, std::string *err);
+
+/** True if @p job_id belongs to @p shard (hash partition). */
+bool shardContains(const Shard &shard, const std::string &job_id);
+
+/** The journal's first line: identity of the campaign being run. */
+struct JournalHeader
+{
+    std::string name;
+    /** Spec echo (SweepSpec::toJson) — resume re-expands from this. */
+    Json spec;
+    /** Full (pre-shard) grid size; resume/merge sanity-check it. */
+    std::size_t jobs = 0;
+    /** "i/N" when this journal covers one shard, "" for the whole
+     *  grid. */
+    std::string shard;
+};
+
+/** Appends rows to a journal file, flushing after each one. */
+class JournalWriter
+{
+  public:
+    /** Create/truncate @p path and write the header line. */
+    bool create(const std::string &path, const JournalHeader &header,
+                std::string *err);
+
+    /** Reopen an existing journal for appending (resume). */
+    bool append(const std::string &path, std::string *err);
+
+    /** Record one finished row (durable once this returns true). */
+    bool add(const std::string &job_id, const JobResult &row,
+             std::string *err);
+
+    bool isOpen() const { return out_.is_open(); }
+    const std::string &path() const { return path_; }
+    void close() { out_.close(); }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+/** Everything a journal file held. */
+struct JournalData
+{
+    JournalHeader header;
+    /** Finished rows keyed by job ID (duplicates: first one wins). */
+    std::map<std::string, JobResult> byId;
+    /** True if a torn trailing line was dropped (interrupted write). */
+    bool truncatedTail = false;
+};
+
+/**
+ * Load a journal.  A torn final line is dropped (that is what a kill
+ * mid-append leaves); a malformed line anywhere else is an error.
+ * @return false with *err set on I/O or format problems.
+ */
+bool loadJournal(const std::string &path, JournalData *out,
+                 std::string *err);
+
+/**
+ * Assemble the canonical campaign from journaled rows: one row per
+ * grid job, in grid order, with host-timing fields zeroed so the
+ * finalized document is a pure function of the simulations — an
+ * interrupted-and-resumed campaign serializes byte-identically to an
+ * uninterrupted one.
+ *
+ * Jobs missing from @p by_id are appended to @p missing (job names)
+ * and skipped.
+ */
+CampaignResult finalizeCampaign(const std::string &name,
+                                const Json &spec_json,
+                                const std::vector<JobSpec> &grid,
+                                const std::map<std::string, JobResult>
+                                    &by_id,
+                                std::vector<std::string> *missing);
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_JOURNAL_HH

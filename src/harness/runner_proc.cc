@@ -1,0 +1,227 @@
+#include "harness/runner_proc.hh"
+
+#include "harness/campaign_io.hh"
+#include "sim/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CSYNC_HAVE_FORK 1
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define CSYNC_HAVE_FORK 0
+#endif
+
+namespace csync
+{
+namespace harness
+{
+
+bool
+childIsolationSupported()
+{
+    return CSYNC_HAVE_FORK != 0;
+}
+
+#if CSYNC_HAVE_FORK
+
+namespace
+{
+
+/** Cap kept from the child's stderr (the interesting part is the
+ *  end: the abort message and its context). */
+constexpr std::size_t kStderrTailBytes = 2048;
+
+void
+keepTail(std::string &buf)
+{
+    if (buf.size() > 2 * kStderrTailBytes)
+        buf.erase(0, buf.size() - kStderrTailBytes);
+}
+
+void
+writeAll(int fd, const std::string &s)
+{
+    std::size_t off = 0;
+    while (off < s.size()) {
+        ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        off += std::size_t(n);
+    }
+}
+
+} // anonymous namespace
+
+JobResult
+runJobInChild(const JobSpec &spec, double wall_deadline_ms)
+{
+    using clock = std::chrono::steady_clock;
+
+    auto failRow = [&](const std::string &why) {
+        JobResult r = rowForSpec(spec);
+        r.status = "error";
+        r.error = why;
+        return r;
+    };
+
+    int result_pipe[2], stderr_pipe[2];
+    if (::pipe(result_pipe) != 0)
+        return failRow(csprintf("pipe: %s", std::strerror(errno)));
+    if (::pipe(stderr_pipe) != 0) {
+        ::close(result_pipe[0]);
+        ::close(result_pipe[1]);
+        return failRow(csprintf("pipe: %s", std::strerror(errno)));
+    }
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {result_pipe[0], result_pipe[1], stderr_pipe[0],
+                       stderr_pipe[1]})
+            ::close(fd);
+        return failRow(csprintf("fork: %s", std::strerror(errno)));
+    }
+
+    if (pid == 0) {
+        // Child: stderr goes to the capture pipe, the finished row
+        // goes down the result pipe as one JSON line.  _exit (not
+        // exit) so no parent-owned atexit state runs twice.
+        ::dup2(stderr_pipe[1], 2);
+        ::close(stderr_pipe[0]);
+        ::close(stderr_pipe[1]);
+        ::close(result_pipe[0]);
+        JobResult r = CampaignRunner::runJob(spec);
+        writeAll(result_pipe[1], rowToJson(r).dump(-1) + "\n");
+        ::close(result_pipe[1]);
+        ::_exit(0);
+    }
+
+    ::close(result_pipe[1]);
+    ::close(stderr_pipe[1]);
+
+    auto deadline = clock::now() +
+                    std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            wall_deadline_ms));
+    bool killed = false;
+    std::string result_buf, stderr_buf;
+    struct pollfd fds[2] = {{result_pipe[0], POLLIN, 0},
+                            {stderr_pipe[0], POLLIN, 0}};
+    int open_fds = 2;
+    char chunk[4096];
+    while (open_fds > 0) {
+        int timeout = -1;
+        if (wall_deadline_ms > 0 && !killed) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline -
+                                                       clock::now())
+                            .count();
+            if (left <= 0) {
+                ::kill(pid, SIGKILL);
+                killed = true;
+            } else {
+                timeout = int(std::min<long long>(left, 100));
+            }
+        }
+        int n = ::poll(fds, 2, timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            continue; // deadline check at loop top
+        for (int i = 0; i < 2; ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            ssize_t got = ::read(fds[i].fd, chunk, sizeof(chunk));
+            if (got > 0) {
+                std::string &buf = i == 0 ? result_buf : stderr_buf;
+                buf.append(chunk, std::size_t(got));
+                if (i == 1)
+                    keepTail(buf);
+            } else if (got == 0 ||
+                       (got < 0 && errno != EINTR && errno != EAGAIN)) {
+                ::close(fds[i].fd);
+                fds[i].fd = -1;
+                --open_fds;
+            }
+        }
+    }
+    for (auto &fd : fds) {
+        if (fd.fd >= 0)
+            ::close(fd.fd);
+    }
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    keepTail(stderr_buf);
+
+    if (killed) {
+        JobResult r = rowForSpec(spec);
+        r.status = "wall_timeout";
+        r.error = csprintf("wall-clock deadline %.0f ms exceeded; "
+                           "child killed", wall_deadline_ms);
+        r.stderrTail = stderr_buf;
+        return r;
+    }
+    if (WIFSIGNALED(status)) {
+        JobResult r = rowForSpec(spec);
+        r.status = "crashed";
+        int sig = WTERMSIG(status);
+        r.error = csprintf("child terminated by signal %d (%s)", sig,
+                           strsignal(sig));
+        r.stderrTail = stderr_buf;
+        return r;
+    }
+
+    // The child exited; its last (only) line should be the row.
+    while (!result_buf.empty() &&
+           (result_buf.back() == '\n' || result_buf.back() == '\r'))
+        result_buf.pop_back();
+    std::string perr;
+    Json doc = Json::parse(result_buf, &perr);
+    JobResult r;
+    std::string rerr;
+    if (result_buf.empty() || !perr.empty() ||
+        !rowFromJson(doc, &r, &rerr)) {
+        JobResult bad = rowForSpec(spec);
+        bad.status = "crashed";
+        bad.error = csprintf(
+            "child exited (status %d) without a valid result%s%s",
+            WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+            perr.empty() && rerr.empty() ? "" : ": ",
+            (!perr.empty() ? perr : rerr).c_str());
+        bad.stderrTail = stderr_buf;
+        return bad;
+    }
+    return r;
+}
+
+#else // !CSYNC_HAVE_FORK
+
+JobResult
+runJobInChild(const JobSpec &spec, double)
+{
+    JobResult r = rowForSpec(spec);
+    r.status = "error";
+    r.error = "process isolation (--isolate) is not supported on this "
+              "platform";
+    return r;
+}
+
+#endif
+
+} // namespace harness
+} // namespace csync

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Child-process job isolation for the campaign engine: run one job in
+ * a forked child so an aborting or crashing simulation (a fatal() in a
+ * new protocol, an injected-fault livelock that trips an assert, a
+ * real memory bug) becomes a structured "crashed" row — with the tail
+ * of the child's stderr attached — instead of taking the whole
+ * campaign down.  The parent enforces the wall-clock deadline with
+ * SIGKILL, so even a wedged child cannot stall the sweep.
+ */
+
+#ifndef CSYNC_HARNESS_RUNNER_PROC_HH
+#define CSYNC_HARNESS_RUNNER_PROC_HH
+
+#include "harness/campaign.hh"
+
+namespace csync
+{
+namespace harness
+{
+
+/** True when this platform can run jobs in child processes. */
+bool childIsolationSupported();
+
+/**
+ * Run @p spec in a forked child process.
+ *
+ * The child executes CampaignRunner::runJob and ships the row back
+ * over a pipe; its stderr is captured.  Outcomes:
+ *  - child completes: its row, verbatim (ok/timeout/livelock/error);
+ *  - child dies on a signal: a "crashed" row naming the signal, with
+ *    the last 2 KiB of stderr in JobResult::stderrTail;
+ *  - @p wall_deadline_ms > 0 elapses: the child is SIGKILLed and the
+ *    row is "wall_timeout".
+ *
+ * On platforms without fork() this returns an "error" row.
+ */
+JobResult runJobInChild(const JobSpec &spec, double wall_deadline_ms);
+
+} // namespace harness
+} // namespace csync
+
+#endif // CSYNC_HARNESS_RUNNER_PROC_HH

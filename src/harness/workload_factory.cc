@@ -1,6 +1,8 @@
 #include "harness/workload_factory.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "coherence/protocol.hh"
 #include "proc/workloads/barrier.hh"
@@ -219,6 +221,79 @@ makeTraceReplay(const std::string &path, const WorkloadSlot &s,
     return eng->makeWorkload(s.procId);
 }
 
+/**
+ * Hidden harness-test recipe: issue a handful of reads, then abort the
+ * process.  Exercises the campaign engine's crash isolation
+ * (`--isolate` turns the abort into a "crashed" row); never listed in
+ * workloadNames() so no sweep stumbles into it.
+ */
+class CrashWorkload : public Workload
+{
+  public:
+    explicit CrashWorkload(const WorkloadSlot &s)
+        : fuse_(16 + s.procId), blockBytes_(s.blockBytes)
+    {}
+
+    NextStatus
+    next(MemOp &op, Tick &think) override
+    {
+        if (issued_ >= fuse_) {
+            std::fprintf(stderr, "__crash workload: deliberate abort "
+                                 "after %llu ops (harness crash-"
+                                 "isolation test)\n",
+                         (unsigned long long)issued_);
+            std::abort();
+        }
+        ++issued_;
+        op = MemOp();
+        op.type = OpType::Read;
+        op.addr = 0x40000 + Addr(issued_ % 8) * blockBytes_;
+        think = 1;
+        return NextStatus::Op;
+    }
+
+    void onResult(const MemOp &, const AccessResult &) override {}
+    std::string describe() const override { return "__crash"; }
+    bool done() const override { return false; }
+
+  private:
+    std::uint64_t fuse_;
+    std::uint64_t issued_ = 0;
+    Addr blockBytes_;
+};
+
+/**
+ * Hidden harness-test recipe: read forever, never finish.  Exercises
+ * the wall-clock deadline watchdog (the simulated-time budget is the
+ * only other way out).  Never listed in workloadNames().
+ */
+class SpinWorkload : public Workload
+{
+  public:
+    explicit SpinWorkload(const WorkloadSlot &s)
+        : blockBytes_(s.blockBytes)
+    {}
+
+    NextStatus
+    next(MemOp &op, Tick &think) override
+    {
+        ++issued_;
+        op = MemOp();
+        op.type = OpType::Read;
+        op.addr = 0x50000 + Addr(issued_ % 8) * blockBytes_;
+        think = 1;
+        return NextStatus::Op;
+    }
+
+    void onResult(const MemOp &, const AccessResult &) override {}
+    std::string describe() const override { return "__spin"; }
+    bool done() const override { return false; }
+
+  private:
+    Addr blockBytes_;
+    std::uint64_t issued_ = 0;
+};
+
 struct Recipe
 {
     const char *name;
@@ -258,6 +333,10 @@ workloadNames()
 bool
 workloadKnown(const std::string &name)
 {
+    // The hidden harness-test recipes pass vetting (CI uses them) but
+    // never appear in workloadNames().
+    if (name == "__crash" || name == "__spin")
+        return true;
     for (const auto &r : kRecipes) {
         if (name == r.name)
             return true;
@@ -273,6 +352,10 @@ makeWorkload(const std::string &name, const WorkloadSlot &slot,
         return makeTraceReplay(
             name.substr(sizeof(kTraceRecipePrefix) - 1), slot, err);
     }
+    if (name == "__crash")
+        return std::make_unique<CrashWorkload>(slot);
+    if (name == "__spin")
+        return std::make_unique<SpinWorkload>(slot);
     for (const auto &r : kRecipes) {
         if (name == r.name)
             return r.make(slot, err);

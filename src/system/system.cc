@@ -121,10 +121,12 @@ System::totalRetiredOps() const
 }
 
 Tick
-System::run(Tick max_ticks)
+System::run(Tick max_ticks, const std::atomic<bool> *abort)
 {
     watchdog_.restart(eq_.now(), totalRetiredOps());
     while (!allDone() && !eq_.empty() && eq_.now() < max_ticks) {
+        if (abort && abort->load(std::memory_order_relaxed))
+            break;
         eq_.runSteps(4096);
         if (watchdog_.observe(eq_.now(), totalRetiredOps())) {
             watchdog_.trip(progressDiagnostic(csprintf(

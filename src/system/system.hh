@@ -11,6 +11,7 @@
 #ifndef CSYNC_SYSTEM_SYSTEM_HH
 #define CSYNC_SYSTEM_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -101,7 +102,18 @@ class System
      * forward-progress watchdog trips, or @p max_ticks is reached.
      * @return the final simulated time.
      */
-    Tick run(Tick max_ticks = 50'000'000);
+    Tick run(Tick max_ticks = 50'000'000)
+    {
+        return run(max_ticks, nullptr);
+    }
+
+    /**
+     * As run(), plus an external abort flag checked between event
+     * batches: when @p abort reads true the run stops at the next
+     * batch boundary (the campaign harness's wall-clock watchdog).
+     * Null behaves exactly like plain run().
+     */
+    Tick run(Tick max_ticks, const std::atomic<bool> *abort);
 
     /** Total operations retired across all processors. */
     double totalRetiredOps() const;

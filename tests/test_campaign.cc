@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
 #include "harness/campaign.hh"
 #include "harness/campaign_io.hh"
 #include "harness/compare.hh"
+#include "harness/runner_proc.hh"
 
 using namespace csync;
 using namespace csync::harness;
@@ -110,6 +112,144 @@ TEST(Campaign, TimeoutReportedWhenBudgetTooSmall)
     EXPECT_NE(r.error.find("unfinished"), std::string::npos);
 }
 
+TEST(Campaign, RowEchoesTopologyAndTrace)
+{
+    auto jobs = smallGrid();
+    JobResult plain = rowForSpec(jobs[0]);
+    EXPECT_EQ(plain.topology, jobs[0].config.topology.preset);
+    EXPECT_FALSE(plain.topology.empty());
+    EXPECT_TRUE(plain.trace.empty());
+
+    JobSpec traced = jobs[0];
+    traced.workload = "trace:captures/foo.ctrace";
+    JobResult row = rowForSpec(traced);
+    EXPECT_EQ(row.trace, "captures/foo.ctrace");
+}
+
+TEST(Campaign, WallDeadlineYieldsWallTimeoutRow)
+{
+    auto jobs = smallGrid();
+    jobs.resize(1);
+    // A workload that never finishes, with an effectively unlimited
+    // simulated-time budget: only the harness watchdog can end it.
+    jobs[0].workload = "__spin";
+    jobs[0].maxTicks = Tick(1) << 40;
+
+    CampaignRunner::Options opts;
+    opts.jobs = 1;
+    opts.wallDeadlineMs = 100;
+    CampaignResult result = CampaignRunner().run(jobs, opts);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0].status, "wall_timeout");
+    EXPECT_NE(result.rows[0].error.find("wall-clock deadline"),
+              std::string::npos)
+        << result.rows[0].error;
+    EXPECT_LT(result.rows[0].ticks, jobs[0].maxTicks);
+}
+
+TEST(Campaign, RetriesTransientFailuresWithBackoffAccounting)
+{
+    auto jobs = smallGrid();
+    jobs.resize(1);
+    CampaignRunner::Options opts;
+    opts.jobs = 1;
+    opts.maxRetries = 5;
+    opts.retryBackoffMs = 1;
+    std::atomic<unsigned> calls{0};
+    opts.executor = [&](const JobSpec &spec, unsigned attempt) {
+        ++calls;
+        JobResult r = rowForSpec(spec);
+        if (attempt < 3) {
+            r.status = "crashed";
+            r.error = "synthetic crash";
+        }
+        return r;
+    };
+    CampaignResult result = CampaignRunner().run(jobs, opts);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0].status, "ok");
+    EXPECT_EQ(result.rows[0].attempts, 3u);
+    // 1 ms before the second attempt, 2 ms before the third.
+    EXPECT_EQ(result.rows[0].retryBackoffMs, 3.0);
+    EXPECT_EQ(calls.load(), 3u);
+}
+
+TEST(Campaign, RetriesAreBoundedAndSkipDeterministicFailures)
+{
+    auto jobs = smallGrid();
+    jobs.resize(1);
+    CampaignRunner::Options opts;
+    opts.jobs = 1;
+    opts.maxRetries = 2;
+    opts.retryBackoffMs = 1;
+    std::atomic<unsigned> calls{0};
+    opts.executor = [&](const JobSpec &spec, unsigned) {
+        ++calls;
+        JobResult r = rowForSpec(spec);
+        r.status = "wall_timeout";
+        return r;
+    };
+    CampaignResult result = CampaignRunner().run(jobs, opts);
+    EXPECT_EQ(result.rows[0].status, "wall_timeout");
+    EXPECT_EQ(result.rows[0].attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(calls.load(), 3u);
+
+    // A deterministic simulation outcome never retries: re-running a
+    // livelock reproduces it exactly, so retrying only wastes time.
+    calls = 0;
+    opts.executor = [&](const JobSpec &spec, unsigned) {
+        ++calls;
+        JobResult r = rowForSpec(spec);
+        r.status = "livelock";
+        return r;
+    };
+    result = CampaignRunner().run(jobs, opts);
+    EXPECT_EQ(result.rows[0].attempts, 1u);
+    EXPECT_EQ(calls.load(), 1u);
+}
+
+TEST(Campaign, GracefulDrainSkipsUnclaimedJobs)
+{
+    auto jobs = smallGrid();
+    std::atomic<bool> stop{true}; // drain before anything is claimed
+    CampaignRunner::Options opts;
+    opts.jobs = 2;
+    opts.stop = &stop;
+    CampaignResult result = CampaignRunner().run(jobs, opts);
+    EXPECT_TRUE(result.interrupted);
+    ASSERT_EQ(result.rows.size(), jobs.size());
+    for (const auto &row : result.rows) {
+        EXPECT_EQ(row.status, "skipped");
+        EXPECT_NE(row.error.find("drained"), std::string::npos);
+        EXPECT_FALSE(row.name.empty());
+    }
+}
+
+TEST(Campaign, IsolateTurnsACrashIntoARow)
+{
+    if (!childIsolationSupported())
+        GTEST_SKIP() << "no fork() on this platform";
+    auto jobs = smallGrid();
+    jobs.resize(2);
+    // One job aborts the process partway through; under isolation the
+    // campaign survives and records it, stderr tail attached.
+    jobs[0].workload = "__crash";
+    jobs[0].maxTicks = 1'000'000;
+
+    CampaignRunner::Options opts;
+    opts.jobs = 1;
+    opts.isolate = true;
+    CampaignResult result = CampaignRunner().run(jobs, opts);
+    ASSERT_EQ(result.rows.size(), 2u);
+    EXPECT_EQ(result.rows[0].status, "crashed");
+    EXPECT_NE(result.rows[0].error.find("signal"), std::string::npos)
+        << result.rows[0].error;
+    EXPECT_NE(result.rows[0].stderrTail.find("deliberate abort"),
+              std::string::npos)
+        << result.rows[0].stderrTail;
+    EXPECT_EQ(result.rows[1].status, "ok") << result.rows[1].error;
+}
+
 TEST(Campaign, JsonDocumentRoundTrips)
 {
     auto jobs = smallGrid();
@@ -197,6 +337,34 @@ TEST(Compare, DetectsDriftAndHonorsTolerance)
     CompareOptions loose;
     loose.tolerancePct = 5.0;
     EXPECT_TRUE(compareCampaigns(a, b, loose).ok);
+}
+
+TEST(Compare, FirstDifferenceIsFullyLocated)
+{
+    auto jobs = smallGrid();
+    jobs.resize(1);
+    CampaignResult a = CampaignRunner().run(jobs);
+    CampaignResult b = a;
+    auto it = b.rows[0].stats.find("system.bus.transactions");
+    ASSERT_NE(it, b.rows[0].stats.end());
+    it->second += 5;
+
+    CompareReport rep = compareCampaigns(a, b);
+    ASSERT_FALSE(rep.ok);
+    // The first offender is named — job, stat path, both values — and
+    // repeated in the summary so it survives detail-line truncation.
+    EXPECT_NE(rep.firstDiff.find(a.rows[0].name), std::string::npos)
+        << rep.firstDiff;
+    EXPECT_NE(rep.firstDiff.find("system.bus.transactions"),
+              std::string::npos)
+        << rep.firstDiff;
+    EXPECT_NE(rep.firstDiff.find("->"), std::string::npos);
+    EXPECT_NE(rep.text.find("first difference: " + rep.firstDiff),
+              std::string::npos)
+        << rep.text;
+
+    CompareReport clean = compareCampaigns(a, a);
+    EXPECT_TRUE(clean.firstDiff.empty());
 }
 
 TEST(Compare, DetectsMissingJobsAndStatusChanges)
