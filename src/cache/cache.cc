@@ -242,7 +242,7 @@ Cache::dispatch()
         pendingMsg_.unitWords = config_.geom.transferWords;
     pendingMsg_.updateMemory = a.updateMemory;
     phase_ = Phase::MainReq;
-    bus_->request(this);
+    bus_->request(this, BusPriority::Normal, pendingMsg_.cls);
 }
 
 void
@@ -522,7 +522,7 @@ Cache::busComplete(const BusMsg &msg, const SnoopResult &res)
         } else {
             // Ablation: no busy-wait register — retry on the bus.
             ++lockRetries;
-            bus_->request(this);
+            bus_->request(this, BusPriority::Normal, msg.cls);
         }
         return;
     }

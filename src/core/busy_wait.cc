@@ -51,9 +51,11 @@ BusyWaitRegister::snoop(const BusMsg &msg)
             // dedicated high-priority bit (Section E.4).
             trace(TraceFlag::Lock, "unlock seen blk=%llx; arbitrating",
                            (unsigned long long)blockAddr_);
-            bus_->request(this, cache_->config().busyWaitPriority
-                                    ? BusPriority::BusyWait
-                                    : BusPriority::Normal);
+            bus_->request(this,
+                          cache_->config().busyWaitPriority
+                              ? BusPriority::BusyWait
+                              : BusPriority::Normal,
+                          TrafficClass::Sync);
         } else if (msg.req == BusReq::ReadLock) {
             // Another waiter won: make no attempt to fetch the block
             // again; keep waiting for the next unlock (Figure 9).

@@ -8,9 +8,10 @@ namespace csync
 FaultyBus::FaultyBus(std::string name, EventQueue *eq, Memory *memory,
                      const BusTiming &timing, stats::Group *stats_parent,
                      const FaultPlan &plan, unsigned carries,
-                     bool class_stats, const std::string &stats_prefix)
+                     bool class_stats, const std::string &stats_prefix,
+                     const std::string &arbitration)
     : Bus(std::move(name), eq, memory, timing, stats_parent, carries,
-          class_stats),
+          class_stats, arbitration),
       faultsGroup(stats_prefix + "faults", stats_parent),
       injected(&faultsGroup, "injected", "bus faults injected"),
       recovered(&faultsGroup, "recovered",
@@ -59,7 +60,7 @@ FaultyBus::preArbitrationStall()
 }
 
 bool
-FaultyBus::vetoGrant(BusClient *client, BusPriority pri)
+FaultyBus::vetoGrant(BusClient *client, BusPriority pri, TrafficClass cls)
 {
     const FaultKind kind = pri == BusPriority::BusyWait
                                ? FaultKind::DropGrant
@@ -82,8 +83,9 @@ FaultyBus::vetoGrant(BusClient *client, BusPriority pri)
     // Re-post the refused request after backoff.  The client may have
     // since withdrawn interest (a busy-wait register that snooped a
     // competing ReadLock); it then simply declines the re-grant.
-    eventq()->scheduleIn(backoff,
-                         [this, client, pri] { request(client, pri); });
+    eventq()->scheduleIn(backoff, [this, client, pri, cls] {
+        request(client, pri, cls);
+    });
     return true;
 }
 

@@ -51,7 +51,8 @@ class FaultyBus : public Bus
               const BusTiming &timing, stats::Group *stats_parent,
               const FaultPlan &plan, unsigned carries = kAllTraffic,
               bool class_stats = false,
-              const std::string &stats_prefix = "");
+              const std::string &stats_prefix = "",
+              const std::string &arbitration = "round_robin");
 
     const FaultPlan &plan() const { return plan_; }
 
@@ -70,7 +71,8 @@ class FaultyBus : public Bus
 
   protected:
     Tick preArbitrationStall() override;
-    bool vetoGrant(BusClient *client, BusPriority pri) override;
+    bool vetoGrant(BusClient *client, BusPriority pri,
+                   TrafficClass cls) override;
     Tick supplyExtraDelay(const BusMsg &msg,
                           const SnoopResult &res) override;
     void onTransactionComplete(BusClient *client) override;

@@ -64,6 +64,7 @@ rowForSpec(const JobSpec &spec)
     r.protocol = spec.config.protocol;
     r.workload = spec.workload;
     r.topology = spec.config.topology.preset;
+    r.arbitration = spec.config.arbitration;
     if (spec.workload.rfind(kTraceRecipePrefix, 0) == 0)
         r.trace = spec.workload.substr(
             std::string(kTraceRecipePrefix).size());

@@ -39,6 +39,8 @@ struct JobResult
     std::string workload;
     /** Interconnect preset the job ran on ("single_bus", ...). */
     std::string topology;
+    /** Bus arbitration policy the job ran with ("round_robin", ...). */
+    std::string arbitration;
     /** Trace file replayed ("" for synthetic workloads). */
     std::string trace;
     unsigned procs = 0;

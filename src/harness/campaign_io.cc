@@ -19,6 +19,10 @@ rowToJson(const JobResult &r)
     row.set("protocol", r.protocol);
     row.set("workload", r.workload);
     row.set("topology", r.topology);
+    // The arbitration echo travels only on non-default rows, so
+    // pre-arbitration campaigns keep their exact shape.
+    if (!r.arbitration.empty() && r.arbitration != "round_robin")
+        row.set("arbitration", r.arbitration);
     // The trace axis travels only on trace-replay rows, so synthetic
     // campaigns keep their exact shape.
     if (!r.trace.empty())
@@ -75,6 +79,9 @@ rowFromJson(const Json &row, JobResult *out, std::string *err)
     r.protocol = row["protocol"].asString();
     r.workload = row["workload"].asString();
     r.topology = row["topology"].asString();
+    r.arbitration = row["arbitration"].isString()
+                        ? row["arbitration"].asString()
+                        : "round_robin";
     r.trace = row["trace"].asString();
     r.procs = unsigned(row["procs"].asNumber());
     r.blockWords = unsigned(row["block_words"].asNumber());

@@ -35,7 +35,7 @@ jobFingerprint(const JobSpec &spec)
     // JSON echo so new plan fields can never silently alias two
     // different experiments to one ID.
     const SystemConfig &c = spec.config;
-    return csprintf(
+    std::string fp = csprintf(
         "job|%s|cfg=%s|proto=%s|topo=%s|procs=%u|bw=%u|frames=%u|"
         "ways=%u|checker=%d|io=%d|dirproto=%d|wl=%s|seed=%llu|"
         "ops=%llu|maxticks=%llu|fault=%s",
@@ -47,6 +47,16 @@ jobFingerprint(const JobSpec &spec)
         (unsigned long long)spec.seed, (unsigned long long)spec.ops,
         (unsigned long long)spec.maxTicks,
         c.fault.toJson().dump(-1).c_str());
+    // Appended only off the defaults so every pre-arbitration journal
+    // keeps resuming against its recorded IDs.
+    if (c.arbitration != "round_robin")
+        fp += csprintf("|arb=%s", c.arbitration.c_str());
+    if (!c.adaptive.isDefault()) {
+        fp += csprintf("|adaptive=%u/%u/%u", c.adaptive.counterBits,
+                       c.adaptive.invalidateThreshold,
+                       c.adaptive.updateThreshold);
+    }
+    return fp;
 }
 
 std::string

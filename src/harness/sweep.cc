@@ -4,6 +4,7 @@
 
 #include "coherence/protocol.hh"
 #include "harness/workload_factory.hh"
+#include "mem/arbitration.hh"
 #include "sim/logging.hh"
 #include "trace/reader.hh"
 
@@ -108,7 +109,7 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
 
     static const char *known[] = {
         "name", "protocols", "workloads", "traces", "topologies",
-        "processors", "block_words", "frames", "seeds",
+        "arbitrations", "processors", "block_words", "frames", "seeds",
         "ops_per_processor", "max_ticks", "ways", "enable_checker",
         "fault_rates", "fault_seeds", "fault_kinds", "fault",
     };
@@ -131,6 +132,7 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
         !stringAxis(doc, "workloads", &spec.workloads, err) ||
         !stringAxis(doc, "traces", &spec.traces, err) ||
         !stringAxis(doc, "topologies", &spec.topologies, err) ||
+        !stringAxis(doc, "arbitrations", &spec.arbitrations, err) ||
         !numberAxis(doc, "processors", &spec.processorCounts, err) ||
         !numberAxis(doc, "block_words", &spec.blockWords, err) ||
         !numberAxis(doc, "frames", &spec.frames, err) ||
@@ -177,10 +179,21 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
     };
 
     if (protocols.empty() || (workloads.empty() && traces.empty()) ||
-        topologies.empty() || processorCounts.empty() ||
-        blockWords.empty() || frames.empty() || seeds.empty() ||
-        faultRates.empty() || faultSeeds.empty()) {
+        topologies.empty() || arbitrations.empty() ||
+        processorCounts.empty() || blockWords.empty() || frames.empty() ||
+        seeds.empty() || faultRates.empty() || faultSeeds.empty()) {
         return axisError("every axis needs at least one value");
+    }
+    // Vet the arbitration axis up front (csync-sweep exits 2 on a typo).
+    for (const auto &a : arbitrations) {
+        if (!ArbitrationRegistry::known(a)) {
+            std::string known;
+            for (const auto &n : ArbitrationRegistry::names())
+                known += std::string(known.empty() ? "" : ", ") + n;
+            return axisError(csprintf(
+                "unknown arbitration '%s' (known: %s)", a.c_str(),
+                known.c_str()));
+        }
     }
     // Vet the topology axis up front (csync-sweep exits 2 on a typo).
     std::vector<std::pair<std::string, TopologyConfig>> topos;
@@ -249,6 +262,10 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
             // pre-topology campaigns keep comparing.
             std::string topo_tag =
                 topo == "single_bus" ? "" : "/" + topo;
+            for (const auto &arb : arbitrations) {
+              // Likewise, round-robin jobs carry no arbitration segment.
+              std::string arb_tag =
+                  arb == "round_robin" ? "" : "/" + arb;
             for (unsigned procs : processorCounts) {
                 for (unsigned bw : blockWords) {
                     for (unsigned fr : frames) {
@@ -257,9 +274,10 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                             for (std::uint64_t fseed : faultSeeds) {
                               JobSpec job;
                               job.name = csprintf(
-                                  "%s/%s%s/p%u/bw%u/f%u/s%llu",
+                                  "%s/%s%s%s/p%u/bw%u/f%u/s%llu",
                                   proto.c_str(), wl_tag.c_str(),
-                                  topo_tag.c_str(), procs, bw, fr,
+                                  topo_tag.c_str(), arb_tag.c_str(),
+                                  procs, bw, fr,
                                   (unsigned long long)seed);
                               if (frate > 0.0) {
                                   job.name += csprintf(
@@ -269,6 +287,7 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                               job.config.name = "system";
                               job.config.protocol = proto;
                               job.config.topology = topo_cfg;
+                              job.config.arbitration = arb;
                               job.config.numProcessors = procs;
                               job.config.cache.geom.blockWords = bw;
                               job.config.cache.geom.frames = fr;
@@ -291,6 +310,7 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
                         }
                     }
                 }
+            }
             }
           }
         }
@@ -323,6 +343,9 @@ SweepSpec::toJson() const
     // Omitted on the default so pre-topology manifests stay identical.
     if (topologies != std::vector<std::string>{"single_bus"})
         doc.set("topologies", strings(topologies));
+    // Omitted on the default so pre-arbitration manifests stay identical.
+    if (arbitrations != std::vector<std::string>{"round_robin"})
+        doc.set("arbitrations", strings(arbitrations));
     doc.set("processors", numbers(processorCounts));
     doc.set("block_words", numbers(blockWords));
     doc.set("frames", numbers(frames));

@@ -59,6 +59,10 @@ struct SweepSpec
      *  default single entry keeps campaigns on the paper's baseline
      *  single bus (and their job names unchanged). */
     std::vector<std::string> topologies{"single_bus"};
+    /** Bus arbitration policies (ArbitrationRegistry::names()); the
+     *  default single entry keeps campaigns on the paper's round-robin
+     *  grant order (and their job names unchanged). */
+    std::vector<std::string> arbitrations{"round_robin"};
     std::vector<unsigned> processorCounts{4};
     std::vector<unsigned> blockWords{4};
     std::vector<unsigned> frames{128};

@@ -142,12 +142,45 @@ DroppedInvalidateProtocol::clone() const
     return std::make_unique<DroppedInvalidateProtocol>(inner_->clone());
 }
 
+StaleUpdateProtocol::StaleUpdateProtocol()
+    : AdaptiveProtocol(makeProtocol("dragon"), "broken_adaptive",
+                       AdaptiveMode::Update)
+{
+}
+
+SnoopReply
+StaleUpdateProtocol::snoop(Cache &c, const BusMsg &msg, Frame *f)
+{
+    bool had_copy = f && isValid(f->state);
+    std::vector<Word> data = had_copy ? f->data : std::vector<Word>();
+    SnoopReply r = AdaptiveProtocol::snoop(c, msg, f);
+    if (msg.req == BusReq::UpdateWord && had_copy && isValid(f->state)) {
+        // THE BUG: the handshake succeeded (hit line driven, ownership
+        // handed to the writer) but the broadcast word never lands.
+        f->data = std::move(data);
+    }
+    return r;
+}
+
+std::unique_ptr<Protocol>
+StaleUpdateProtocol::clone() const
+{
+    auto copy = std::make_unique<StaleUpdateProtocol>();
+    copy->setTuning(tuning());
+    copy->policy_ = policy_;
+    return copy;
+}
+
 namespace
 {
 const bool registered = ProtocolRegistry::registerProtocol(
     "broken_noinval", [] {
         return std::make_unique<DroppedInvalidateProtocol>(
             makeProtocol("bitar"));
+    });
+const bool registered_adaptive = ProtocolRegistry::registerProtocol(
+    "broken_adaptive", [] {
+        return std::make_unique<StaleUpdateProtocol>();
     });
 } // anonymous namespace
 

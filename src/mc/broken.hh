@@ -8,6 +8,10 @@
  * "broken_noinval" (wrapping the Bitar proposal) so the explorer can be
  * pointed at it by name; shippedProtocols() filters "broken_" names out
  * of the production set.
+ *
+ * A second seeded bug, "broken_adaptive", targets the hybrid decorator's
+ * update path: the snooper acknowledges a word broadcast (state change
+ * and hit line) but quietly keeps its stale data — a lost update.
  */
 
 #ifndef CSYNC_MC_BROKEN_HH
@@ -15,6 +19,7 @@
 
 #include <memory>
 
+#include "coherence/adaptive.hh"
 #include "coherence/protocol.hh"
 
 namespace csync
@@ -60,6 +65,20 @@ class DroppedInvalidateProtocol : public Protocol
 
   private:
     std::unique_ptr<Protocol> inner_;
+};
+
+/**
+ * The adaptive decorator with a seeded lost-update bug: a snooped word
+ * broadcast goes through the normal machinery (ownership handoff, hit
+ * line) but the snooper's data stays stale.
+ */
+class StaleUpdateProtocol : public AdaptiveProtocol
+{
+  public:
+    StaleUpdateProtocol();
+
+    SnoopReply snoop(Cache &c, const BusMsg &msg, Frame *f) override;
+    std::unique_ptr<Protocol> clone() const override;
 };
 
 } // namespace mc

@@ -91,6 +91,14 @@ StateExplorer::shapeFor(const std::string &protocol) const
     shape.blockWords = kBlockWords;
     shape.frames = kFrames;
     shape.ways = 1;
+    if (protocol.find("adaptive") != std::string::npos) {
+        // Pin the mode-switch thresholds to 1 so both hybrid modes and
+        // the flip edges between them are reachable within the depth
+        // bound; the per-block counters ride the state digest.
+        shape.adaptiveBits = 1;
+        shape.adaptiveInvalidateThreshold = 1;
+        shape.adaptiveUpdateThreshold = 1;
+    }
     return shape;
 }
 

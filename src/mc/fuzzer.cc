@@ -221,6 +221,16 @@ DifferentialFuzzer::defaultPairs()
         p.b = name;
         pairs.push_back(p);
     }
+    // The adaptive hybrids additionally diff against both parents: a
+    // mode flip must never change what values the memory system returns.
+    FuzzPair du;
+    du.a = "dragon";
+    du.b = "adaptive_du";
+    pairs.push_back(du);
+    FuzzPair bi;
+    bi.a = "berkeley";
+    bi.b = "adaptive_bi";
+    pairs.push_back(bi);
     FuzzPair noReg;
     noReg.ablateBusyWait = true;
     noReg.lockOps = true;

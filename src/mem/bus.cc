@@ -7,7 +7,7 @@ namespace csync
 
 Bus::Bus(std::string name, EventQueue *eq, Memory *memory,
          const BusTiming &timing, stats::Group *stats_parent,
-         unsigned carries, bool class_stats)
+         unsigned carries, bool class_stats, const std::string &arbitration)
     : Interconnect(std::move(name), eq, carries),
       statsGroup(this->name(), stats_parent),
       transactions(&statsGroup, "transactions", "bus transactions granted"),
@@ -27,7 +27,8 @@ Bus::Bus(std::string name, EventQueue *eq, Memory *memory,
       sourceArbitrations(&statsGroup, "sourceArbitrations",
                          "multi-source arbitrations (Feature 8 ARB)"),
       memory_(memory),
-      timing_(timing)
+      timing_(timing),
+      arb_(ArbitrationRegistry::make(arbitration))
 {
     sim_assert(memory_ != nullptr, "bus needs a memory");
     for (unsigned i = 0; i < kNumBusReqs; ++i) {
@@ -73,15 +74,17 @@ Bus::addClient(BusClient *client)
 }
 
 void
-Bus::request(BusClient *client, BusPriority pri)
+Bus::request(BusClient *client, BusPriority pri, TrafficClass cls)
 {
     for (auto &p : queue_) {
         if (p.client == client) {
             p.pri = std::max(p.pri, pri);
+            if (cls == TrafficClass::Sync)
+                p.cls = cls;
             return;
         }
     }
-    queue_.push_back(Pending{client, pri, curTick()});
+    queue_.push_back(Pending{client, pri, cls, curTick()});
     if (!busy_)
         scheduleArbitration();
 }
@@ -134,30 +137,31 @@ Bus::arbitrate()
         return;
     }
 
-    // The busy-wait priority bit beats everything (Section E.4); within a
-    // priority class, round-robin starting after the last winner.
+    // The busy-wait priority bit beats everything (Section E.4): only the
+    // best posted priority class is shown to the service discipline, so
+    // busy-wait supremacy holds for every policy.  Within that class the
+    // policy picks the winner (round-robin by default).
     BusPriority best_pri = BusPriority::Normal;
     for (const auto &p : queue_)
         best_pri = std::max(best_pri, p.pri);
 
-    std::size_t best_idx = 0;
-    int n = int(clients_.size());
-    int best_key = n + 1;
+    std::vector<ArbRequest> cands;
+    std::vector<std::size_t> cand_idx;
     for (std::size_t i = 0; i < queue_.size(); ++i) {
         if (queue_[i].pri != best_pri)
             continue;
-        int id = queue_[i].client->nodeId();
-        int key = ((id - lastGranted_ - 1) % n + n) % n;
-        if (key < best_key) {
-            best_key = key;
-            best_idx = i;
-        }
+        cands.push_back(ArbRequest{queue_[i].client->nodeId(), queue_[i].pri,
+                                   queue_[i].cls, queue_[i].posted});
+        cand_idx.push_back(i);
     }
+    std::size_t k = arb_->pick(cands, unsigned(clients_.size()));
+    sim_assert(k < cands.size(), "arbitration picked out of range");
+    std::size_t best_idx = cand_idx[k];
 
     Pending winner = queue_[best_idx];
     queue_.erase(queue_.begin() + best_idx);
 
-    if (vetoGrant(winner.client, winner.pri)) {
+    if (vetoGrant(winner.client, winner.pri, winner.cls)) {
         // Injected NAK before the winner could broadcast: the refused
         // handshake still consumes bus cycles, and the hook re-posts the
         // request after its backoff.
@@ -182,7 +186,7 @@ Bus::arbitrate()
         return;
     }
     msg.requester = winner.client->nodeId();
-    lastGranted_ = winner.client->nodeId();
+    arb_->onGrant(winner.client->nodeId(), winner.cls);
     if (winner.pri == BusPriority::BusyWait)
         ++highPriorityGrants;
 

@@ -6,10 +6,11 @@
  * status, busy/locked); the block is supplied by the source cache if one
  * exists, otherwise by main memory.
  *
- * Arbitration is round-robin, except that a request posted with
+ * Arbitration is delegated to a pluggable ArbitrationPolicy (round-robin
+ * by default; see mem/arbitration.hh), except that a request posted with
  * BusPriority::BusyWait uses the dedicated most-significant priority bit
  * the paper gives to busy-wait registers (Section E.4), and always wins
- * over normal requests.
+ * over normal requests regardless of discipline.
  */
 
 #ifndef CSYNC_MEM_BUS_HH
@@ -19,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "mem/arbitration.hh"
 #include "mem/bus_msg.hh"
 #include "mem/interconnect.hh"
 #include "mem/memory.hh"
@@ -42,10 +44,13 @@ class Bus : public Interconnect
      * @param class_stats Register per-traffic-class counters.  Off by
      *        default so single-bus stat dumps are unchanged; a
      *        multi-switch System turns it on for every switch.
+     * @param arbitration Service discipline name (mem/arbitration.hh);
+     *        the default reproduces the paper's round-robin exactly.
      */
     Bus(std::string name, EventQueue *eq, Memory *memory,
         const BusTiming &timing, stats::Group *stats_parent,
-        unsigned carries = kAllTraffic, bool class_stats = false);
+        unsigned carries = kAllTraffic, bool class_stats = false,
+        const std::string &arbitration = "round_robin");
 
     /** Attach a client (caches in nodeId order, then I/O devices). */
     void addClient(BusClient *client) override;
@@ -58,10 +63,13 @@ class Bus : public Interconnect
 
     /**
      * Post a bus request for @p client.  A client has at most one pending
-     * request; re-posting updates its priority.
+     * request; re-posting updates its priority and traffic class.
      */
-    void request(BusClient *client,
-                 BusPriority pri = BusPriority::Normal) override;
+    void request(BusClient *client, BusPriority pri = BusPriority::Normal,
+                 TrafficClass cls = TrafficClass::Data) override;
+
+    /** The service discipline arbitrating this bus. */
+    const ArbitrationPolicy &arbitration() const { return *arb_; }
 
     /** Withdraw a pending request (e.g. busy-wait loser). */
     void cancel(BusClient *client) override;
@@ -129,10 +137,12 @@ class Bus : public Interconnect
      * Refuse the arbitration winner's tenure (a NAK).  The hook is
      * responsible for eventually re-posting @p client's request.
      */
-    virtual bool vetoGrant(BusClient *client, BusPriority pri)
+    virtual bool vetoGrant(BusClient *client, BusPriority pri,
+                           TrafficClass cls)
     {
         (void)client;
         (void)pri;
+        (void)cls;
         return false;
     }
 
@@ -156,6 +166,7 @@ class Bus : public Interconnect
     {
         BusClient *client;
         BusPriority pri;
+        TrafficClass cls;
         Tick posted;
     };
 
@@ -174,9 +185,9 @@ class Bus : public Interconnect
     std::unique_ptr<stats::Scalar> misrouted_;
     std::vector<BusClient *> clients_;
     std::vector<Pending> queue_;
+    std::unique_ptr<ArbitrationPolicy> arb_;
     bool busy_ = false;
     bool arbScheduled_ = false;
-    NodeId lastGranted_ = invalidNode;
     BusMsg lastMsg_;
     bool hasLastMsg_ = false;
     Tick lastMsgTick_ = 0;

@@ -94,10 +94,14 @@ class Interconnect : public SimObject
 
     /**
      * Post a request for @p client.  A client has at most one pending
-     * request per interconnect; re-posting updates its priority.
+     * request per interconnect; re-posting updates its priority and
+     * traffic class.  @p cls is what the client's eventual transaction
+     * will carry — arbitration policies that discriminate by traffic
+     * system (alternating_priority) read it at grant-decision time.
      */
     virtual void request(BusClient *client,
-                         BusPriority pri = BusPriority::Normal) = 0;
+                         BusPriority pri = BusPriority::Normal,
+                         TrafficClass cls = TrafficClass::Data) = 0;
 
     /** Withdraw a pending request (e.g. busy-wait loser). */
     virtual void cancel(BusClient *client) = 0;

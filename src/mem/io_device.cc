@@ -46,7 +46,7 @@ IODevice::post(IOOp op)
 {
     pending_.push_back(std::move(op));
     if (!inFlight_)
-        bus_->request(this);
+        bus_->request(this, BusPriority::Normal, TrafficClass::Sync);
 }
 
 bool
@@ -97,7 +97,7 @@ IODevice::busComplete(const BusMsg &, const SnoopResult &res)
         ++lockedRetries;
         eventq()->scheduleIn(8, [this] {
             if (!inFlight_ && !pending_.empty())
-                bus_->request(this);
+                bus_->request(this, BusPriority::Normal, TrafficClass::Sync);
         });
         return;
     }
@@ -108,7 +108,7 @@ IODevice::busComplete(const BusMsg &, const SnoopResult &res)
     if (op.cb)
         op.cb(res.data);
     if (!pending_.empty())
-        bus_->request(this);
+        bus_->request(this, BusPriority::Normal, TrafficClass::Sync);
 }
 
 } // namespace csync

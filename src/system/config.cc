@@ -1,6 +1,7 @@
 #include "system/config.hh"
 
 #include "coherence/protocol.hh"
+#include "mem/arbitration.hh"
 #include "sim/logging.hh"
 
 namespace csync
@@ -38,6 +39,38 @@ SystemConfig::validate() const
         known = known || name == protocol;
     if (!known)
         fatal("unknown protocol '%s'", protocol.c_str());
+    if (arbitration.empty())
+        fatal("no arbitration policy selected");
+    if (!ArbitrationRegistry::known(arbitration)) {
+        std::string policies;
+        for (const auto &name : ArbitrationRegistry::names())
+            policies += std::string(policies.empty() ? "" : ", ") + name;
+        fatal("unknown arbitration '%s' (known: %s)",
+              arbitration.c_str(), policies.c_str());
+    }
+    for (const auto &sw : topology.switches) {
+        if (!sw.arbitration.empty() &&
+            !ArbitrationRegistry::known(sw.arbitration)) {
+            fatal("unknown arbitration '%s' on switch '%s'",
+                  sw.arbitration.c_str(), sw.name.c_str());
+        }
+    }
+    if (adaptive.counterBits < 1 || adaptive.counterBits > 8) {
+        fatal("adaptive counter width of %u bits is outside 1..8",
+              adaptive.counterBits);
+    }
+    if (adaptive.invalidateThreshold > adaptive.counterMax()) {
+        fatal("adaptive invalidate threshold %u exceeds what a %u-bit "
+              "counter can reach (%u)",
+              adaptive.invalidateThreshold, adaptive.counterBits,
+              adaptive.counterMax());
+    }
+    if (adaptive.updateThreshold > adaptive.counterMax()) {
+        fatal("adaptive update threshold %u exceeds what a %u-bit "
+              "counter can reach (%u)",
+              adaptive.updateThreshold, adaptive.counterBits,
+              adaptive.counterMax());
+    }
     topology.validate();
     fault.validate();
     if (!fault.target.empty() &&

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "coherence/adaptive.hh"
 #include "fault/fault_plan.hh"
 #include "mem/timing.hh"
 #include "system/topology.hh"
@@ -28,6 +29,12 @@ struct SystemConfig
     std::string name = "system";
     /** Registered protocol name ("bitar", "goodman", ...). */
     std::string protocol = "bitar";
+    /** Bus service discipline for every switch ("round_robin", "fcfs",
+     *  "alternating_priority"); a SwitchSpec may override per switch. */
+    std::string arbitration = "round_robin";
+    /** Saturating-counter tuning for the adaptive_* protocols (ignored
+     *  by every other protocol). */
+    AdaptiveTuning adaptive;
     /** Number of processor/cache pairs. */
     unsigned numProcessors = 4;
     /** Per-cache configuration (geometry, hit latency, directory). */

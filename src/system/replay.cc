@@ -62,6 +62,9 @@ DirectedTrace::toConfig() const
     cfg.cache.geom.blockWords = blockWords;
     cfg.cache.useBusyWaitRegister = useBusyWaitRegister;
     cfg.cache.busyWaitPriority = busyWaitPriority;
+    cfg.adaptive.counterBits = adaptiveBits;
+    cfg.adaptive.invalidateThreshold = adaptiveInvalidateThreshold;
+    cfg.adaptive.updateThreshold = adaptiveUpdateThreshold;
     cfg.enableChecker = true;
     return cfg;
 }
@@ -350,6 +353,14 @@ traceToJson(const DirectedTrace &t)
     j.set("ways", t.ways);
     j.set("busy_wait_register", t.useBusyWaitRegister);
     j.set("busy_wait_priority", t.busyWaitPriority);
+    // Adaptive tuning rides along only when non-default, keeping every
+    // pre-existing trace (and the committed golden) byte-identical.
+    if (t.adaptiveBits != 2)
+        j.set("adaptive_bits", t.adaptiveBits);
+    if (t.adaptiveInvalidateThreshold != 2)
+        j.set("adaptive_invalidate_threshold", t.adaptiveInvalidateThreshold);
+    if (t.adaptiveUpdateThreshold != 2)
+        j.set("adaptive_update_threshold", t.adaptiveUpdateThreshold);
     harness::Json ops = harness::Json::array();
     for (const DirectedOp &op : t.ops) {
         harness::Json o = harness::Json::object();
@@ -407,6 +418,11 @@ traceFromJson(const harness::Json &j, DirectedTrace *out, std::string *err)
     t.ways = unsigned(j["ways"].asNumber(1));
     t.useBusyWaitRegister = j["busy_wait_register"].asBool(true);
     t.busyWaitPriority = j["busy_wait_priority"].asBool(true);
+    t.adaptiveBits = unsigned(j["adaptive_bits"].asNumber(2));
+    t.adaptiveInvalidateThreshold =
+        unsigned(j["adaptive_invalidate_threshold"].asNumber(2));
+    t.adaptiveUpdateThreshold =
+        unsigned(j["adaptive_update_threshold"].asNumber(2));
     const harness::Json &ops = j["ops"];
     if (!ops.isArray())
         return fail("trace: missing ops array");

@@ -69,6 +69,11 @@ struct DirectedTrace
     unsigned ways = 1;
     bool useBusyWaitRegister = true;
     bool busyWaitPriority = true;
+    /** Adaptive-protocol tuning (defaults match SystemConfig; only
+     *  serialized when non-default so existing traces are untouched). */
+    unsigned adaptiveBits = 2;
+    unsigned adaptiveInvalidateThreshold = 2;
+    unsigned adaptiveUpdateThreshold = 2;
     std::vector<DirectedOp> ops;
 
     /** The SystemConfig this trace runs against. */

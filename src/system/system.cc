@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "coherence/adaptive.hh"
 #include "fault/faulty_bus.hh"
 #include "sim/stats_json.hh"
 
@@ -37,19 +38,23 @@ System::System(const SystemConfig &cfg)
         bool faulted = cfg_.fault.enabled() &&
                        (cfg_.fault.target.empty() ||
                         cfg_.fault.target == sw.name);
+        const std::string &arb = sw.arbitration.empty() ? cfg_.arbitration
+                                                        : sw.arbitration;
         if (faulted) {
             port.bus = std::make_unique<FaultyBus>(
                 sw.name, &eq_, port.memory.get(), cfg_.timing, &root_,
                 cfg_.fault, sw.carries, multi,
-                multi ? sw.name + "." : "");
+                multi ? sw.name + "." : "", arb);
         } else {
-            port.bus = std::make_unique<Bus>(sw.name, &eq_,
-                                             port.memory.get(), cfg_.timing,
-                                             &root_, sw.carries, multi);
+            port.bus = std::make_unique<Bus>(
+                sw.name, &eq_, port.memory.get(), cfg_.timing, &root_,
+                sw.carries, multi, arb);
         }
 
         for (unsigned i = 0; i < p; ++i) {
             auto protocol = makeProtocol(cfg_.protocol);
+            if (auto *ap = dynamic_cast<AdaptiveProtocol *>(protocol.get()))
+                ap->setTuning(cfg_.adaptive);
             CacheConfig cc = cfg_.cache;
             if (cfg_.directoryFromProtocol)
                 cc.directory = protocol->features().directory;

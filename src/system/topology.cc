@@ -38,9 +38,9 @@ TopologyConfig::twoSwitch()
     t.preset = "two_switch";
     t.switches = {
         {"sync_bus", trafficClassBit(TrafficClass::Sync),
-         {{0, kTwoSwitchSplit}}},
+         {{0, kTwoSwitchSplit}}, ""},
         {"data_switch", trafficClassBit(TrafficClass::Data),
-         {{kTwoSwitchSplit, 0}}},
+         {{kTwoSwitchSplit, 0}}, ""},
     };
     return t;
 }

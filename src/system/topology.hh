@@ -51,6 +51,10 @@ struct SwitchSpec
     unsigned carries = kAllTraffic;
     /** Address ranges routed to this switch. */
     std::vector<AddrRange> ranges;
+    /** Service discipline for this switch's arbiter; "" inherits
+     *  SystemConfig::arbitration, so each switch of a multi-switch
+     *  machine can run its own discipline. */
+    std::string arbitration;
 };
 
 /**
@@ -66,7 +70,7 @@ struct TopologyConfig
 
     /** The switches, in port order; port 0 is System::bus(). */
     std::vector<SwitchSpec> switches = {
-        {"bus", kAllTraffic, {{0, 0}}},
+        {"bus", kAllTraffic, {{0, 0}}, ""},
     };
 
     /** True for the paper's baseline: one switch carrying everything. */

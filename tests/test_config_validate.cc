@@ -187,6 +187,77 @@ TEST(ConfigValidate, RejectsFaultTargetNamingNoSwitch)
     EXPECT_EQ(rejectionMessage(cfg), "");
 }
 
+TEST(ConfigValidate, RejectsUnknownArbitration)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.arbitration = "coin_flip";
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("unknown arbitration 'coin_flip'"),
+              std::string::npos) << msg;
+    // The rejection teaches the valid policies.
+    EXPECT_NE(msg.find("round_robin"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fcfs"), std::string::npos) << msg;
+
+    cfg.arbitration = "";
+    EXPECT_NE(rejectionMessage(cfg).find("no arbitration policy"),
+              std::string::npos);
+
+    // Every registered policy is acceptable.
+    for (const char *a : {"round_robin", "fcfs", "alternating_priority"}) {
+        cfg = goodConfig();
+        cfg.arbitration = a;
+        EXPECT_EQ(rejectionMessage(cfg), "") << a;
+    }
+}
+
+TEST(ConfigValidate, RejectsUnknownPerSwitchArbitration)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.topology = TopologyConfig::twoSwitch();
+    cfg.topology.switches[1].arbitration = "lottery";
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("unknown arbitration 'lottery'"),
+              std::string::npos) << msg;
+    EXPECT_NE(msg.find("data_switch"), std::string::npos) << msg;
+
+    // A per-switch override that exists is fine; "" inherits.
+    cfg.topology.switches[1].arbitration = "alternating_priority";
+    EXPECT_EQ(rejectionMessage(cfg), "");
+    cfg.topology.switches[1].arbitration = "";
+    EXPECT_EQ(rejectionMessage(cfg), "");
+}
+
+TEST(ConfigValidate, RejectsBadAdaptiveTuning)
+{
+    SystemConfig cfg = goodConfig();
+    cfg.adaptive.counterBits = 0;
+    EXPECT_NE(rejectionMessage(cfg).find("outside 1..8"),
+              std::string::npos);
+    cfg.adaptive.counterBits = 9;
+    EXPECT_NE(rejectionMessage(cfg).find("outside 1..8"),
+              std::string::npos);
+
+    cfg = goodConfig();
+    cfg.adaptive.counterBits = 2;
+    cfg.adaptive.invalidateThreshold = 4; // 2-bit counter tops out at 3
+    std::string msg = rejectionMessage(cfg);
+    EXPECT_NE(msg.find("invalidate threshold"), std::string::npos)
+        << msg;
+
+    cfg = goodConfig();
+    cfg.adaptive.updateThreshold = 200;
+    EXPECT_NE(rejectionMessage(cfg).find("update threshold"),
+              std::string::npos);
+
+    // Thresholds at the counter ceiling (and 0 = never switch) are
+    // acceptable.
+    cfg = goodConfig();
+    cfg.adaptive.counterBits = 2;
+    cfg.adaptive.invalidateThreshold = 3;
+    cfg.adaptive.updateThreshold = 0;
+    EXPECT_EQ(rejectionMessage(cfg), "");
+}
+
 TEST(ConfigValidate, FatalStillExitsOutsideGuard)
 {
     SystemConfig cfg = goodConfig();

@@ -12,6 +12,7 @@
 
 #include "coherence/protocol.hh"
 #include "mc/explorer.hh"
+#include "mc/fuzzer.hh"
 #include "system/replay.hh"
 
 using namespace csync;
@@ -20,13 +21,19 @@ using namespace csync::mc;
 TEST(Explorer, ShippedProtocolsExcludeBrokenVariants)
 {
     std::vector<std::string> names = StateExplorer::shippedProtocols();
-    EXPECT_EQ(names.size(), 10u);
+    EXPECT_EQ(names.size(), 12u);
     for (const std::string &n : names)
         EXPECT_NE(n.rfind("broken_", 0), 0u) << n;
     EXPECT_NE(std::find(names.begin(), names.end(), "bitar"), names.end());
-    // The broken variant is registered, just filtered from "shipped".
+    EXPECT_NE(std::find(names.begin(), names.end(), "adaptive_du"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "adaptive_bi"),
+              names.end());
+    // The broken variants are registered, just filtered from "shipped".
     std::vector<std::string> all = ProtocolRegistry::names();
     EXPECT_NE(std::find(all.begin(), all.end(), "broken_noinval"),
+              all.end());
+    EXPECT_NE(std::find(all.begin(), all.end(), "broken_adaptive"),
               all.end());
 }
 
@@ -65,6 +72,65 @@ TEST(Explorer, FindsDroppedInvalidationWithinSmokeBound)
     ReplayVerdict again = replayTrace(res.counterexample);
     EXPECT_FALSE(again.clean());
     EXPECT_EQ(again.firstProblem, res.counterexampleVerdict.firstProblem);
+}
+
+TEST(Explorer, FindsStaleAdaptiveUpdateWithinSmokeBound)
+{
+    // broken_adaptive drops the update broadcast when a block flips to
+    // invalidate mode without actually invalidating the sharers: a
+    // remote cache keeps serving the stale word.  The explorer pins the
+    // adaptive thresholds to 1 so the flip is reachable at depth 4.
+    StateExplorer ex(ExploreBounds::smoke());
+    ExploreResult res = ex.explore("broken_adaptive");
+    ASSERT_TRUE(res.violationFound);
+    EXPECT_FALSE(res.violation.empty());
+
+    ASSERT_FALSE(res.counterexample.ops.empty());
+    EXPECT_LE(res.counterexample.ops.size(), 4u);
+
+    // The counterexample must replay to the same verdict from scratch.
+    ReplayVerdict again = replayTrace(res.counterexample);
+    EXPECT_FALSE(again.clean());
+    EXPECT_EQ(again.firstProblem, res.counterexampleVerdict.firstProblem);
+}
+
+TEST(Fuzzer, DefaultPairsDiffAdaptiveHybridsAgainstBothParents)
+{
+    // A mode flip must never change what the memory system returns, so
+    // the adaptive hybrids are fuzzed against their parent protocols in
+    // addition to the usual everything-vs-bitar pairs.
+    auto has = [](const std::vector<FuzzPair> &pairs, const std::string &a,
+                  const std::string &b) {
+        return std::any_of(pairs.begin(), pairs.end(),
+                           [&](const FuzzPair &p) {
+                               return p.a == a && p.b == b &&
+                                      !p.ablateBusyWait && !p.ablatePriority;
+                           });
+    };
+    std::vector<FuzzPair> pairs = DifferentialFuzzer::defaultPairs();
+    EXPECT_TRUE(has(pairs, "dragon", "adaptive_du"));
+    EXPECT_TRUE(has(pairs, "berkeley", "adaptive_bi"));
+}
+
+TEST(Fuzzer, AdaptiveHybridsMatchTheirParentsOverSeededTraces)
+{
+    DifferentialFuzzer::Options opts;
+    DifferentialFuzzer fuzzer(opts);
+    for (const auto &[a, b] : {std::pair<std::string, std::string>{
+                                   "dragon", "adaptive_du"},
+                               {"berkeley", "adaptive_bi"}}) {
+        FuzzPair pair;
+        pair.a = a;
+        pair.b = b;
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            FuzzReport rep = fuzzer.runPair(seed, pair);
+            EXPECT_TRUE(rep.clean())
+                << pair.label() << " seed " << seed << ": " << rep.detail;
+            EXPECT_FALSE(rep.diverged)
+                << pair.label() << " seed " << seed << ": "
+                << rep.divergence;
+        }
+    }
 }
 
 TEST(Explorer, CounterexampleSurvivesJsonRoundTrip)

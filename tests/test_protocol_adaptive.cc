@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Behavioural tests for the adaptive hybrid update/invalidate decorator
+ * (coherence/adaptive.hh): per-block counter saturation, the
+ * update→invalidate→update mode-switch hysteresis, and observational
+ * equivalence to the pure parent protocol when a threshold of 0 pins
+ * every block to one extreme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/adaptive.hh"
+#include "system/replay.hh"
+
+using namespace csync;
+
+namespace
+{
+
+constexpr Addr kBlk = 0x1000;
+
+DirectedTrace
+shape(const std::string &protocol, unsigned bits, unsigned inv_thresh,
+      unsigned upd_thresh)
+{
+    DirectedTrace t;
+    t.protocol = protocol;
+    t.processors = 2;
+    t.blockWords = 4;
+    t.frames = 4;
+    t.ways = 1;
+    t.adaptiveBits = bits;
+    t.adaptiveInvalidateThreshold = inv_thresh;
+    t.adaptiveUpdateThreshold = upd_thresh;
+    return t;
+}
+
+DirectedOp
+op(unsigned cache, DirectedKind kind, Word value = 0)
+{
+    DirectedOp o;
+    o.cache = cache;
+    o.kind = kind;
+    o.addr = kBlk;
+    o.value = value;
+    return o;
+}
+
+/** The adaptive decorator running inside @p cache of @p r. */
+AdaptiveProtocol &
+adaptiveOf(TraceReplayer &r, unsigned cache)
+{
+    return dynamic_cast<AdaptiveProtocol &>(r.system().cache(cache).protocol());
+}
+
+} // namespace
+
+TEST(AdaptiveProtocol, VariantsStartInTheirInitialMode)
+{
+    auto du = makeProtocol("adaptive_du");
+    auto *adu = dynamic_cast<AdaptiveProtocol *>(du.get());
+    ASSERT_NE(adu, nullptr);
+    EXPECT_EQ(adu->modeOf(kBlk), AdaptiveMode::Update);
+    EXPECT_EQ(adu->inner().name(), "dragon");
+
+    auto bi = makeProtocol("adaptive_bi");
+    auto *abi = dynamic_cast<AdaptiveProtocol *>(bi.get());
+    ASSERT_NE(abi, nullptr);
+    EXPECT_EQ(abi->modeOf(kBlk), AdaptiveMode::Invalidate);
+    EXPECT_EQ(abi->inner().name(), "berkeley");
+}
+
+TEST(AdaptiveProtocol, WastedUpdateRunFlipsBlockToInvalidateMode)
+{
+    TraceReplayer r(shape("adaptive_du", 2, 2, 2));
+    // Both caches share the block; then cache 0 writes repeatedly with
+    // no consumer in between — each broadcast is a wasted update.
+    r.step(op(0, DirectedKind::Read));
+    r.step(op(1, DirectedKind::Read));
+    r.step(op(0, DirectedKind::Write, 0x11));
+    EXPECT_EQ(adaptiveOf(r, 0).modeOf(kBlk), AdaptiveMode::Update)
+        << "one wasted update is below the threshold (hysteresis)";
+    r.step(op(0, DirectedKind::Write, 0x22));
+    EXPECT_EQ(adaptiveOf(r, 0).modeOf(kBlk), AdaptiveMode::Invalidate)
+        << "the second consecutive wasted update crosses the threshold";
+
+    // In invalidate mode the next shared write kills the other copy
+    // instead of updating it.
+    EXPECT_TRUE(isValid(r.system().cache(1).stateOf(kBlk)));
+    double upgrades_before = r.system().bus().typeCount(BusReq::Upgrade);
+    r.step(op(0, DirectedKind::Write, 0x33));
+    EXPECT_FALSE(isValid(r.system().cache(1).stateOf(kBlk)));
+    EXPECT_EQ(r.system().bus().typeCount(BusReq::Upgrade),
+              upgrades_before + 1);
+    EXPECT_TRUE(r.verdict().clean()) << r.verdict().describe();
+}
+
+TEST(AdaptiveProtocol, BusRereadResetsTheWastedCounter)
+{
+    // The writer's counters can only observe the bus: a consumer whose
+    // copy stays valid reads silently, but one that comes back *on the
+    // bus* for the block proves the broadcasts have an audience.
+    TraceReplayer r(shape("adaptive_du", 2, 2, 2));
+    r.step(op(0, DirectedKind::Read));
+    r.step(op(1, DirectedKind::Read));
+    r.step(op(0, DirectedKind::Write, 0x11)); // wasted = 1
+    r.step(op(1, DirectedKind::Evict));
+    r.step(op(1, DirectedKind::Read));        // bus re-read: reset to 0
+    r.step(op(0, DirectedKind::Write, 0x22)); // wasted = 1 again
+    EXPECT_EQ(adaptiveOf(r, 0).modeOf(kBlk), AdaptiveMode::Update)
+        << "a consumer re-fetching the block must keep it updating";
+    EXPECT_TRUE(r.verdict().clean()) << r.verdict().describe();
+}
+
+TEST(AdaptiveProtocol, RemoteRereadRunFlipsBlockBackToUpdateMode)
+{
+    TraceReplayer r(shape("adaptive_bi", 2, 2, 3));
+    r.step(op(0, DirectedKind::Read));
+    r.step(op(1, DirectedKind::Read)); // rereads = 1 (cold share)
+    // Invalidate mode: each write kills cache 1's copy, and each
+    // re-read by cache 1 bumps cache 0's reread counter.
+    r.step(op(0, DirectedKind::Write, 0x11));
+    EXPECT_FALSE(isValid(r.system().cache(1).stateOf(kBlk)));
+    r.step(op(1, DirectedKind::Read)); // rereads = 2
+    EXPECT_EQ(adaptiveOf(r, 0).modeOf(kBlk), AdaptiveMode::Invalidate)
+        << "two re-reads are below the threshold (hysteresis)";
+    r.step(op(0, DirectedKind::Write, 0x22));
+    r.step(op(1, DirectedKind::Read)); // rereads = 3: flip
+    EXPECT_EQ(adaptiveOf(r, 0).modeOf(kBlk), AdaptiveMode::Update)
+        << "readers keep coming back: broadcasting is cheaper";
+
+    // In update mode the next write reaches cache 1's copy in place.
+    r.step(op(0, DirectedKind::Write, 0x33));
+    const Frame *f1 = r.system().cache(1).peekFrame(kBlk);
+    ASSERT_NE(f1, nullptr);
+    EXPECT_TRUE(isValid(f1->state));
+    EXPECT_EQ(f1->data[0], 0x33u);
+    EXPECT_TRUE(r.verdict().clean()) << r.verdict().describe();
+}
+
+TEST(AdaptiveProtocol, CountersSaturateAtTheirBitWidth)
+{
+    // 1-bit counters with an unreachable flip (threshold 0 = never):
+    // any run of wasted updates pegs the counter at 1 instead of
+    // wrapping back to 0.
+    TraceReplayer r(shape("adaptive_du", 1, 0, 0));
+    r.step(op(0, DirectedKind::Read));
+    r.step(op(1, DirectedKind::Read));
+    for (unsigned i = 0; i < 3; ++i)
+        r.step(op(0, DirectedKind::Write, 0x10 + i));
+    EXPECT_EQ(adaptiveOf(r, 0).modeOf(kBlk), AdaptiveMode::Update);
+    // The snapshot exposes the pegged counter: "<blk>:U<wasted>/<rereads>;".
+    EXPECT_EQ(adaptiveOf(r, 0).snapshotState(), "1000:U1/0;");
+    EXPECT_TRUE(r.verdict().clean()) << r.verdict().describe();
+}
+
+namespace
+{
+
+/** Run the canonical sharing script against @p protocol. */
+std::unique_ptr<TraceReplayer>
+runScript(const DirectedTrace &t)
+{
+    auto r = std::make_unique<TraceReplayer>(t);
+    r->step(op(0, DirectedKind::Read));
+    r->step(op(1, DirectedKind::Read));
+    r->step(op(0, DirectedKind::Write, 0x11));
+    r->step(op(1, DirectedKind::Read));
+    r->step(op(0, DirectedKind::Write, 0x22));
+    r->step(op(1, DirectedKind::Write, 0x33));
+    r->step(op(0, DirectedKind::Read));
+    r->step(op(1, DirectedKind::Evict));
+    r->step(op(0, DirectedKind::Write, 0x44));
+    r->step(op(1, DirectedKind::Read));
+    return r;
+}
+
+/** Expect identical architectural outcomes from two replays. */
+void
+expectEquivalent(TraceReplayer &a, TraceReplayer &b,
+                 const std::string &label)
+{
+    EXPECT_TRUE(a.verdict().clean()) << label << ": "
+                                     << a.verdict().describe();
+    EXPECT_TRUE(b.verdict().clean()) << label << ": "
+                                     << b.verdict().describe();
+    for (unsigned i = 0; i < 2; ++i) {
+        EXPECT_EQ(a.system().cache(i).stateOf(kBlk),
+                  b.system().cache(i).stateOf(kBlk))
+            << label << ": cache " << i;
+        const Frame *fa = a.system().cache(i).peekFrame(kBlk);
+        const Frame *fb = b.system().cache(i).peekFrame(kBlk);
+        if (fa && fb) {
+            EXPECT_EQ(fa->data, fb->data) << label << ": cache " << i;
+        }
+    }
+    EXPECT_EQ(a.system().memory().peekBlock(kBlk),
+              b.system().memory().peekBlock(kBlk)) << label;
+    for (BusReq req : {BusReq::ReadShared, BusReq::ReadExclusive,
+                       BusReq::UpdateWord, BusReq::Upgrade}) {
+        EXPECT_EQ(a.system().bus().typeCount(req),
+                  b.system().bus().typeCount(req))
+            << label << ": " << busReqName(req);
+    }
+}
+
+} // namespace
+
+TEST(AdaptiveProtocol, PinnedUpdateModeMatchesPureDragon)
+{
+    // invalidateThreshold 0 pins every block to update mode: the
+    // decorator must be observationally identical to its parent.
+    auto adaptive = runScript(shape("adaptive_du", 2, 0, 2));
+    auto dragon = runScript(shape("dragon", 2, 0, 2));
+    expectEquivalent(*adaptive, *dragon, "adaptive_du vs dragon");
+    EXPECT_EQ(adaptiveOf(*adaptive, 0).modeOf(kBlk),
+              AdaptiveMode::Update);
+}
+
+TEST(AdaptiveProtocol, PinnedInvalidateModeMatchesPureBerkeley)
+{
+    // updateThreshold 0 pins every block to invalidate mode.
+    auto adaptive = runScript(shape("adaptive_bi", 2, 2, 0));
+    auto berkeley = runScript(shape("berkeley", 2, 2, 0));
+    expectEquivalent(*adaptive, *berkeley, "adaptive_bi vs berkeley");
+    EXPECT_EQ(adaptiveOf(*adaptive, 0).modeOf(kBlk),
+              AdaptiveMode::Invalidate);
+}

@@ -133,6 +133,44 @@ TEST(SweepSpec, ExpandRejectsUnknownTopology)
         << "error should list known topologies: " << err;
 }
 
+TEST(SweepSpec, ArbitrationAxisTagsJobNamesAndConfigs)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"random_sharing"};
+    spec.arbitrations = {"round_robin", "fcfs", "alternating_priority"};
+    spec.processorCounts = {2};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    ASSERT_TRUE(spec.expand(&jobs, &err)) << err;
+    ASSERT_EQ(jobs.size(), 3u);
+    // Round-robin rows keep their historical names (no arbitration
+    // tag) so pre-arbitration baselines still compare; others are
+    // tagged.
+    EXPECT_EQ(jobs[0].name, "bitar/random_sharing/p2/bw4/f128/s1");
+    EXPECT_EQ(jobs[0].config.arbitration, "round_robin");
+    EXPECT_EQ(jobs[1].name, "bitar/random_sharing/fcfs/p2/bw4/f128/s1");
+    EXPECT_EQ(jobs[1].config.arbitration, "fcfs");
+    EXPECT_EQ(jobs[2].name,
+              "bitar/random_sharing/alternating_priority/p2/bw4/f128/s1");
+    EXPECT_EQ(jobs[2].config.arbitration, "alternating_priority");
+}
+
+TEST(SweepSpec, ExpandRejectsUnknownArbitration)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"random_sharing"};
+    spec.arbitrations = {"coin_flip"};
+    std::vector<JobSpec> jobs;
+    std::string err;
+    EXPECT_FALSE(spec.expand(&jobs, &err));
+    EXPECT_NE(err.find("unknown arbitration 'coin_flip'"),
+              std::string::npos) << err;
+    EXPECT_NE(err.find("fcfs"), std::string::npos)
+        << "error should list known policies: " << err;
+}
+
 TEST(SweepSpec, ExpandRejectsEmptyAxis)
 {
     SweepSpec spec;
@@ -226,6 +264,22 @@ TEST(SweepSpec, ToJsonOmitsDefaultTopologyAxis)
     ASSERT_TRUE(SweepSpec::fromJson(spec.toJson(), &again, &err)) << err;
     EXPECT_EQ(again.topologies,
               (std::vector<std::string>{"two_switch"}));
+}
+
+TEST(SweepSpec, ToJsonOmitsDefaultArbitrationAxis)
+{
+    SweepSpec spec;
+    spec.protocols = {"bitar"};
+    spec.workloads = {"migration"};
+    // Pre-arbitration manifests must stay byte-identical: the axis
+    // only appears once somebody asks for a non-default policy.
+    EXPECT_FALSE(spec.toJson().has("arbitrations"));
+    spec.arbitrations = {"fcfs", "alternating_priority"};
+    SweepSpec again;
+    std::string err;
+    ASSERT_TRUE(SweepSpec::fromJson(spec.toJson(), &again, &err)) << err;
+    EXPECT_EQ(again.arbitrations,
+              (std::vector<std::string>{"fcfs", "alternating_priority"}));
 }
 
 TEST(SweepSpec, TracesAxisExpandsLikeAWorkload)

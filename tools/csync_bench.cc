@@ -68,7 +68,9 @@ traceTag(const std::string &path)
  * The standard kernel set.  Calibration comes first so both the emitted
  * document and the compare normalization always see it; the simulator
  * kernels cover the write-once scheme against the classic invalidate
- * and update protocols on the contended workloads, plus the Figure 11
+ * and update protocols (and the adaptive hybrid, whose per-block
+ * counters ride the hot path) on the contended workloads, plus the
+ * Figure 11
  * two-interconnect Aquarius topology (the multi-switch hot path).  The
  * replay kernels stream the committed ~100k-event golden trace through
  * the trace front-end on both topology presets, so the long-horizon
@@ -86,6 +88,8 @@ standardKernels()
         {"goodman_random_sharing", "goodman", "random_sharing", 8},
         {"illinois_random_sharing", "illinois", "random_sharing", 8},
         {"dragon_random_sharing", "dragon", "random_sharing", 8},
+        {"adaptive_du_random_sharing", "adaptive_du", "random_sharing",
+         8},
         {"bitar_service_queue_two_switch", "bitar", "service_queue", 8,
          "two_switch"},
         {"bitar_replay_mix100k", "bitar", "", 8, "single_bus",

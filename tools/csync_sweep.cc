@@ -38,6 +38,7 @@
 #include "harness/runner_proc.hh"
 #include "harness/sweep.hh"
 #include "harness/workload_factory.hh"
+#include "mem/arbitration.hh"
 
 using namespace csync;
 using namespace csync::harness;
@@ -71,6 +72,8 @@ usage(const char *argv0)
         "  --protocols A,B,...  protocol axis\n"
         "  --workloads A,B,...  workload axis\n"
         "  --topology A,B,...   topology axis (default single_bus)\n"
+        "  --arbitration A,...  bus arbitration axis (default "
+        "round_robin)\n"
         "  --procs N,M,...      processor-count axis (default 4)\n"
         "  --block-words N,...  block-size axis, bus words (default 4)\n"
         "  --frames N,...       cache-frames axis (default 128)\n"
@@ -188,6 +191,9 @@ doList()
     std::printf("\ntopologies:");
     for (const auto &t : TopologyConfig::names())
         std::printf(" %s", t.c_str());
+    std::printf("\narbitrations:");
+    for (const auto &a : ArbitrationRegistry::names())
+        std::printf(" %s", a.c_str());
     std::printf("\n");
     return 0;
 }
@@ -352,7 +358,7 @@ main(int argc, char **argv)
     unsigned jobs = 0, retries = 0;
     SweepSpec cli; // axes given on the command line
     bool have_protocols = false, have_workloads = false;
-    bool have_traces = false, have_topos = false;
+    bool have_traces = false, have_topos = false, have_arbs = false;
     bool have_procs = false, have_bw = false, have_frames = false;
     bool have_seeds = false, have_ops = false, have_ticks = false;
     bool have_frates = false, have_fseeds = false, have_fkinds = false;
@@ -408,6 +414,12 @@ main(int argc, char **argv)
             have_topos = splitList(v, &cli.topologies);
             if (!have_topos)
                 return cliError("--topology: empty list");
+        } else if (a == "--arbitration") {
+            if (!(v = next_arg(i, "--arbitration")))
+                return 2;
+            have_arbs = splitList(v, &cli.arbitrations);
+            if (!have_arbs)
+                return cliError("--arbitration: empty list");
         } else if (a == "--procs") {
             if (!(v = next_arg(i, "--procs")))
                 return 2;
@@ -519,9 +531,9 @@ main(int argc, char **argv)
         return cliError("--isolate is not supported on this platform");
 
     bool any_axis = have_protocols || have_workloads || have_traces ||
-                    have_topos || have_procs || have_bw || have_frames ||
-                    have_seeds || have_ops || have_ticks || have_frates ||
-                    have_fseeds || have_fkinds;
+                    have_topos || have_arbs || have_procs || have_bw ||
+                    have_frames || have_seeds || have_ops || have_ticks ||
+                    have_frates || have_fseeds || have_fkinds;
     if (!resume_path.empty() &&
         (any_axis || !spec_path.empty() || !name.empty() ||
          !shard_text.empty() || !journal_path.empty())) {
@@ -571,6 +583,8 @@ main(int argc, char **argv)
             spec.traces = cli.traces;
         if (have_topos)
             spec.topologies = cli.topologies;
+        if (have_arbs)
+            spec.arbitrations = cli.arbitrations;
         if (have_procs)
             spec.processorCounts = cli.processorCounts;
         if (have_bw)
