@@ -79,6 +79,20 @@ JobResult
 CampaignRunner::runJob(const JobSpec &spec,
                        const std::atomic<bool> *cancel)
 {
+    JobResult r = runJobOnce(spec, cancel, false);
+    // Anomalous parallel rows rerun serially for canonical forensics
+    // (wall_timeout is a host-side event, not a simulation outcome —
+    // rerunning would just hit the deadline again).
+    if (r.usedParallel && !r.ok() && r.status != "wall_timeout")
+        return runJobOnce(spec, cancel, true);
+    return r;
+}
+
+JobResult
+CampaignRunner::runJobOnce(const JobSpec &spec,
+                           const std::atomic<bool> *cancel,
+                           bool force_serial)
+{
     JobResult r = rowForSpec(spec);
 
     auto t0 = std::chrono::steady_clock::now();
@@ -89,11 +103,14 @@ CampaignRunner::runJob(const JobSpec &spec,
     ScopedFatalThrow capture;
     try {
         spec.config.validate();
+        SystemConfig cfg = spec.config;
+        if (force_serial)
+            cfg.simThreads = 1;
         // Trace-replay jobs share one streaming engine across all the
         // run's workload slots; it must outlive the System (whose
         // processors own the workloads pointing at it).
         std::shared_ptr<trace::TraceReplayEngine> traceEngine;
-        System sys(spec.config);
+        System sys(cfg);
         for (unsigned i = 0; i < spec.config.numProcessors; ++i) {
             WorkloadSlot slot;
             slot.procId = i;
@@ -111,6 +128,7 @@ CampaignRunner::runJob(const JobSpec &spec,
             sys.addProcessor(std::move(w));
         }
         sys.start();
+        r.usedParallel = sys.parallelActive();
         r.ticks = sys.run(spec.maxTicks, cancel);
 
         for (unsigned i = 0; i < sys.numCaches(); ++i)

@@ -86,6 +86,11 @@ struct JobResult
     /** Flattened statistics (stats::flatten of the system root). */
     std::map<std::string, double> stats;
 
+    /** True when the sharded parallel engine actually ran this row
+     *  (diagnostic only — never serialized, so campaign documents stay
+     *  byte-identical across --sim-threads). */
+    bool usedParallel = false;
+
     bool ok() const { return status == "ok"; }
 };
 
@@ -155,9 +160,22 @@ class CampaignRunner
      * for configuration/workload errors — they come back as an error
      * row.  If @p cancel becomes true mid-run the simulation stops at
      * the next event batch and the row is marked "wall_timeout".
+     *
+     * Parallel runs (config.simThreads > 1 on a partitionable config)
+     * that end in anything but a clean completion are rerun on the
+     * serial engine: anomaly forensics (livelock diagnostics, timeout
+     * ticks) depend on observation cadence, and the serial engine's is
+     * canonical — so every finalized row, healthy or not, is
+     * byte-identical to a --sim-threads 1 campaign.
      */
     static JobResult runJob(const JobSpec &spec,
                             const std::atomic<bool> *cancel = nullptr);
+
+    /** One attempt of runJob, with no serial-rerun policy.  @p force_serial
+     *  drops simThreads to 1 (the rerun path; also useful in tests). */
+    static JobResult runJobOnce(const JobSpec &spec,
+                                const std::atomic<bool> *cancel,
+                                bool force_serial);
 
     /** Run @p jobs on the pool and collect every row. */
     CampaignResult run(const std::vector<JobSpec> &jobs,

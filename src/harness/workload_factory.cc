@@ -74,6 +74,45 @@ makeRandom(const WorkloadSlot &s, double shared_frac,
     return std::make_unique<RandomSharingWorkload>(p);
 }
 
+/**
+ * Domain-partitioned random sharing: even processors confine their
+ * shared and private regions to the low 16 MiB (the two_switch sync
+ * side), odd processors to the high region (the data side).  Within a
+ * group the shared region still contends normally; across groups no
+ * address is ever shared, so on two_switch the parallel engine can
+ * prove the machine partitionable and shard it — this is the recipe
+ * behind the multi-domain speedup kernel.  On single_bus it is just
+ * another random-sharing mix (one domain, serial engine).
+ */
+std::unique_ptr<Workload>
+makeDomainLocal(const WorkloadSlot &s, std::string *)
+{
+    RandomSharingParams p;
+    p.ops = s.ops;
+    p.procId = s.procId;
+    p.seed = s.seed * 1000003 + s.procId + 1;
+    p.sharedBlocks = 16;
+    p.privateBlocks = 64;
+    p.sharedFraction = 0.3;
+    p.writeFraction = 0.3;
+    p.blockBytes = s.blockBytes;
+    p.privateHints = wantsPrivateHints(s.protocol);
+    if (s.procId % 2 == 0) {
+        // Sync-side group: everything below the two_switch 16 MiB
+        // split.  The tight stride keeps ~96 even processors inside;
+        // beyond that the footprint spills over the split and the
+        // partition analysis falls back to the serial engine — wrong
+        // shape, never wrong results.
+        p.sharedBase = 0x200000;
+        p.privateBase = 0x400000;
+        p.privateStride = 0x20000;
+    } else {
+        p.sharedBase = 0x10000000;
+        p.privateBase = 0x12000000;
+    }
+    return std::make_unique<RandomSharingWorkload>(p);
+}
+
 std::unique_ptr<Workload>
 makeCriticalSection(const WorkloadSlot &s, std::string *err)
 {
@@ -304,6 +343,7 @@ struct Recipe
 const Recipe kRecipes[] = {
     {"barrier", makeBarrier},
     {"critical_section", makeCriticalSection},
+    {"domain_local", makeDomainLocal},
     {"migration", makeMigration},
     {"producer_consumer", makeProducerConsumer},
     {"random_contended",

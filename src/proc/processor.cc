@@ -123,6 +123,10 @@ void
 Processor::issue(const MemOp &op)
 {
     sim_assert(!opInFlight_, "issue while op in flight");
+    sim_assert(homeDomain_ < 0 ||
+                   map_->switchFor(op.addr) == std::size_t(homeDomain_),
+               "%s issued %llx outside its home domain %d",
+               name().c_str(), (unsigned long long)op.addr, homeDomain_);
     Cache &port = portFor(op.addr);
     if (!port.idle()) {
         // The cache is finishing a busy-waited lock replay; retry.

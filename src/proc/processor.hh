@@ -57,6 +57,15 @@ class Processor : public SimObject
      */
     void wake();
 
+    /**
+     * Pin this processor to interconnect domain @p domain (a sharded
+     * parallel run).  From then on, issuing an operation routed to any
+     * other domain is a simulator bug — the partition analysis promised
+     * the workload's footprint stays home, and a violation would be a
+     * cross-thread access, so it panics rather than corrupting state.
+     */
+    void setHomeDomain(unsigned domain) { homeDomain_ = int(domain); }
+
     NodeId id() const { return id_; }
     /** The first (on single-bus: the only) cache port. */
     Cache &cache() { return *caches_.front(); }
@@ -91,6 +100,8 @@ class Processor : public SimObject
     bool workWhileWaiting_ = false;
     bool wakePending_ = false;
     Tick issueTick_ = 0;
+    /** Pinned interconnect domain (-1 = unpinned, the serial engine). */
+    int homeDomain_ = -1;
 };
 
 } // namespace csync

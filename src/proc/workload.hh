@@ -11,9 +11,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "proc/mem_op.hh"
 #include "sim/types.hh"
+#include "system/topology.hh"
 
 namespace csync
 {
@@ -64,6 +66,22 @@ class Workload
      * synthetic recipes) ignore it.
      */
     virtual void setWakeHook(std::function<void()>) {}
+
+    /**
+     * Report the address ranges this workload will ever touch.  Used by
+     * the parallel engine's static partition analysis: a simulation may
+     * only be sharded when every processor's footprint is confined to a
+     * single interconnect domain.  Return false (the default) when the
+     * footprint is unknown — the engine then conservatively falls back
+     * to the serial path.  Implementations must OVER-approximate: every
+     * address next() can ever produce must lie in some returned range.
+     */
+    virtual bool
+    footprint(std::vector<AddrRange> *ranges) const
+    {
+        (void)ranges;
+        return false;
+    }
 
     /** One-line description for logs. */
     virtual std::string describe() const = 0;

@@ -29,7 +29,7 @@ RandomSharingWorkload::next(MemOp &op, Tick &think)
         Addr block = rng_.uniform(params_.privateBlocks);
         Addr word = rng_.uniform(words_per_block);
         addr = params_.privateBase +
-               Addr(params_.procId) * 0x100000 +
+               Addr(params_.procId) * params_.privateStride +
                block * params_.blockBytes + word * bytesPerWord;
     }
 
@@ -51,6 +51,19 @@ RandomSharingWorkload::next(MemOp &op, Tick &think)
 void
 RandomSharingWorkload::onResult(const MemOp &, const AccessResult &)
 {
+}
+
+bool
+RandomSharingWorkload::footprint(std::vector<AddrRange> *ranges) const
+{
+    ranges->push_back(AddrRange{
+        params_.sharedBase,
+        params_.sharedBase + Addr(params_.sharedBlocks) * params_.blockBytes});
+    Addr priv = params_.privateBase +
+                Addr(params_.procId) * params_.privateStride;
+    ranges->push_back(AddrRange{
+        priv, priv + Addr(params_.privateBlocks) * params_.blockBytes});
+    return true;
 }
 
 std::string

@@ -42,6 +42,8 @@ struct RandomSharingParams
     Addr sharedBase = 0x100000;
     /** Base address of the private regions (per-processor stride). */
     Addr privateBase = 0x10000000;
+    /** Distance between consecutive processors' private regions. */
+    Addr privateStride = 0x100000;
     /** This processor's id (selects the private region). */
     unsigned procId = 0;
     /** RNG seed. */
@@ -56,6 +58,7 @@ class RandomSharingWorkload : public Workload
 
     NextStatus next(MemOp &op, Tick &think) override;
     void onResult(const MemOp &op, const AccessResult &r) override;
+    bool footprint(std::vector<AddrRange> *ranges) const override;
     std::string describe() const override;
     bool done() const override { return issued_ >= params_.ops; }
 

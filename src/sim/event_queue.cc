@@ -96,6 +96,21 @@ EventQueue::runSteps(std::uint64_t max_events)
     return executed;
 }
 
+std::uint64_t
+EventQueue::runBounded(Tick until, std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_[0].when <= until &&
+           executed < max_events) {
+        now_ = heap_[0].when;
+        EventCallback cb = popTop();
+        cb();
+        ++executed;
+        ++executed_;
+    }
+    return executed;
+}
+
 void
 EventQueue::reset()
 {

@@ -230,6 +230,25 @@ class EventQueue
      */
     std::uint64_t runSteps(std::uint64_t max_events);
 
+    /**
+     * Run at most @p max_events events whose tick is <= @p until.  The
+     * bounded primitive of the sharded parallel engine: unlike run(),
+     * now() is never advanced past the last executed event, so a
+     * shard's clock always names real work — the window bookkeeping
+     * lives in the scheduler, not in the queue.
+     *
+     * @return Number of events executed; a return < @p max_events
+     *         means the queue holds nothing at or before @p until.
+     */
+    std::uint64_t runBounded(Tick until, std::uint64_t max_events);
+
+    /** Tick of the earliest pending event (maxTick when empty). */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? maxTick : heap_[0].when;
+    }
+
     /** Discard all pending events and reset time to zero. */
     void reset();
 

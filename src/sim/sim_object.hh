@@ -48,6 +48,21 @@ class SimObject
     /** Current simulated time. */
     Tick curTick() const { return eventq_->now(); }
 
+    /**
+     * Point this object at a different event queue.  Only legal before
+     * any event involving the object is scheduled — the sharded
+     * parallel engine calls this at System::start() to move a whole
+     * interconnect domain onto its own queue; nothing may rebind a
+     * running object.
+     */
+    void
+    rebind(EventQueue *eq)
+    {
+        sim_assert(eq != nullptr, "SimObject '%s' rebind to null queue",
+                   name_.c_str());
+        eventq_ = eq;
+    }
+
   protected:
     /** Emit a trace line attributed to this object. */
     void

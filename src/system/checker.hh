@@ -24,6 +24,7 @@
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "system/topology.hh"
 
 namespace csync
 {
@@ -45,6 +46,28 @@ class Checker
     };
 
     explicit Checker(stats::Group *stats_parent);
+
+    /**
+     * Enter sharded mode for a domain-partitioned parallel run: until
+     * foldShards(), every notification is routed by @p map to a
+     * per-domain sub-state touched only by that domain's worker thread
+     * (the partition guarantees an address is only ever seen by its
+     * home domain, so sub-states never interact).  The stats scalars
+     * and the global forensic fields stay untouched until the fold.
+     */
+    void shardByDomain(const AddressMap *map);
+
+    /**
+     * Leave sharded mode: merge every domain's counters, maps, and
+     * violation records back into the global state.  Records merge in
+     * (tick, domain, per-domain order) — a deterministic order that
+     * does not depend on worker timing — so firstViolation*() and the
+     * stats dump are identical across thread counts.
+     */
+    void foldShards();
+
+    /** True while notifications are routed per domain. */
+    bool sharded() const { return !domains_.empty(); }
 
     /** A write to @p word_addr serialized with value @p value. */
     void onWrite(NodeId node, Addr word_addr, Word value, Tick when);
@@ -114,8 +137,34 @@ class Checker
     /// @}
 
   private:
+    /** One domain's private slice of the monitor during a sharded run:
+     *  single-writer (its shard's worker thread), merged at the fold. */
+    struct DomainState
+    {
+        std::unordered_map<Addr, Word> last;
+        std::unordered_map<Addr, NodeId> lockHolders;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t lockPairs = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t lockViolations = 0;
+
+        struct Record
+        {
+            Tick when;
+            std::string what;
+            ViolationKind kind;
+            NodeId owner;
+        };
+        /** First 64 violations in detection order (chronological:
+         *  events within a domain execute in tick order). */
+        std::vector<Record> records;
+    };
+
     void violation(const std::string &what, Tick when, ViolationKind kind,
                    NodeId owner);
+    void domainViolation(DomainState &d, const std::string &what, Tick when,
+                         ViolationKind kind, NodeId owner);
 
     std::unordered_map<Addr, Word> last_;
     std::unordered_map<Addr, NodeId> lockHolders_;
@@ -124,6 +173,10 @@ class Checker
     std::string firstViolation_;
     ViolationKind firstKind_ = ViolationKind::None;
     NodeId firstNode_ = invalidNode;
+
+    /** Non-empty only between shardByDomain() and foldShards(). */
+    std::vector<DomainState> domains_;
+    const AddressMap *domainMap_ = nullptr;
 };
 
 } // namespace csync

@@ -71,6 +71,10 @@ SystemConfig::validate() const
               adaptive.updateThreshold, adaptive.counterBits,
               adaptive.counterMax());
     }
+    if (simThreads == 0 || simThreads > kMaxSimThreads) {
+        fatal("sim threads of %u is outside 1..%u", simThreads,
+              kMaxSimThreads);
+    }
     topology.validate();
     fault.validate();
     if (!fault.target.empty() &&

@@ -24,6 +24,7 @@ struct SystemConfig
     /** Hard sanity limits enforced by validate(). */
     static constexpr unsigned kMaxProcessors = 256;
     static constexpr unsigned kMaxBlockWords = 1024;
+    static constexpr unsigned kMaxSimThreads = 64;
 
     /** Instance name (statistics prefix). */
     std::string name = "system";
@@ -54,6 +55,15 @@ struct SystemConfig
      *  no stats-tree changes).  fault.target selects which switch the
      *  FaultyBus decorator wraps ("" = every switch). */
     FaultPlan fault;
+    /**
+     * Worker threads for the sharded parallel engine.  1 (the default)
+     * is exactly today's serial engine — not a one-thread parallel run.
+     * Values > 1 enable domain sharding when the configuration is
+     * statically partitionable (see planDomainPartition()); otherwise
+     * the run silently falls back to the serial path, so results are
+     * identical at any thread count.
+     */
+    unsigned simThreads = 1;
 
     /** Sanity-check the configuration (fatal on nonsense). */
     void validate() const;

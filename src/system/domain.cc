@@ -1,0 +1,104 @@
+#include "system/domain.hh"
+
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace csync
+{
+
+namespace
+{
+
+/** True when @p inner lies wholly within @p outer (both half-open,
+ *  hi == 0 meaning end-of-space). */
+bool
+rangeWithin(const AddrRange &outer, const AddrRange &inner)
+{
+    if (inner.lo < outer.lo)
+        return false;
+    if (outer.hi == 0)
+        return true;
+    return inner.hi != 0 && inner.hi <= outer.hi;
+}
+
+/**
+ * The switch wholly containing @p r, or -1 if @p r straddles a switch
+ * boundary (a switch's ranges need not be contiguous, so containment is
+ * checked per range).
+ */
+int
+homeSwitch(const TopologyConfig &topo, const AddrRange &r)
+{
+    for (std::size_t k = 0; k < topo.switches.size(); ++k)
+        for (const auto &sr : topo.switches[k].ranges)
+            if (rangeWithin(sr, r))
+                return int(k);
+    return -1;
+}
+
+} // namespace
+
+DomainPartition
+planDomainPartition(const SystemConfig &cfg, const AddressMap &map,
+                    const std::vector<const Workload *> &workloads)
+{
+    DomainPartition plan;
+    auto serial = [&](std::string why) {
+        plan.active = false;
+        plan.whySerial = std::move(why);
+        plan.procHome.clear();
+        plan.domains = 0;
+        return plan;
+    };
+
+    if (cfg.simThreads <= 1)
+        return serial("sim-threads is 1");
+    if (map.numSwitches() < 2)
+        return serial("single-switch topology has one domain");
+    if (cfg.withIODevice)
+        return serial("I/O device broadcasts couple the domains");
+    if (cfg.fault.enabled())
+        return serial("fault injection runs on the serial engine");
+
+    std::set<unsigned> homes;
+    plan.procHome.reserve(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        std::vector<AddrRange> ranges;
+        if (!workloads[i] || !workloads[i]->footprint(&ranges)) {
+            return serial(
+                csprintf("proc%zu workload declares no footprint", i));
+        }
+        if (ranges.empty())
+            return serial(csprintf("proc%zu footprint is empty", i));
+        int home = -1;
+        for (const auto &r : ranges) {
+            int h = homeSwitch(cfg.topology, r);
+            if (h < 0) {
+                return serial(csprintf(
+                    "proc%zu footprint [%llx, %llx) straddles switches", i,
+                    (unsigned long long)r.lo, (unsigned long long)r.hi));
+            }
+            if (home >= 0 && h != home) {
+                return serial(csprintf(
+                    "proc%zu footprint spans switches %d and %d", i, home,
+                    h));
+            }
+            home = h;
+        }
+        plan.procHome.push_back(unsigned(home));
+        homes.insert(unsigned(home));
+    }
+
+    if (workloads.empty())
+        return serial("no processors attached");
+    if (homes.size() < 2)
+        return serial("every footprint lives in one domain");
+
+    plan.active = true;
+    plan.whySerial.clear();
+    plan.domains = unsigned(map.numSwitches());
+    return plan;
+}
+
+} // namespace csync

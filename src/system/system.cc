@@ -1,10 +1,12 @@
 #include "system/system.hh"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
 #include "coherence/adaptive.hh"
 #include "fault/faulty_bus.hh"
+#include "sim/parallel.hh"
 #include "sim/stats_json.hh"
 
 namespace csync
@@ -103,8 +105,57 @@ System::addProcessor(std::unique_ptr<Workload> workload,
 void
 System::start()
 {
+    planShards();
     for (auto &p : procs_)
         p->start();
+}
+
+void
+System::planShards()
+{
+    std::vector<const Workload *> workloads;
+    workloads.reserve(procs_.size());
+    for (const auto &p : procs_)
+        workloads.push_back(&p->workload());
+    partition_ = planDomainPartition(cfg_, map_, workloads);
+    if (!partition_.active)
+        return;
+
+    // Rebinding is only legal while nothing is scheduled: every object
+    // still points at eq_, and moving one after it has events in
+    // flight would strand them.
+    sim_assert(eq_.empty() && eq_.now() == 0,
+               "domain sharding must happen before any event runs");
+    sim_assert(partition_.domains == ports_.size(),
+               "partition domain count mismatch");
+
+    for (unsigned k = 1; k < partition_.domains; ++k)
+        shardEqs_.push_back(std::make_unique<EventQueue>());
+
+    // Move switch k and everything behind it onto shard k's queue;
+    // shard 0 keeps eq_.
+    for (unsigned k = 1; k < partition_.domains; ++k) {
+        EventQueue *eq = &shardQueue(k);
+        Port &port = ports_[k];
+        port.memory->rebind(eq);
+        port.bus->rebind(eq);
+        for (auto &c : port.caches) {
+            c->rebind(eq);
+            c->busyWaitRegister().rebind(eq);
+        }
+    }
+
+    shardProcs_.assign(partition_.domains, {});
+    for (unsigned i = 0; i < procs_.size(); ++i) {
+        unsigned home = partition_.procHome[i];
+        if (home != 0)
+            procs_[i]->rebind(&shardQueue(home));
+        procs_[i]->setHomeDomain(home);
+        shardProcs_[home].push_back(procs_[i].get());
+    }
+
+    if (cfg_.enableChecker)
+        checker_.shardByDomain(&map_);
 }
 
 bool
@@ -128,6 +179,9 @@ System::totalRetiredOps() const
 Tick
 System::run(Tick max_ticks, const std::atomic<bool> *abort)
 {
+    if (partition_.active)
+        return runParallel(max_ticks, abort);
+
     watchdog_.restart(eq_.now(), totalRetiredOps());
     while (!allDone() && !eq_.empty() && eq_.now() < max_ticks) {
         if (abort && abort->load(std::memory_order_relaxed))
@@ -147,6 +201,69 @@ System::run(Tick max_ticks, const std::atomic<bool> *abort)
             "event queue drained with unfinished workloads"));
     }
     return eq_.now();
+}
+
+Tick
+System::runParallel(Tick max_ticks, const std::atomic<bool> *abort)
+{
+    // run() may be called again after a pause; the checker's shards
+    // were folded at the end of the previous call.
+    if (cfg_.enableChecker && !checker_.sharded())
+        checker_.shardByDomain(&map_);
+
+    watchdog_.restart(eq_.now(), totalRetiredOps());
+
+    ParallelScheduler::Options opts;
+    opts.threads = cfg_.simThreads;
+    opts.lookahead = conservativeLookahead(cfg_.timing);
+    opts.window = std::max<Tick>(opts.lookahead, 4096);
+    opts.maxTicks = max_ticks;
+    opts.abort = abort;
+    // The per-window hook is the forward-progress watchdog.  The
+    // retirement it observes is aggregated over ALL shards by the
+    // scheduler: a shard that finishes early must not look like a
+    // stall, and a livelock on any one shard must still trip.
+    opts.onWindow = [this](Tick now, double retired) {
+        if (watchdog_.observe(now, retired)) {
+            watchdog_.trip(progressDiagnostic(csprintf(
+                "no processor retired an operation for %llu ticks",
+                (unsigned long long)watchdog_.window())));
+            return true;
+        }
+        return false;
+    };
+
+    std::vector<ParallelScheduler::Shard> shards;
+    for (unsigned k = 0; k < partition_.domains; ++k) {
+        ParallelScheduler::Shard s;
+        s.eq = &shardQueue(k);
+        const std::vector<Processor *> *mine = &shardProcs_[k];
+        s.done = [mine] {
+            for (Processor *p : *mine)
+                if (!p->done())
+                    return false;
+            return true;
+        };
+        s.retired = [mine] {
+            double r = 0;
+            for (Processor *p : *mine)
+                r += p->opsCompleted.value();
+            return r;
+        };
+        shards.push_back(std::move(s));
+    }
+
+    ParallelScheduler sched(std::move(shards), opts);
+    ParallelScheduler::Result res = sched.run();
+
+    if (cfg_.enableChecker)
+        checker_.foldShards();
+
+    if (!watchdog_.tripped() && res.drained) {
+        watchdog_.trip(progressDiagnostic(
+            "event queue drained with unfinished workloads"));
+    }
+    return res.finalTick;
 }
 
 std::string

@@ -24,6 +24,7 @@
 #include "proc/processor.hh"
 #include "system/checker.hh"
 #include "system/config.hh"
+#include "system/domain.hh"
 
 namespace csync
 {
@@ -91,8 +92,25 @@ class System
     unsigned numProcessors() const { return unsigned(procs_.size()); }
     Processor &processor(unsigned i) { return *procs_.at(i); }
 
-    /** Start every attached processor. */
+    /**
+     * Start every attached processor.  When simThreads > 1 this first
+     * runs the domain-partition analysis and, if it proves the machine
+     * partitionable, moves each interconnect domain (and its homed
+     * processors) onto its own event queue for the sharded engine.
+     */
     void start();
+
+    /** True when run() will use the sharded parallel engine. */
+    bool parallelActive() const { return partition_.active; }
+
+    /** Why the parallel engine declined ("" when it did not). */
+    const std::string &serialReason() const
+    {
+        return partition_.whySerial;
+    }
+
+    /** The partition analysis result (tests). */
+    const DomainPartition &partition() const { return partition_; }
 
     /** True when every processor's workload has finished. */
     bool allDone() const;
@@ -164,6 +182,19 @@ class System
         std::vector<std::unique_ptr<Cache>> caches;
     };
 
+    /** Run the partition analysis and, if it passes, rebind each
+     *  domain's objects onto a private shard queue (start()-time). */
+    void planShards();
+
+    /** The sharded engine behind run() when the partition is active. */
+    Tick runParallel(Tick max_ticks, const std::atomic<bool> *abort);
+
+    /** Shard @p k's event queue (shard 0 is the primary eq_). */
+    EventQueue &shardQueue(unsigned k)
+    {
+        return k == 0 ? eq_ : *shardEqs_.at(k - 1);
+    }
+
     SystemConfig cfg_;
     EventQueue eq_;
     stats::Group root_;
@@ -173,6 +204,16 @@ class System
     std::vector<Port> ports_;
     std::unique_ptr<IODevice> io_;
     std::vector<std::unique_ptr<Processor>> procs_;
+
+    /** @name Sharded-engine state (empty/inactive on serial runs) */
+    /// @{
+    DomainPartition partition_;
+    /** Queues for shards 1..K-1; shard 0 keeps eq_ so single-domain
+     *  state (and all serial runs) is untouched. */
+    std::vector<std::unique_ptr<EventQueue>> shardEqs_;
+    /** Processors homed on each shard. */
+    std::vector<std::vector<Processor *>> shardProcs_;
+    /// @}
 };
 
 } // namespace csync

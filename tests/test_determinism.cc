@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "coherence/protocol.hh"
 #include "harness/workload_factory.hh"
 #include "system/system.hh"
 
@@ -33,7 +34,8 @@ RunOutput
 runOnce(const std::string &protocol, const std::string &workload,
         unsigned procs, std::uint64_t seed,
         const FaultPlan &fault = FaultPlan{},
-        const TopologyConfig &topo = TopologyConfig::singleBus())
+        const TopologyConfig &topo = TopologyConfig::singleBus(),
+        unsigned simThreads = 1)
 {
     SystemConfig cfg;
     cfg.protocol = protocol;
@@ -42,6 +44,7 @@ runOnce(const std::string &protocol, const std::string &workload,
     cfg.cache.geom.blockWords = 4;
     cfg.fault = fault;
     cfg.topology = topo;
+    cfg.simThreads = simThreads;
     System sys(cfg);
     for (unsigned i = 0; i < procs; ++i) {
         WorkloadSlot slot;
@@ -161,4 +164,95 @@ TEST(Determinism, FaultFreePlanMatchesPlainRun)
                           faultPlan(0.0, 99));
     EXPECT_EQ(a.text, b.text);
     EXPECT_EQ(a.json, b.json);
+}
+
+// --------------------------------------------------------------------
+// Serial vs sharded-parallel: --sim-threads must never change a result
+// --------------------------------------------------------------------
+
+TEST(ParallelDeterminism, EveryProtocolMatchesSerialOnDomainLocal)
+{
+    // The strongest form of the parallel-engine contract: for every
+    // registered protocol family, the genuinely sharded two-switch run
+    // produces byte-identical stats to the serial engine at every
+    // thread count.
+    for (const std::string &proto : ProtocolRegistry::names()) {
+        RunOutput serial =
+            runOnce(proto, "domain_local", 8, 42, FaultPlan{},
+                    TopologyConfig::twoSwitch(), 1);
+        for (unsigned threads : {2u, 4u}) {
+            RunOutput sharded =
+                runOnce(proto, "domain_local", 8, 42, FaultPlan{},
+                        TopologyConfig::twoSwitch(), threads);
+            EXPECT_EQ(serial.ticks, sharded.ticks)
+                << proto << " @" << threads;
+            EXPECT_EQ(serial.text, sharded.text)
+                << proto << " @" << threads;
+            EXPECT_EQ(serial.json, sharded.json)
+                << proto << " @" << threads;
+        }
+        EXPECT_FALSE(serial.text.empty()) << proto;
+    }
+}
+
+TEST(ParallelDeterminism, EveryTopologyPresetMatchesSerial)
+{
+    // Presets the partition rejects (single_bus) must fall back to the
+    // serial path and still match trivially; two_switch runs sharded.
+    for (const std::string &preset : TopologyConfig::names()) {
+        TopologyConfig topo;
+        ASSERT_TRUE(TopologyConfig::fromName(preset, &topo)) << preset;
+        RunOutput serial = runOnce("bitar", "domain_local", 4, 7,
+                                   FaultPlan{}, topo, 1);
+        RunOutput sharded = runOnce("bitar", "domain_local", 4, 7,
+                                    FaultPlan{}, topo, 4);
+        EXPECT_EQ(serial.ticks, sharded.ticks) << preset;
+        EXPECT_EQ(serial.text, sharded.text) << preset;
+        EXPECT_EQ(serial.json, sharded.json) << preset;
+    }
+}
+
+TEST(ParallelDeterminism, CoupledWorkloadFallsBackAndMatches)
+{
+    // random_sharing couples the domains through its shared region, so
+    // the partition must refuse and the run must be the serial run.
+    RunOutput serial = runOnce("bitar", "random_sharing", 4, 42,
+                               FaultPlan{}, TopologyConfig::twoSwitch(),
+                               1);
+    RunOutput sharded = runOnce("bitar", "random_sharing", 4, 42,
+                                FaultPlan{}, TopologyConfig::twoSwitch(),
+                                4);
+    EXPECT_EQ(serial.text, sharded.text);
+    EXPECT_EQ(serial.json, sharded.json);
+}
+
+TEST(ParallelDeterminism, FaultInjectedRunsMatchSerial)
+{
+    // Fault injection pins the run to the serial engine (the FaultyBus
+    // PRNG's observation order is global), so --sim-threads must be a
+    // no-op: identical documents, identical fault stream.
+    for (const char *wl : {"random_sharing", "domain_local"}) {
+        RunOutput serial = runOnce("bitar", wl, 4, 42, faultPlan(0.2, 7),
+                                   TopologyConfig::twoSwitch(), 1);
+        RunOutput sharded = runOnce("bitar", wl, 4, 42, faultPlan(0.2, 7),
+                                    TopologyConfig::twoSwitch(), 4);
+        EXPECT_EQ(serial.ticks, sharded.ticks) << wl;
+        EXPECT_EQ(serial.text, sharded.text) << wl;
+        EXPECT_EQ(serial.json, sharded.json) << wl;
+        EXPECT_NE(serial.text.find("faults."), std::string::npos) << wl;
+    }
+}
+
+TEST(ParallelDeterminism, ThreadCountIsNotAnAxis)
+{
+    // Two different thread counts > 1 must agree with each other too
+    // (not merely each with serial): the partition decision and the
+    // window schedule depend only on the configuration.
+    RunOutput two = runOnce("dragon", "domain_local", 8, 11, FaultPlan{},
+                            TopologyConfig::twoSwitch(), 2);
+    RunOutput four = runOnce("dragon", "domain_local", 8, 11, FaultPlan{},
+                             TopologyConfig::twoSwitch(), 4);
+    EXPECT_EQ(two.ticks, four.ticks);
+    EXPECT_EQ(two.text, four.text);
+    EXPECT_EQ(two.json, four.json);
 }

@@ -42,6 +42,8 @@ struct KernelSpec
     unsigned procs = 8;
     std::string topology = "single_bus";
     std::string trace = ""; // .ctrace path; replaces the workload
+    /** Event-engine threads (1 = the serial engine). */
+    unsigned simThreads = 1;
 };
 
 /** The committed golden trace the replay kernels stream. */
@@ -75,10 +77,13 @@ traceTag(const std::string &path)
  * replay kernels stream the committed ~100k-event golden trace through
  * the trace front-end on both topology presets, so the long-horizon
  * replay path (chunk streaming + stall/wake multiplexing) is on the
- * performance trajectory too.
+ * performance trajectory too.  The domain_local pair runs the same
+ * statically-partitionable two-switch job on the serial engine and on
+ * the sharded parallel engine (@p mtThreads workers), so the parallel
+ * speedup is a measured, gateable quantity (--min-speedup).
  */
 std::vector<KernelSpec>
-standardKernels()
+standardKernels(unsigned mtThreads)
 {
     return {
         {kCalibrationKernel, "", "", 0},
@@ -96,8 +101,16 @@ standardKernels()
          goldenTrace()},
         {"bitar_replay_mix100k_two_switch", "bitar", "", 8, "two_switch",
          goldenTrace()},
+        {"bitar_domain_local_two_switch", "bitar", "domain_local", 8,
+         "two_switch"},
+        {"bitar_domain_local_two_switch_mt", "bitar", "domain_local", 8,
+         "two_switch", "", mtThreads},
     };
 }
+
+/** The serial/parallel kernel pair the --min-speedup gate compares. */
+const char *const kSpeedupSerial = "bitar_domain_local_two_switch";
+const char *const kSpeedupParallel = "bitar_domain_local_two_switch_mt";
 
 /**
  * Fixed amount of pure CPU work (xorshift64 spins) used to measure the
@@ -144,6 +157,9 @@ makeJob(const KernelSpec &k, std::uint64_t ops, JobSpec *out,
         return false;
     }
     *out = grid[0];
+    // Execution knob, applied after expansion so it never reaches job
+    // names or document rows.
+    out->config.simThreads = k.simThreads;
     return true;
 }
 
@@ -170,6 +186,11 @@ usage(const char *argv0)
         "(default 5)\n"
         "  --warmup N           untimed warmup repetitions (default 1)\n"
         "  --kernels A,B,...    run only the named kernels\n"
+        "  --sim-threads N      worker threads for the *_mt parallel "
+        "kernel (default 4)\n"
+        "  --min-speedup R      fail unless the parallel domain_local "
+        "kernel runs\n"
+        "                       >= R x the serial one (ops/sec ratio)\n"
         "  -o, --out FILE       bench JSON output (default "
         "BENCH_sim_core.json)\n"
         "  -q, --quiet          no per-kernel progress on stderr\n"
@@ -226,12 +247,12 @@ loadBench(const std::string &path, std::vector<KernelResult> *out,
  */
 bool
 runKernels(const std::vector<std::string> &only, std::uint64_t ops,
-           const BenchOptions &opts, bool quiet,
+           const BenchOptions &opts, bool quiet, unsigned mtThreads,
            std::vector<KernelResult> *out, bool *failed,
            std::string *err)
 {
     std::vector<KernelSpec> kernels;
-    for (const auto &k : standardKernels()) {
+    for (const auto &k : standardKernels(mtThreads)) {
         if (!only.empty()) {
             bool wanted = false;
             for (const auto &name : only)
@@ -284,23 +305,59 @@ runKernels(const std::vector<std::string> &only, std::uint64_t ops,
 }
 
 int
-doList()
+doList(unsigned mtThreads)
 {
-    for (const auto &k : standardKernels()) {
+    for (const auto &k : standardKernels(mtThreads)) {
         if (k.protocol.empty()) {
             std::printf("%-28s (pure-CPU machine-speed reference)\n",
                         k.name.c_str());
         } else {
             std::string wl =
                 k.trace.empty() ? k.workload : traceTag(k.trace);
-            std::printf("%-28s %s / %s, %u procs%s%s\n", k.name.c_str(),
-                        k.protocol.c_str(), wl.c_str(), k.procs,
+            std::printf("%-32s %s / %s, %u procs%s%s%s\n",
+                        k.name.c_str(), k.protocol.c_str(), wl.c_str(),
+                        k.procs,
                         k.topology == "single_bus" ? "" : ", ",
                         k.topology == "single_bus" ? ""
-                                                   : k.topology.c_str());
+                                                   : k.topology.c_str(),
+                        k.simThreads > 1 ? " (parallel engine)" : "");
         }
     }
     return 0;
+}
+
+/**
+ * The --min-speedup gate: parallel-vs-serial ops/sec ratio on the
+ * domain_local two-switch pair.  Both kernels must be in @p results
+ * (run without a --kernels filter, or with both named).
+ */
+int
+checkSpeedup(const std::vector<KernelResult> &results, double minRatio,
+             unsigned mtThreads)
+{
+    const KernelResult *serial = nullptr, *parallel = nullptr;
+    for (const auto &r : results) {
+        if (r.name == kSpeedupSerial)
+            serial = &r;
+        else if (r.name == kSpeedupParallel)
+            parallel = &r;
+    }
+    if (!serial || !parallel) {
+        std::fprintf(stderr, "csync-bench: --min-speedup needs both "
+                     "'%s' and '%s' in the run\n", kSpeedupSerial,
+                     kSpeedupParallel);
+        return 2;
+    }
+    if (serial->opsPerSec <= 0) {
+        std::fprintf(stderr, "csync-bench: --min-speedup: serial "
+                     "kernel reported no throughput\n");
+        return 1;
+    }
+    double ratio = parallel->opsPerSec / serial->opsPerSec;
+    std::printf("speedup %s/%s = %.2fx at %u threads (min %.2fx) -> "
+                "%s\n", kSpeedupParallel, kSpeedupSerial, ratio,
+                mtThreads, minRatio, ratio >= minRatio ? "OK" : "FAIL");
+    return ratio >= minRatio ? 0 : 1;
 }
 
 } // namespace
@@ -314,6 +371,8 @@ main(int argc, char **argv)
     bool compare_mode = false, list_mode = false, quiet = false;
     bool quick = false;
     std::uint64_t ops = 20000;
+    unsigned sim_threads = 4;
+    double min_speedup = 0; // 0 = gate off
     bool have_ops = false, have_reps = false;
     BenchOptions opts;
     BenchCompareOptions cmp;
@@ -367,6 +426,19 @@ main(int argc, char **argv)
                 return 2;
             if (!splitList(v, &only))
                 return cliError("--kernels: empty list");
+        } else if (a == "--sim-threads") {
+            if (!(v = next_arg(i, "--sim-threads")))
+                return 2;
+            unsigned long n = std::strtoul(v, nullptr, 10);
+            if (n == 0 || n > SystemConfig::kMaxSimThreads)
+                return cliError("--sim-threads must be in 1..64");
+            sim_threads = unsigned(n);
+        } else if (a == "--min-speedup") {
+            if (!(v = next_arg(i, "--min-speedup")))
+                return 2;
+            min_speedup = std::atof(v);
+            if (min_speedup <= 0)
+                return cliError("--min-speedup must be > 0");
         } else if (a == "-o" || a == "--out") {
             if (!(v = next_arg(i, "--out")))
                 return 2;
@@ -381,7 +453,7 @@ main(int argc, char **argv)
     }
 
     if (list_mode)
-        return doList();
+        return doList(sim_threads);
 
     if (quick) {
         if (!have_ops)
@@ -407,7 +479,8 @@ main(int argc, char **argv)
 
     std::vector<KernelResult> results;
     bool failed = false;
-    if (!runKernels(only, ops, opts, quiet, &results, &failed, &err))
+    if (!runKernels(only, ops, opts, quiet, sim_threads, &results,
+                    &failed, &err))
         return cliError(err);
 
     Json doc = benchToJson(results, "sim_core",
@@ -420,13 +493,20 @@ main(int argc, char **argv)
                          out_path.c_str(), results.size());
     }
 
+    int speedup_rc = 0;
+    if (min_speedup > 0) {
+        speedup_rc = checkSpeedup(results, min_speedup, sim_threads);
+        if (speedup_rc == 2)
+            return 2;
+    }
+
     if (compare_mode) {
         std::vector<KernelResult> baseline;
         if (!loadBench(compare_old, &baseline, &err))
             return cliError(err);
         BenchCompareReport rep = compareBench(baseline, results, cmp);
         std::fputs(rep.text.c_str(), stdout);
-        return (rep.ok && !failed) ? 0 : 1;
+        return (rep.ok && !failed && speedup_rc == 0) ? 0 : 1;
     }
-    return failed ? 1 : 0;
+    return (failed || speedup_rc != 0) ? 1 : 0;
 }

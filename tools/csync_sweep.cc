@@ -85,6 +85,10 @@ usage(const char *argv0)
         "2000)\n"
         "  --max-ticks N        per-job simulated-time budget\n"
         "  --jobs N             worker threads (default: all cores)\n"
+        "  --sim-threads N      event-engine threads per job (default\n"
+        "                       1 = the serial engine; >1 shards\n"
+        "                       partitionable jobs by interconnect\n"
+        "                       domain, results identical either way)\n"
         "  -o, --out FILE       campaign JSON output (default stdout)\n"
         "  --csv FILE           also export rows as CSV\n"
         "  --name NAME          campaign name in the manifest\n"
@@ -356,6 +360,10 @@ main(int argc, char **argv)
     double tolerance = 0.0;
     double wall_deadline = 0.0, retry_backoff = 100.0;
     unsigned jobs = 0, retries = 0;
+    // Execution knob like --jobs, not a campaign axis: it never enters
+    // job names, fingerprints, or the finalized document, so a resumed
+    // or re-run campaign is byte-identical at any --sim-threads.
+    unsigned sim_threads = 1;
     SweepSpec cli; // axes given on the command line
     bool have_protocols = false, have_workloads = false;
     bool have_traces = false, have_topos = false, have_arbs = false;
@@ -476,6 +484,16 @@ main(int argc, char **argv)
             if (!(v = next_arg(i, "--jobs")))
                 return 2;
             jobs = unsigned(std::strtoul(v, nullptr, 10));
+        } else if (a == "--sim-threads") {
+            if (!(v = next_arg(i, "--sim-threads")))
+                return 2;
+            sim_threads = unsigned(std::strtoul(v, nullptr, 10));
+            if (sim_threads == 0 ||
+                sim_threads > SystemConfig::kMaxSimThreads) {
+                return cliError(csprintf(
+                    "--sim-threads: %u is outside 1..%u", sim_threads,
+                    SystemConfig::kMaxSimThreads));
+            }
         } else if (a == "-o" || a == "--out") {
             if (!(v = next_arg(i, "--out")))
                 return 2;
@@ -620,6 +638,10 @@ main(int argc, char **argv)
     std::vector<JobSpec> full_grid;
     if (!spec.expand(&full_grid, &err))
         return cliError(err);
+    // Applied after expansion: an execution knob, invisible to job
+    // names, fingerprints, and the finalized document.
+    for (auto &job : full_grid)
+        job.config.simThreads = sim_threads;
     if (!resume_path.empty() &&
         full_grid.size() != resumed.header.jobs) {
         return cliError(csprintf(
