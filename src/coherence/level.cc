@@ -1,0 +1,32 @@
+#include "coherence/level.hh"
+
+#include "mem/snoop_gate.hh"
+
+namespace csync
+{
+
+CoherenceLevel::CoherenceLevel(std::string name, std::string protocol,
+                               const AdaptiveTuning &tuning)
+    : name_(std::move(name)), protocol_(std::move(protocol)),
+      tuning_(tuning)
+{
+}
+
+CoherenceLevel::~CoherenceLevel() = default;
+
+std::unique_ptr<Protocol>
+CoherenceLevel::makeInstance() const
+{
+    auto protocol = makeProtocol(protocol_);
+    if (auto *ap = dynamic_cast<AdaptiveProtocol *>(protocol.get()))
+        ap->setTuning(tuning_);
+    return protocol;
+}
+
+void
+CoherenceLevel::setGate(std::unique_ptr<SnoopGate> gate)
+{
+    gate_ = std::move(gate);
+}
+
+} // namespace csync

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * One coherence level of the topology tree: the protocol domain of a
+ * single switch.  Snooping coherence is defined per broadcast domain,
+ * so a multi-switch machine runs an independent protocol instance per
+ * cache port per switch; the level is the factory that makes that
+ * explicit — it carries the switch's protocol choice and tuning, mints
+ * per-port instances, and on a clustered topology owns the snoop gate
+ * guarding its boundary with the root bus.
+ */
+
+#ifndef CSYNC_COHERENCE_LEVEL_HH
+#define CSYNC_COHERENCE_LEVEL_HH
+
+#include <memory>
+#include <string>
+
+#include "coherence/adaptive.hh"
+
+namespace csync
+{
+
+class SnoopGate;
+
+/** The per-switch coherence domain: protocol instancing plus boundary
+ *  gate ownership. */
+class CoherenceLevel
+{
+  public:
+    /**
+     * @param name The switch's instance name (diagnostics).
+     * @param protocol Registered protocol name run at this level.
+     * @param tuning Saturating-counter tuning applied to adaptive
+     *        protocol instances (ignored by the fixed protocols).
+     */
+    CoherenceLevel(std::string name, std::string protocol,
+                   const AdaptiveTuning &tuning);
+    ~CoherenceLevel();
+
+    const std::string &name() const { return name_; }
+    const std::string &protocolName() const { return protocol_; }
+
+    /** A fresh, tuned protocol instance for one cache port. */
+    std::unique_ptr<Protocol> makeInstance() const;
+
+    /** Install the boundary snoop gate (clustered topologies only). */
+    void setGate(std::unique_ptr<SnoopGate> gate);
+
+    /** The boundary gate, or null on flat topologies. */
+    SnoopGate *gate() const { return gate_.get(); }
+
+  private:
+    std::string name_;
+    std::string protocol_;
+    AdaptiveTuning tuning_;
+    std::unique_ptr<SnoopGate> gate_;
+};
+
+} // namespace csync
+
+#endif // CSYNC_COHERENCE_LEVEL_HH

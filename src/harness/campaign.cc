@@ -120,6 +120,9 @@ CampaignRunner::runJobOnce(const JobSpec &spec,
             slot.blockBytes =
                 Addr(spec.config.cache.geom.blockWords) * bytesPerWord;
             slot.protocol = spec.config.protocol;
+            slot.numClusters = spec.config.topology.clustered()
+                                   ? spec.config.topology.numClusters()
+                                   : 1;
             slot.traceEngine = &traceEngine;
             std::string werr;
             auto w = makeWorkload(spec.workload, slot, &werr);
@@ -129,6 +132,20 @@ CampaignRunner::runJobOnce(const JobSpec &spec,
         }
         sys.start();
         r.usedParallel = sys.parallelActive();
+        if (spec.config.topology.clustered()) {
+            // The fallback echo must not vary with --sim-threads (the
+            // determinism CI compares campaign documents across
+            // levels), so it comes from a hypothetical 2-thread plan
+            // rather than the live engine.
+            SystemConfig hypo = spec.config;
+            hypo.simThreads = 2;
+            std::vector<const Workload *> wls;
+            for (unsigned i = 0; i < sys.numProcessors(); ++i)
+                wls.push_back(&sys.processor(i).workload());
+            r.partitionFallback =
+                planDomainPartition(hypo, sys.addressMap(), wls)
+                    .whySerial;
+        }
         r.ticks = sys.run(spec.maxTicks, cancel);
 
         for (unsigned i = 0; i < sys.numCaches(); ++i)

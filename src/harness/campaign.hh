@@ -43,6 +43,13 @@ struct JobResult
     std::string arbitration;
     /** Trace file replayed ("" for synthetic workloads). */
     std::string trace;
+    /** Why a clustered-topology job would fall back to the serial
+     *  engine at --sim-threads >= 2 ("" when it shards).  Computed
+     *  from the hypothetical multi-threaded plan, never the live
+     *  engine, so rows are identical at every --sim-threads level;
+     *  set (and serialized) only on clustered topologies, so
+     *  flat-topology campaigns keep their exact shape. */
+    std::string partitionFallback;
     unsigned procs = 0;
     unsigned blockWords = 0;
     unsigned frames = 0;

@@ -27,6 +27,10 @@ rowToJson(const JobResult &r)
     // campaigns keep their exact shape.
     if (!r.trace.empty())
         row.set("trace", r.trace);
+    // The serial-fallback echo travels only on clustered rows that
+    // would not shard, so flat campaigns keep their exact shape.
+    if (!r.partitionFallback.empty())
+        row.set("partition_fallback", r.partitionFallback);
     row.set("procs", r.procs);
     row.set("block_words", r.blockWords);
     row.set("frames", r.frames);
@@ -83,6 +87,7 @@ rowFromJson(const Json &row, JobResult *out, std::string *err)
                         ? row["arbitration"].asString()
                         : "round_robin";
     r.trace = row["trace"].asString();
+    r.partitionFallback = row["partition_fallback"].asString();
     r.procs = unsigned(row["procs"].asNumber());
     r.blockWords = unsigned(row["block_words"].asNumber());
     r.frames = unsigned(row["frames"].asNumber());

@@ -6,6 +6,7 @@
 #include "harness/workload_factory.hh"
 #include "mem/arbitration.hh"
 #include "sim/logging.hh"
+#include "system/topology_spec.hh"
 #include "trace/reader.hh"
 
 namespace csync
@@ -109,7 +110,8 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
 
     static const char *known[] = {
         "name", "protocols", "workloads", "traces", "topologies",
-        "arbitrations", "processors", "block_words", "frames", "seeds",
+        "topology_specs", "arbitrations", "processors", "block_words",
+        "frames", "seeds",
         "ops_per_processor", "max_ticks", "ways", "enable_checker",
         "fault_rates", "fault_seeds", "fault_kinds", "fault",
     };
@@ -132,6 +134,7 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
         !stringAxis(doc, "workloads", &spec.workloads, err) ||
         !stringAxis(doc, "traces", &spec.traces, err) ||
         !stringAxis(doc, "topologies", &spec.topologies, err) ||
+        !stringAxis(doc, "topology_specs", &spec.topologySpecs, err) ||
         !stringAxis(doc, "arbitrations", &spec.arbitrations, err) ||
         !numberAxis(doc, "processors", &spec.processorCounts, err) ||
         !numberAxis(doc, "block_words", &spec.blockWords, err) ||
@@ -158,6 +161,10 @@ SweepSpec::fromJson(const Json &doc, SweepSpec *out, std::string *err)
         if (!FaultPlan::fromJson(doc["fault"], &spec.faultBase, &ferr))
             return parseError(err, ferr);
     }
+    // Naming only spec files replaces the default single_bus entry —
+    // mirroring how the workloads/traces axes compose.
+    if (doc.has("topology_specs") && !doc.has("topologies"))
+        spec.topologies.clear();
     if (spec.protocols.empty())
         return parseError(err, "\"protocols\" axis is missing or empty");
     if (spec.workloads.empty() && spec.traces.empty()) {
@@ -179,9 +186,10 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
     };
 
     if (protocols.empty() || (workloads.empty() && traces.empty()) ||
-        topologies.empty() || arbitrations.empty() ||
-        processorCounts.empty() || blockWords.empty() || frames.empty() ||
-        seeds.empty() || faultRates.empty() || faultSeeds.empty()) {
+        (topologies.empty() && topologySpecs.empty()) ||
+        arbitrations.empty() || processorCounts.empty() ||
+        blockWords.empty() || frames.empty() || seeds.empty() ||
+        faultRates.empty() || faultSeeds.empty()) {
         return axisError("every axis needs at least one value");
     }
     // Vet the arbitration axis up front (csync-sweep exits 2 on a typo).
@@ -203,10 +211,31 @@ SweepSpec::expand(std::vector<JobSpec> *out, std::string *err) const
             std::string known;
             for (const auto &n : TopologyConfig::names())
                 known += std::string(known.empty() ? "" : ", ") + n;
-            return axisError(csprintf("unknown topology '%s' (known: %s)",
-                                      t.c_str(), known.c_str()));
+            return axisError(csprintf(
+                "unknown topology '%s' (known presets: %s; or pass a "
+                "declarative spec file via \"topology_specs\" / "
+                "--topology-spec)",
+                t.c_str(), known.c_str()));
         }
         topos.emplace_back(t, std::move(tc));
+    }
+    // Spec files expand like presets, tagged by their declared name;
+    // parsed and validated up front like every other axis.
+    for (const auto &path : topologySpecs) {
+        TopologyConfig tc;
+        std::string terr;
+        if (!topologyFromSpecFile(path, &tc, &terr))
+            return axisError(terr);
+        for (const auto &entry : topos) {
+            if (entry.first == tc.preset) {
+                return axisError(csprintf(
+                    "topology spec %s declares name '%s', which "
+                    "collides with another topology axis entry",
+                    path.c_str(), tc.preset.c_str()));
+            }
+        }
+        std::string tag = tc.preset;
+        topos.emplace_back(std::move(tag), std::move(tc));
     }
     // Vet the fault axes up front so a campaign never discovers a bad
     // kind or rate 500 jobs in (and csync-sweep exits 2, not 1).
@@ -341,8 +370,16 @@ SweepSpec::toJson() const
     if (!traces.empty())
         doc.set("traces", strings(traces));
     // Omitted on the default so pre-topology manifests stay identical.
-    if (topologies != std::vector<std::string>{"single_bus"})
+    // Alongside spec files the default must be spelled out, though:
+    // fromJson treats an absent "topologies" next to "topology_specs"
+    // as "specs only".
+    if (!topologies.empty() &&
+        (topologies != std::vector<std::string>{"single_bus"} ||
+         !topologySpecs.empty())) {
         doc.set("topologies", strings(topologies));
+    }
+    if (!topologySpecs.empty())
+        doc.set("topology_specs", strings(topologySpecs));
     // Omitted on the default so pre-arbitration manifests stay identical.
     if (arbitrations != std::vector<std::string>{"round_robin"})
         doc.set("arbitrations", strings(arbitrations));

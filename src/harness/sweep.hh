@@ -59,6 +59,11 @@ struct SweepSpec
      *  default single entry keeps campaigns on the paper's baseline
      *  single bus (and their job names unchanged). */
     std::vector<std::string> topologies{"single_bus"};
+    /** Declarative topology spec files (topology_spec.hh JSON); each
+     *  expands like a preset, tagged in job names by the spec's
+     *  declared "name".  Naming only specs replaces the default
+     *  single_bus entry rather than adding to it. */
+    std::vector<std::string> topologySpecs;
     /** Bus arbitration policies (ArbitrationRegistry::names()); the
      *  default single entry keeps campaigns on the paper's round-robin
      *  grant order (and their job names unchanged). */

@@ -113,6 +113,40 @@ makeDomainLocal(const WorkloadSlot &s, std::string *)
     return std::make_unique<RandomSharingWorkload>(p);
 }
 
+/**
+ * Cluster-partitioned random sharing: each processor confines its
+ * shared and private regions to its own cluster's 256 MiB address
+ * stride (the clustered presets' tiling, mirroring clusterOfProc's
+ * contiguous-block assignment).  Within a cluster the shared region
+ * contends normally; across clusters no address is ever shared, so on
+ * a clustered topology every transaction is cluster-local — the snoop
+ * filter keeps the root bus silent, and the parallel engine can shard
+ * the machine one domain per cluster.  On a flat machine it is just
+ * another random-sharing mix.
+ */
+std::unique_ptr<Workload>
+makeClusterLocal(const WorkloadSlot &s, std::string *)
+{
+    RandomSharingParams p;
+    p.ops = s.ops;
+    p.procId = s.procId;
+    p.seed = s.seed * 1000003 + s.procId + 1;
+    p.sharedBlocks = 16;
+    p.privateBlocks = 64;
+    p.sharedFraction = 0.3;
+    p.writeFraction = 0.3;
+    p.blockBytes = s.blockBytes;
+    p.privateHints = wantsPrivateHints(s.protocol);
+    unsigned clusters = std::max(1u, s.numClusters);
+    unsigned mine = unsigned(
+        (std::uint64_t(s.procId) * clusters) / std::max(1u, s.numProcs));
+    Addr base = Addr(mine) * 0x1000'0000;
+    p.sharedBase = base + 0x200000;
+    p.privateBase = base + 0x400000;
+    p.privateStride = 0x20000;
+    return std::make_unique<RandomSharingWorkload>(p);
+}
+
 std::unique_ptr<Workload>
 makeCriticalSection(const WorkloadSlot &s, std::string *err)
 {
@@ -342,6 +376,7 @@ struct Recipe
 
 const Recipe kRecipes[] = {
     {"barrier", makeBarrier},
+    {"cluster_local", makeClusterLocal},
     {"critical_section", makeCriticalSection},
     {"domain_local", makeDomainLocal},
     {"migration", makeMigration},

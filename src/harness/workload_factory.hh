@@ -41,6 +41,10 @@ struct WorkloadSlot
     std::uint64_t seed = 1;
     /** Block size in bytes (address layout). */
     std::uint64_t blockBytes = 32;
+    /** Clusters of the machine's topology (1 when flat); the
+     *  cluster_local recipe homes each processor's footprint in its
+     *  own cluster's address stride. */
+    unsigned numClusters = 1;
     /** Protocol the system runs (selects lock algorithm / hints). */
     std::string protocol = "bitar";
     /**

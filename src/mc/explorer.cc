@@ -45,9 +45,12 @@ ExploreBounds::deep()
 std::string
 ExploreBounds::describe() const
 {
-    return csprintf("%u caches, %u block(s), depth %u%s%s", caches, blocks,
-                    depth, lockOps ? "" : ", no locks",
-                    evictOps ? "" : ", no evicts");
+    return csprintf("%u caches, %u block(s), depth %u%s%s%s", caches,
+                    blocks, depth, lockOps ? "" : ", no locks",
+                    evictOps ? "" : ", no evicts",
+                    topology == "single_bus"
+                        ? ""
+                        : csprintf(", %s", topology.c_str()).c_str());
 }
 
 Addr
@@ -91,6 +94,7 @@ StateExplorer::shapeFor(const std::string &protocol) const
     shape.blockWords = kBlockWords;
     shape.frames = kFrames;
     shape.ways = 1;
+    shape.topology = bounds_.topology;
     if (protocol.find("adaptive") != std::string::npos) {
         // Pin the mode-switch thresholds to 1 so both hybrid modes and
         // the flip edges between them are reachable within the depth

@@ -37,6 +37,13 @@ struct ExploreBounds
     bool lockOps = true;
     /** Include the Evict displacement op. */
     bool evictOps = true;
+    /** Interconnect preset every explored system is built on.  A
+     *  clustered preset (clustered_2x1 is the minimal shape: two
+     *  single-processor clusters) puts boundary snoop filtering and the
+     *  L2 tag directories inside the search — a filter that wrongly
+     *  withholds a snoop surfaces as a checker/invariant violation, and
+     *  tag residency rides the state digest. */
+    std::string topology = "single_bus";
 
     /** CI bound: 2 caches, 1 block, depth 4 (exhaustive in seconds). */
     static ExploreBounds smoke();

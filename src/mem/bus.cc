@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/snoop_gate.hh"
+
 namespace csync
 {
 
@@ -218,8 +220,16 @@ Bus::execute(BusClient *requester, BusMsg msg)
     bool supplier_dirty = false;
     unsigned supplier_words = 0;
 
+    // On a hierarchical topology the cluster-boundary gate decides
+    // which clients must see this broadcast and charges the root-bus
+    // traversal when it leaves the cluster; flat buses have no gate
+    // and broadcast to everyone, exactly as before.
+    Tick gate_extra = gate_ ? gate_->beginTransaction(msg) : 0;
+
     for (auto *c : clients_) {
         if (c == requester)
+            continue;
+        if (gate_ && !gate_->shouldSnoop(c, msg))
             continue;
         SnoopReply r = c->snoop(msg);
         if (r.hasCopy) {
@@ -249,7 +259,7 @@ Bus::execute(BusClient *requester, BusMsg msg)
     }
     res.sourceDirty = supplier_dirty;
 
-    Tick dur = timing_.arbCycles;
+    Tick dur = timing_.arbCycles + gate_extra;
     const unsigned bw = memory_->blockWords();
 
     // Piggybacked victim write-back: applied unconditionally (the

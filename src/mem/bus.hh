@@ -31,6 +31,8 @@
 namespace csync
 {
 
+class SnoopGate;
+
 /**
  * The broadcast bus: arbitration, snooping, data routing, and timing —
  * the shared-bus instantiation of Interconnect.
@@ -76,6 +78,18 @@ class Bus : public Interconnect
 
     /** True if @p client currently has a request queued. */
     bool requestPending(const BusClient *client) const override;
+
+    /**
+     * Install the cluster-boundary snoop gate (hierarchical topologies;
+     * see mem/snoop_gate.hh).  Null — the default, and the only state
+     * flat topologies ever see — broadcasts every transaction to every
+     * client exactly as before.  The gate is owned by its
+     * CoherenceLevel and must outlive the bus's last transaction.
+     */
+    void setSnoopGate(SnoopGate *gate) { gate_ = gate; }
+
+    /** The installed boundary gate, or null. */
+    SnoopGate *snoopGate() const { return gate_; }
 
     /** True while a transaction is in flight. */
     bool busy() const override { return busy_; }
@@ -185,6 +199,7 @@ class Bus : public Interconnect
     std::unique_ptr<stats::Scalar> misrouted_;
     std::vector<BusClient *> clients_;
     std::vector<Pending> queue_;
+    SnoopGate *gate_ = nullptr;
     std::unique_ptr<ArbitrationPolicy> arb_;
     bool busy_ = false;
     bool arbScheduled_ = false;

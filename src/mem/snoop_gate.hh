@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Snoop gating: the hook a hierarchical topology uses to keep
+ * cluster-local bus traffic from being broadcast system-wide.  A flat
+ * bus delivers every transaction to every client; on a clustered
+ * machine the bus consults its SnoopGate instead, which decides which
+ * clients must see the broadcast (the cluster-boundary snoop filter)
+ * and charges the extra cycles of a root-bus traversal when the
+ * transaction has to leave its cluster.  A bus with no gate behaves
+ * exactly as before — the flat topologies never install one.
+ */
+
+#ifndef CSYNC_MEM_SNOOP_GATE_HH
+#define CSYNC_MEM_SNOOP_GATE_HH
+
+#include "mem/bus_msg.hh"
+#include "sim/types.hh"
+
+namespace csync
+{
+
+class BusClient;
+
+/**
+ * The cluster-boundary decision point consulted by Bus::execute().
+ * Filtering is only legal because a snoop to a cache holding no valid
+ * copy of the block is a no-op in every protocol (see DESIGN.md for
+ * the argument); the gate may therefore skip exactly those deliveries
+ * it can prove would not react.
+ */
+class SnoopGate
+{
+  public:
+    virtual ~SnoopGate() = default;
+
+    /**
+     * A transaction won arbitration and is about to broadcast.  Called
+     * once per transaction, before any snoop is delivered: decide which
+     * boundaries the broadcast must cross and maintain boundary state
+     * (shared-level tags).
+     *
+     * @return extra cycles the transaction occupies the bus — the
+     *         root-bus traversal penalty, or 0 for cluster-local
+     *         traffic.
+     */
+    virtual Tick beginTransaction(const BusMsg &msg) = 0;
+
+    /**
+     * Whether @p msg must be delivered to @p client's snoop port.
+     * Called once per non-requesting client, after beginTransaction()
+     * of the same transaction.
+     */
+    virtual bool shouldSnoop(const BusClient *client,
+                             const BusMsg &msg) = 0;
+};
+
+} // namespace csync
+
+#endif // CSYNC_MEM_SNOOP_GATE_HH

@@ -108,6 +108,12 @@ benchToJson(const std::vector<KernelResult> &kernels,
         row.set("max_ms", k.maxMs);
         row.set("ops_per_sec", k.opsPerSec);
         row.set("ns_per_op", k.nsPerOp);
+        if (!k.stats.empty()) {
+            Json stats = Json::object();
+            for (const auto &kv : k.stats)
+                stats.set(kv.first, kv.second);
+            row.set("stats", std::move(stats));
+        }
         arr.push(std::move(row));
     }
     doc.set("kernels", std::move(arr));
@@ -156,6 +162,8 @@ benchFromJson(const harness::Json &doc, std::vector<KernelResult> *out,
         k.maxMs = row["max_ms"].asNumber();
         k.opsPerSec = row["ops_per_sec"].asNumber();
         k.nsPerOp = row["ns_per_op"].asNumber();
+        for (const auto &kv : row["stats"].members())
+            k.stats[kv.first] = kv.second.asNumber();
         out->push_back(std::move(k));
     }
     return true;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,14 @@ struct KernelResult
     double opsPerSec = 0;
     /** Nanoseconds per operation at the median repetition. */
     double nsPerOp = 0;
+    /**
+     * Deterministic simulator statistics the kernel chose to record
+     * (e.g. root-bus transactions of the snoop-filter pair): identical
+     * every repetition, serialized only when non-empty, and never
+     * gated by the comparison — they document *why* a kernel's cost
+     * moved, not how fast the host ran it.
+     */
+    std::map<std::string, double> stats;
 };
 
 /**

@@ -61,6 +61,20 @@ planDomainPartition(const SystemConfig &cfg, const AddressMap &map,
     if (cfg.fault.enabled())
         return serial("fault injection runs on the serial engine");
 
+    // Clustered topologies add two conditions.  With any boundary
+    // filter disabled, every transaction is broadcast system-wide, so
+    // no switch is independent.  And a processor homed outside its own
+    // cluster routes all its traffic across the root — its requests
+    // would have to appear on another shard's bus.
+    if (cfg.topology.clustered()) {
+        for (const auto &cl : cfg.topology.clusters) {
+            if (!cl.snoopFilter) {
+                return serial("an unfiltered cluster boundary broadcasts "
+                              "system-wide");
+            }
+        }
+    }
+
     std::set<unsigned> homes;
     plan.procHome.reserve(workloads.size());
     for (std::size_t i = 0; i < workloads.size(); ++i) {
@@ -85,6 +99,15 @@ planDomainPartition(const SystemConfig &cfg, const AddressMap &map,
                     h));
             }
             home = h;
+        }
+        if (cfg.topology.clustered()) {
+            unsigned own = cfg.topology.clusterOfProc(unsigned(i),
+                                                      cfg.numProcessors);
+            if (unsigned(home) != own) {
+                return serial(csprintf(
+                    "proc%zu is homed on switch %d outside its cluster %u",
+                    i, home, own));
+            }
         }
         plan.procHome.push_back(unsigned(home));
         homes.insert(unsigned(home));

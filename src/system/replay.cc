@@ -65,6 +65,8 @@ DirectedTrace::toConfig() const
     cfg.adaptive.counterBits = adaptiveBits;
     cfg.adaptive.invalidateThreshold = adaptiveInvalidateThreshold;
     cfg.adaptive.updateThreshold = adaptiveUpdateThreshold;
+    if (!TopologyConfig::fromName(topology, &cfg.topology))
+        fatal("trace names unknown topology '%s'", topology.c_str());
     cfg.enableChecker = true;
     return cfg;
 }
@@ -210,7 +212,11 @@ TraceReplayer::step(const DirectedOp &op)
     Slot &slot = slots_.at(op.cache);
     slot.issued = true;
     slot.completed = false;
-    sys_->cache(op.cache).access(mop, [&slot](const AccessResult &r) {
+    // Issue through the cache port on the switch that homes the
+    // address, the way a Processor would (on the single bus, port 0).
+    unsigned home = unsigned(sys_->addressMap().switchFor(mop.addr));
+    sys_->cache(op.cache, home).access(mop,
+                                       [&slot](const AccessResult &r) {
         slot.completed = true;
         slot.result = r;
     });
@@ -295,7 +301,10 @@ TraceReplayer::digest()
             d += csprintf("bw=%llx",
                           (unsigned long long)c.busyWaitAddr());
         }
-        if (busy(i))
+        // The digest walks every cache *port* (numCaches is processors
+        // x switches); the replayer's issue slots are per processor, so
+        // only the first port block consults them.
+        if (i < shape_.processors && busy(i))
             d += "busy";
         for (Addr b : blocks_) {
             if (c.holdsPurgedLock(b))
@@ -330,6 +339,22 @@ TraceReplayer::digest()
         d += csprintf("h%d;", sys_->checker().lockHolder(b));
     }
     d += "]";
+    // Inclusive L2 tags are architectural on clustered machines: they
+    // steer future snoop forwarding, so two states that differ only in
+    // tag residency are not interchangeable for further exploration.
+    if (sys_->numSharedCaches()) {
+        d += "l2[";
+        for (unsigned c = 0; c < sys_->numSharedCaches(); ++c) {
+            d += csprintf("%u:", c);
+            for (Addr b : blocks_) {
+                std::size_t home = sys_->addressMap().switchFor(b);
+                if (sys_->sharedCache(c).tagPresent(home, b))
+                    d += csprintf("%llx,", (unsigned long long)b);
+            }
+            d += ";";
+        }
+        d += "]";
+    }
     return d;
 }
 
@@ -361,6 +386,8 @@ traceToJson(const DirectedTrace &t)
         j.set("adaptive_invalidate_threshold", t.adaptiveInvalidateThreshold);
     if (t.adaptiveUpdateThreshold != 2)
         j.set("adaptive_update_threshold", t.adaptiveUpdateThreshold);
+    if (t.topology != "single_bus")
+        j.set("topology", t.topology);
     harness::Json ops = harness::Json::array();
     for (const DirectedOp &op : t.ops) {
         harness::Json o = harness::Json::object();
@@ -423,6 +450,8 @@ traceFromJson(const harness::Json &j, DirectedTrace *out, std::string *err)
         unsigned(j["adaptive_invalidate_threshold"].asNumber(2));
     t.adaptiveUpdateThreshold =
         unsigned(j["adaptive_update_threshold"].asNumber(2));
+    if (j["topology"].isString())
+        t.topology = j["topology"].asString();
     const harness::Json &ops = j["ops"];
     if (!ops.isArray())
         return fail("trace: missing ops array");

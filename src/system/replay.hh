@@ -74,6 +74,11 @@ struct DirectedTrace
     unsigned adaptiveBits = 2;
     unsigned adaptiveInvalidateThreshold = 2;
     unsigned adaptiveUpdateThreshold = 2;
+    /** Interconnect preset the trace runs on (TopologyConfig::names();
+     *  only serialized when non-default so existing traces are
+     *  untouched).  Clustered presets put the snoop filters and L2 tag
+     *  directories under the model checker's interleaving search. */
+    std::string topology = "single_bus";
     std::vector<DirectedOp> ops;
 
     /** The SystemConfig this trace runs against. */

@@ -4,7 +4,6 @@
 #include <map>
 #include <sstream>
 
-#include "coherence/adaptive.hh"
 #include "fault/faulty_bus.hh"
 #include "sim/parallel.hh"
 #include "sim/stats_json.hh"
@@ -33,6 +32,8 @@ System::System(const SystemConfig &cfg)
 
     for (std::size_t k = 0; k < switches.size(); ++k) {
         const SwitchSpec &sw = switches[k];
+        levels_.push_back(std::make_unique<CoherenceLevel>(
+            sw.name, cfg_.protocol, cfg_.adaptive));
         Port port;
         port.memory = std::make_unique<Memory>(
             multi ? sw.name + ".memory" : "memory", &eq_,
@@ -54,9 +55,7 @@ System::System(const SystemConfig &cfg)
         }
 
         for (unsigned i = 0; i < p; ++i) {
-            auto protocol = makeProtocol(cfg_.protocol);
-            if (auto *ap = dynamic_cast<AdaptiveProtocol *>(protocol.get()))
-                ap->setTuning(cfg_.adaptive);
+            auto protocol = levels_.back()->makeInstance();
             CacheConfig cc = cfg_.cache;
             if (cfg_.directoryFromProtocol)
                 cc.directory = protocol->features().directory;
@@ -81,6 +80,41 @@ System::System(const SystemConfig &cfg)
         io_ = std::make_unique<IODevice>("io", &eq_, NodeId(2 * p),
                                          sync_port.bus.get(), chk, &root_);
         sync_port.bus->addClient(io_.get());
+    }
+
+    if (cfg_.topology.clustered())
+        buildHierarchy();
+}
+
+void
+System::buildHierarchy()
+{
+    const TopologyConfig &topo = cfg_.topology;
+    unsigned p = cfg_.numProcessors;
+    rootBus_ = std::make_unique<RootBusModel>(topo.rootName, &root_);
+    for (unsigned c = 0; c < topo.numClusters(); ++c) {
+        l2s_.push_back(std::make_unique<SharedCache>(
+            topo.switches[c].name + ".l2", c, topo.clusters[c],
+            ports_.size(), &root_));
+    }
+    for (std::size_t k = 0; k < ports_.size(); ++k)
+        for (unsigned i = 0; i < p; ++i)
+            l2s_[topo.clusterOfProc(i, p)]->addMember(
+                k, ports_[k].caches[i].get());
+
+    std::vector<SharedCache *> l2s;
+    for (auto &l2 : l2s_)
+        l2s.push_back(l2.get());
+    // A root traversal costs a second arbitration plus the address
+    // phase one level up; contention is not modeled beyond the home
+    // bus's own serialization (see DESIGN.md).
+    Tick penalty = cfg_.timing.arbCycles + cfg_.timing.addrCycles;
+    for (std::size_t k = 0; k < ports_.size(); ++k) {
+        auto gate = std::make_unique<ClusterGate>(
+            topo.switches[k].name, k, &topo, p, l2s, rootBus_.get(),
+            penalty, &root_);
+        ports_[k].bus->setSnoopGate(gate.get());
+        levels_[k]->setGate(std::move(gate));
     }
 }
 

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/shared_cache.hh"
+#include "coherence/level.hh"
 #include "fault/watchdog.hh"
 #include "mem/bus.hh"
 #include "mem/io_device.hh"
@@ -81,6 +83,18 @@ class System
     {
         return *ports_.at(k).caches.at(proc);
     }
+
+    /** The coherence level (protocol domain) of switch @p k. */
+    CoherenceLevel &level(unsigned k) { return *levels_.at(k); }
+
+    /** Shared L2s, one per cluster (empty on flat topologies). */
+    unsigned numSharedCaches() const { return unsigned(l2s_.size()); }
+
+    /** Cluster @p c's shared L2 tag directory. */
+    SharedCache &sharedCache(unsigned c) { return *l2s_.at(c); }
+
+    /** The root-bus traffic model, or null on flat topologies. */
+    RootBusModel *rootBus() { return rootBus_.get(); }
 
     /**
      * Attach a processor running @p workload to the next free cache.
@@ -182,6 +196,10 @@ class System
         std::vector<std::unique_ptr<Cache>> caches;
     };
 
+    /** Build the shared level of a clustered topology: per-cluster L2
+     *  directories, per-switch boundary gates, the root-bus model. */
+    void buildHierarchy();
+
     /** Run the partition analysis and, if it passes, rebind each
      *  domain's objects onto a private shard queue (start()-time). */
     void planShards();
@@ -201,6 +219,14 @@ class System
     Checker checker_;
     ProgressWatchdog watchdog_;
     AddressMap map_;
+    /** One coherence level per switch; on clustered topologies each
+     *  owns its boundary gate (referenced raw by the bus, so the
+     *  levels must outlive the ports). */
+    std::vector<std::unique_ptr<CoherenceLevel>> levels_;
+    /** Per-cluster shared L2 directories (clustered topologies). */
+    std::vector<std::unique_ptr<SharedCache>> l2s_;
+    /** Root-bus traffic model (clustered topologies). */
+    std::unique_ptr<RootBusModel> rootBus_;
     std::vector<Port> ports_;
     std::unique_ptr<IODevice> io_;
     std::vector<std::unique_ptr<Processor>> procs_;

@@ -17,6 +17,13 @@ namespace
  *  16 MiB and its private/streaming data at 0x10000000 and above. */
 constexpr Addr kTwoSwitchSplit = 0x0100'0000;
 
+/** Address stride of one cluster of the clustered presets: cluster k
+ *  owns [k * 256 MiB, (k+1) * 256 MiB), the last one to the end of the
+ *  space.  The shipped workloads' low sync region lands in cluster 0
+ *  and the 0x10000000 streaming region in cluster 1, mirroring the
+ *  two_switch split one level up. */
+constexpr Addr kClusterStride = 0x1000'0000;
+
 } // namespace
 
 bool
@@ -45,6 +52,31 @@ TopologyConfig::twoSwitch()
     return t;
 }
 
+TopologyConfig
+TopologyConfig::clusteredPreset(unsigned n_clusters, bool snoop_filter,
+                                bool inclusive)
+{
+    sim_assert(n_clusters >= 2, "a clustered topology needs >= 2 clusters");
+    TopologyConfig t;
+    t.switches.clear();
+    for (unsigned k = 0; k < n_clusters; ++k) {
+        Addr lo = Addr(k) * kClusterStride;
+        Addr hi = k + 1 == n_clusters ? 0 : Addr(k + 1) * kClusterStride;
+        t.switches.push_back(
+            {csprintf("cluster%u", k), kAllTraffic, {{lo, hi}}, ""});
+        t.clusters.push_back({inclusive, snoop_filter});
+    }
+    return t;
+}
+
+unsigned
+TopologyConfig::clusterOfProc(unsigned proc, unsigned num_procs) const
+{
+    sim_assert(clustered() && proc < num_procs,
+               "clusterOfProc on a flat topology or bad index");
+    return unsigned((std::uint64_t(proc) * clusters.size()) / num_procs);
+}
+
 bool
 TopologyConfig::fromName(const std::string &name, TopologyConfig *out)
 {
@@ -56,15 +88,34 @@ TopologyConfig::fromName(const std::string &name, TopologyConfig *out)
         *out = twoSwitch();
         return true;
     }
-    return false;
+    // The clustered presets: NxM names the canonical shape (N cluster
+    // buses, M processors each); the processor axis still decides the
+    // actual count, assigned to clusters in contiguous blocks.
+    unsigned n = 0;
+    bool filter = true;
+    if (name == "clustered_2x1") {
+        n = 2; // The model checker's minimal 2-cluster machine.
+    } else if (name == "clustered_2x4") {
+        n = 2;
+    } else if (name == "clustered_4x2") {
+        n = 4;
+    } else if (name == "clustered_4x2_nofilter") {
+        n = 4;
+        filter = false; // Ablation: every transaction crosses the root.
+    } else {
+        return false;
+    }
+    *out = clusteredPreset(n, filter);
+    out->preset = name;
+    return true;
 }
 
 const std::vector<std::string> &
 TopologyConfig::names()
 {
     static const std::vector<std::string> presets = {
-        "single_bus",
-        "two_switch",
+        "single_bus",     "two_switch",           "clustered_2x1",
+        "clustered_2x4",  "clustered_4x2",        "clustered_4x2_nofilter",
     };
     return presets;
 }
@@ -146,6 +197,25 @@ TopologyConfig::check(std::string *err) const
     if (pieces.back().hi != 0) {
         return fail(csprintf("address map leaves a gap above %#llx",
                              (unsigned long long)pieces.back().hi));
+    }
+
+    // Hierarchy metadata: cluster k is switch k, so the lists must
+    // pair up, and the root bus needs a stat namespace of its own.
+    if (!clusters.empty()) {
+        if (clusters.size() != switches.size()) {
+            return fail(csprintf("%zu clusters for %zu switches (cluster "
+                                 "k must be switch k)",
+                                 clusters.size(), switches.size()));
+        }
+        if (clusters.size() < 2)
+            return fail("a clustered topology needs at least 2 clusters");
+        if (rootName.empty())
+            return fail("a clustered topology needs a root bus name");
+        if (indexOf(rootName) != switches.size()) {
+            return fail(csprintf("root bus name '%s' collides with a "
+                                 "switch",
+                                 rootName.c_str()));
+        }
     }
     return true;
 }

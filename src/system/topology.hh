@@ -42,6 +42,33 @@ struct AddrRange
     }
 };
 
+/**
+ * Hierarchy metadata for one cluster of a clustered topology.  Cluster
+ * k is switch k: the cluster bus joining that cluster's private L1
+ * ports, with a shared L2 tag directory (a snoop filter) sitting at the
+ * boundary between the cluster bus and the top-level root bus.
+ */
+struct ClusterSpec
+{
+    /**
+     * L2 policy.  Inclusive: the L2 keeps a block's tag after the last
+     * private L1 evicts it (the shared level retains the block), so
+     * boundary snoops keep forwarding into the cluster until the tag is
+     * invalidated.  Exclusive: the L2 tracks exactly the union of the
+     * L1 tags below it, so forwarding stops the moment the last private
+     * copy leaves.  Both are supersets of the L1s' residency, which is
+     * what makes filtering safe (see DESIGN.md).
+     */
+    bool inclusive = true;
+    /**
+     * Snoop filtering at the cluster boundary.  Disabled, every
+     * transaction is broadcast through the root bus to every cluster —
+     * the flat-hierarchy ablation the snoop-filter bench pair measures
+     * against.
+     */
+    bool snoopFilter = true;
+};
+
 /** One switch of the interconnect fabric. */
 struct SwitchSpec
 {
@@ -73,6 +100,35 @@ struct TopologyConfig
         {"bus", kAllTraffic, {{0, 0}}, ""},
     };
 
+    /**
+     * Hierarchy metadata: empty for the flat machines; on a clustered
+     * topology, one entry per switch (cluster k's bus is switch k).
+     * The address partition is unchanged — every address still has one
+     * home switch — so the per-switch coherence argument carries over;
+     * the clusters add the root-bus traffic model and per-cluster snoop
+     * filtering on top.
+     */
+    std::vector<ClusterSpec> clusters;
+
+    /** Stat namespace of the top-level bus joining the clusters
+     *  (clustered topologies only). */
+    std::string rootName = "root";
+
+    /** True when this is a hierarchical (clustered) topology. */
+    bool clustered() const { return !clusters.empty(); }
+
+    /** Cluster count (0 on flat topologies). */
+    unsigned numClusters() const { return unsigned(clusters.size()); }
+
+    /**
+     * The cluster processor @p proc belongs to, for a machine of
+     * @p num_procs processors: processors are assigned to clusters in
+     * contiguous balanced blocks (8 processors on 4 clusters pair them
+     * up; the NxM preset names record the canonical shape, not a
+     * limit).  Only meaningful on clustered topologies.
+     */
+    unsigned clusterOfProc(unsigned proc, unsigned num_procs) const;
+
     /** True for the paper's baseline: one switch carrying everything. */
     bool isSingleBus() const;
 
@@ -88,7 +144,22 @@ struct TopologyConfig
      */
     static TopologyConfig twoSwitch();
 
-    /** Resolve a preset by name; false if @p name is unknown. */
+    /**
+     * A clustered machine: @p n_clusters cluster buses ("cluster0"...)
+     * tiling the address space in 256 MiB strides, each with a shared
+     * L2 boundary filter, joined by a top-level root bus.  The canned
+     * clustered presets (clustered_4x2, clustered_2x4, ...) are this
+     * shape with the NxM name recording the canonical processor
+     * pairing.
+     */
+    static TopologyConfig clusteredPreset(unsigned n_clusters,
+                                          bool snoop_filter = true,
+                                          bool inclusive = true);
+
+    /** Resolve a preset by name; false if @p name is unknown.  Every
+     *  preset has an equivalent canned spec file under specs/ (tests
+     *  enforce the equivalence), so campaign axes can mix preset names
+     *  and --topology-spec files freely. */
     static bool fromName(const std::string &name, TopologyConfig *out);
 
     /** The preset names fromName() accepts. */

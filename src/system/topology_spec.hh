@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Declarative topology specs: a JSON system description that builds a
+ * TopologyConfig, replacing hand-written presets with config-driven
+ * generation.  A spec names either a flat switch list or a hierarchical
+ * clustered machine:
+ *
+ *   {
+ *     "name": "clustered_4x2",
+ *     "levels": [
+ *       {"kind": "root", "name": "root"},
+ *       {"kind": "cluster", "l2_policy": "inclusive",
+ *        "snoop_filter": true}
+ *     ],
+ *     "clusters": [
+ *       {"name": "cluster0", "ranges": [["0x0", "0x10000000"]]},
+ *       {"name": "cluster1", "ranges": [["0x10000000", "0x0"]]}
+ *     ]
+ *   }
+ *
+ * "levels" declares the tree top-down (the private L1 level is
+ * implicit); "clusters" instantiates the cluster buses.  A flat spec
+ * replaces "clusters" with "switches" (same fields, no root level).
+ * Ranges are [lo, hi) pairs, hex strings or numbers, hi "0x0" meaning
+ * end-of-space; a cluster may omit "ranges" to take the default
+ * 256 MiB stride tiling.  Every canned preset has an equivalent spec
+ * under specs/ (tests enforce the equivalence), so campaign axes can
+ * mix preset names and --topology-spec files freely.
+ */
+
+#ifndef CSYNC_SYSTEM_TOPOLOGY_SPEC_HH
+#define CSYNC_SYSTEM_TOPOLOGY_SPEC_HH
+
+#include <string>
+
+#include "system/topology.hh"
+
+namespace csync
+{
+
+namespace harness
+{
+class Json;
+} // namespace harness
+
+/**
+ * Build a TopologyConfig from a parsed spec document.
+ * @return false with *err set on a malformed or invalid spec (the
+ *         result also passes TopologyConfig::check()).
+ */
+bool topologyFromSpec(const harness::Json &doc, TopologyConfig *out,
+                      std::string *err);
+
+/** As topologyFromSpec(), reading and parsing @p path first. */
+bool topologyFromSpecFile(const std::string &path, TopologyConfig *out,
+                          std::string *err);
+
+} // namespace csync
+
+#endif // CSYNC_SYSTEM_TOPOLOGY_SPEC_HH

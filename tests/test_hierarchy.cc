@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Hierarchical-topology tests: clustered preset shape, the shared-L2
+ * tag directory's inclusive/exclusive policies, per-cluster stat
+ * namespacing, preset <-> spec-file equivalence (every advertised
+ * preset has a canned spec under specs/ building the identical
+ * TopologyConfig), snoop-filter traffic suppression, the topology-spec
+ * campaign axis, and clustered campaign determinism across worker
+ * counts including the partition_fallback diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cache/shared_cache.hh"
+#include "harness/campaign.hh"
+#include "harness/campaign_io.hh"
+#include "harness/sweep.hh"
+#include "harness/workload_factory.hh"
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "system/topology_spec.hh"
+
+#ifndef CSYNC_SPECS_DIR
+#error "CSYNC_SPECS_DIR must point at the repo's specs/ directory"
+#endif
+
+using namespace csync;
+using namespace csync::harness;
+
+namespace
+{
+
+/** Run check() and return its failure message ("" when valid). */
+std::string
+checkMessage(const TopologyConfig &topo)
+{
+    std::string err;
+    return topo.check(&err) ? "" : err;
+}
+
+/** Build and run a clustered System on a factory workload.  Heap
+ *  allocated: a System pins internal pointers and must not move. */
+std::unique_ptr<System>
+runClustered(const TopologyConfig &topo, const std::string &workload,
+             unsigned procs)
+{
+    SystemConfig cfg;
+    cfg.protocol = "bitar";
+    cfg.numProcessors = procs;
+    cfg.cache.geom.frames = 64;
+    cfg.cache.geom.blockWords = 4;
+    cfg.topology = topo;
+    auto sys = std::make_unique<System>(cfg);
+    for (unsigned i = 0; i < procs; ++i) {
+        WorkloadSlot slot;
+        slot.procId = i;
+        slot.numProcs = procs;
+        slot.numClusters = topo.numClusters();
+        slot.ops = 300;
+        slot.seed = 42;
+        slot.protocol = cfg.protocol;
+        std::string err;
+        auto w = makeWorkload(workload, slot, &err);
+        EXPECT_NE(w, nullptr) << err;
+        sys->addProcessor(std::move(w));
+    }
+    sys->start();
+    sys->run();
+    EXPECT_TRUE(sys->allDone());
+    return sys;
+}
+
+} // namespace
+
+TEST(Hierarchy, ClusteredPresetsAreShapedAsAdvertised)
+{
+    TopologyConfig topo;
+    ASSERT_TRUE(TopologyConfig::fromName("clustered_4x2", &topo));
+    EXPECT_EQ(checkMessage(topo), "");
+    EXPECT_TRUE(topo.clustered());
+    EXPECT_EQ(topo.numClusters(), 4u);
+    ASSERT_EQ(topo.switches.size(), 4u);
+    EXPECT_EQ(topo.switches[0].name, "cluster0");
+    EXPECT_EQ(topo.switches[3].name, "cluster3");
+    EXPECT_EQ(topo.rootName, "root");
+    for (const ClusterSpec &c : topo.clusters) {
+        EXPECT_TRUE(c.inclusive);
+        EXPECT_TRUE(c.snoopFilter);
+    }
+
+    // Eight processors on four clusters pair up in contiguous blocks.
+    EXPECT_EQ(topo.clusterOfProc(0, 8), 0u);
+    EXPECT_EQ(topo.clusterOfProc(1, 8), 0u);
+    EXPECT_EQ(topo.clusterOfProc(2, 8), 1u);
+    EXPECT_EQ(topo.clusterOfProc(7, 8), 3u);
+    // And four processors on four clusters go one apiece.
+    for (unsigned p = 0; p < 4; ++p)
+        EXPECT_EQ(topo.clusterOfProc(p, 4), p);
+
+    // The ablation preset is the same machine with filtering off.
+    TopologyConfig nof;
+    ASSERT_TRUE(TopologyConfig::fromName("clustered_4x2_nofilter", &nof));
+    ASSERT_EQ(nof.clusters.size(), topo.clusters.size());
+    for (const ClusterSpec &c : nof.clusters)
+        EXPECT_FALSE(c.snoopFilter);
+}
+
+TEST(Hierarchy, EveryPresetHasAnEquivalentSpecFile)
+{
+    // fromName() advertises the equivalence; this is the test that
+    // enforces it, so presets and spec files cannot drift apart.
+    for (const auto &name : TopologyConfig::names()) {
+        TopologyConfig preset;
+        ASSERT_TRUE(TopologyConfig::fromName(name, &preset)) << name;
+
+        TopologyConfig spec;
+        std::string err;
+        std::string path =
+            std::string(CSYNC_SPECS_DIR) + "/" + name + ".json";
+        ASSERT_TRUE(topologyFromSpecFile(path, &spec, &err))
+            << path << ": " << err;
+
+        EXPECT_EQ(spec.preset, preset.preset) << name;
+        EXPECT_EQ(spec.rootName, preset.rootName) << name;
+        ASSERT_EQ(spec.switches.size(), preset.switches.size()) << name;
+        for (std::size_t i = 0; i < preset.switches.size(); ++i) {
+            const SwitchSpec &a = preset.switches[i];
+            const SwitchSpec &b = spec.switches[i];
+            EXPECT_EQ(b.name, a.name) << name;
+            EXPECT_EQ(b.carries, a.carries) << name << "/" << a.name;
+            EXPECT_EQ(b.arbitration, a.arbitration)
+                << name << "/" << a.name;
+            ASSERT_EQ(b.ranges.size(), a.ranges.size())
+                << name << "/" << a.name;
+            for (std::size_t r = 0; r < a.ranges.size(); ++r) {
+                EXPECT_EQ(b.ranges[r].lo, a.ranges[r].lo)
+                    << name << "/" << a.name;
+                EXPECT_EQ(b.ranges[r].hi, a.ranges[r].hi)
+                    << name << "/" << a.name;
+            }
+        }
+        ASSERT_EQ(spec.clusters.size(), preset.clusters.size()) << name;
+        for (std::size_t i = 0; i < preset.clusters.size(); ++i) {
+            EXPECT_EQ(spec.clusters[i].inclusive,
+                      preset.clusters[i].inclusive) << name;
+            EXPECT_EQ(spec.clusters[i].snoopFilter,
+                      preset.clusters[i].snoopFilter) << name;
+        }
+    }
+}
+
+TEST(Hierarchy, InclusiveTagsPersistAndExclusiveTagsDoNot)
+{
+    stats::Group root("system");
+
+    ClusterSpec inc;
+    inc.inclusive = true;
+    SharedCache l2("cluster0.l2", 0, inc, 2, &root);
+    EXPECT_FALSE(l2.tagPresent(0, 0x40));
+    l2.noteFill(0, 0x40);
+    EXPECT_TRUE(l2.tagPresent(0, 0x40));
+    EXPECT_TRUE(l2.mayHold(0, 0x40));
+    // Residency is tracked per home switch.
+    EXPECT_FALSE(l2.tagPresent(1, 0x40));
+    // A repeated fill is idempotent.
+    l2.noteFill(0, 0x40);
+    EXPECT_EQ(l2.tagInserts.value(), 1.0);
+    l2.noteInvalidate(0, 0x40);
+    EXPECT_FALSE(l2.tagPresent(0, 0x40));
+    EXPECT_FALSE(l2.mayHold(0, 0x40));
+    EXPECT_EQ(l2.tagDrops.value(), 1.0);
+
+    // The exclusive policy keeps no tag state of its own: residency is
+    // a live query over the member L1s (none here), so a fill leaves
+    // nothing behind.
+    ClusterSpec exc;
+    exc.inclusive = false;
+    SharedCache x("cluster1.l2", 1, exc, 2, &root);
+    x.noteFill(0, 0x40);
+    EXPECT_FALSE(x.tagPresent(0, 0x40));
+    EXPECT_FALSE(x.mayHold(0, 0x40));
+    EXPECT_EQ(x.tagInserts.value(), 0.0);
+}
+
+TEST(Hierarchy, PerClusterStatNamespacesAreDisjoint)
+{
+    TopologyConfig topo;
+    ASSERT_TRUE(TopologyConfig::fromName("clustered_2x1", &topo));
+    auto sys = runClustered(topo, "cluster_local", 2);
+    EXPECT_EQ(sys->checker().violations(), 0u);
+    EXPECT_EQ(sys->checkStateInvariants(), 0u);
+
+    std::ostringstream os;
+    sys->dumpStats(os);
+    std::string dump = os.str();
+    // Each cluster's bus, boundary filter, and shared L2 live under
+    // their own prefix; the root-bus model under its own.
+    EXPECT_NE(dump.find("system.cluster0."), std::string::npos);
+    EXPECT_NE(dump.find("system.cluster1."), std::string::npos);
+    EXPECT_NE(dump.find("system.cluster0.l2.tagInserts"),
+              std::string::npos);
+    EXPECT_NE(dump.find("system.cluster1.l2.tagInserts"),
+              std::string::npos);
+    EXPECT_NE(dump.find("system.cluster0.filter.snoopsFiltered"),
+              std::string::npos);
+    EXPECT_NE(dump.find("system.root.transactions"), std::string::npos);
+    // The single-bus legacy names must not leak into a clustered dump.
+    EXPECT_EQ(dump.find("system.bus."), std::string::npos);
+    EXPECT_EQ(dump.find("system.memory."), std::string::npos);
+}
+
+TEST(Hierarchy, SnoopFilterKeepsClusterLocalTrafficOffTheRoot)
+{
+    // The cluster_local recipe homes each processor's footprint in its
+    // own cluster's stride, so with filtering every transaction can be
+    // proven cluster-local and the root bus stays silent.
+    TopologyConfig filt;
+    ASSERT_TRUE(TopologyConfig::fromName("clustered_2x1", &filt));
+    auto sys = runClustered(filt, "cluster_local", 2);
+    ASSERT_NE(sys->rootBus(), nullptr);
+    EXPECT_EQ(sys->rootBus()->transactions.value(), 0.0);
+    EXPECT_EQ(sys->checker().violations(), 0u);
+    EXPECT_EQ(sys->checkStateInvariants(), 0u);
+
+    // The ablation: same machine, filtering off — every transaction is
+    // broadcast through the root to the remote cluster.
+    TopologyConfig nof = filt;
+    for (ClusterSpec &c : nof.clusters)
+        c.snoopFilter = false;
+    auto sysNof = runClustered(nof, "cluster_local", 2);
+    EXPECT_GT(sysNof->rootBus()->transactions.value(), 0.0);
+    EXPECT_EQ(sysNof->checker().violations(), 0u);
+    EXPECT_EQ(sysNof->checkStateInvariants(), 0u);
+}
+
+TEST(Hierarchy, CrossClusterSharingStaysCoherent)
+{
+    // random_sharing's footprint straddles the cluster strides: the
+    // filter must hold the boundary open wherever a remote copy (or an
+    // armed busy-wait register) exists, and coherence must be exactly
+    // the flat machine's.
+    TopologyConfig topo;
+    ASSERT_TRUE(TopologyConfig::fromName("clustered_2x1", &topo));
+    auto sys = runClustered(topo, "random_sharing", 2);
+    EXPECT_GT(sys->rootBus()->transactions.value(), 0.0);
+    EXPECT_EQ(sys->checker().violations(), 0u);
+    EXPECT_EQ(sys->checkStateInvariants(), 0u);
+}
+
+TEST(Hierarchy, SweepExpandsTopologySpecFiles)
+{
+    SweepSpec spec;
+    spec.name = "spec-axis";
+    spec.protocols = {"bitar"};
+    spec.workloads = {"cluster_local"};
+    spec.topologies.clear();
+    spec.topologySpecs = {
+        std::string(CSYNC_SPECS_DIR) + "/clustered_2x1.json"};
+    spec.processorCounts = {2};
+    spec.opsPerProcessor = 100;
+    std::vector<JobSpec> grid;
+    std::string err;
+    ASSERT_TRUE(spec.expand(&grid, &err)) << err;
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_TRUE(grid[0].config.topology.clustered());
+    EXPECT_EQ(grid[0].config.topology.numClusters(), 2u);
+    EXPECT_NE(grid[0].name.find("clustered_2x1"), std::string::npos)
+        << grid[0].name;
+}
+
+namespace
+{
+
+/** Run a small clustered campaign at the given worker count. */
+CampaignResult
+runClusteredCampaign(unsigned jobs)
+{
+    SweepSpec spec;
+    spec.name = "hierarchy-determinism";
+    spec.protocols = {"bitar"};
+    spec.workloads = {"cluster_local", "random_sharing"};
+    spec.topologies = {"clustered_2x1"};
+    spec.processorCounts = {2, 4};
+    spec.opsPerProcessor = 200;
+    std::vector<JobSpec> grid;
+    std::string err;
+    EXPECT_TRUE(spec.expand(&grid, &err)) << err;
+    CampaignRunner runner;
+    CampaignRunner::Options opts;
+    opts.jobs = jobs;
+    return runner.run(grid, opts);
+}
+
+} // namespace
+
+TEST(Hierarchy, ClusteredCampaignRowsAreIdenticalAtAnyWorkerCount)
+{
+    CampaignResult serial = runClusteredCampaign(1);
+    CampaignResult parallel = runClusteredCampaign(4);
+    ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+    ASSERT_EQ(serial.rows.size(), 4u); // 1 proto x 2 wl x 1 topo x 2 p
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+        const JobResult &a = serial.rows[i];
+        const JobResult &b = parallel.rows[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.status, b.status) << a.name;
+        EXPECT_EQ(a.ticks, b.ticks) << a.name;
+        EXPECT_EQ(a.memOps, b.memOps) << a.name;
+        EXPECT_EQ(a.stats, b.stats) << a.name;
+        EXPECT_EQ(a.partitionFallback, b.partitionFallback) << a.name;
+        EXPECT_TRUE(a.ok()) << a.name << ": " << a.error;
+    }
+
+    for (const JobResult &row : serial.rows) {
+        // cluster_local shards cleanly, so its rows carry no fallback
+        // diagnostic; random_sharing spans the strides and must say why.
+        if (row.name.find("cluster_local") != std::string::npos) {
+            EXPECT_EQ(row.partitionFallback, "") << row.name;
+        } else {
+            EXPECT_NE(row.partitionFallback, "") << row.name;
+        }
+        // Clustered rows report per-cluster namespaces, not the flat
+        // single-bus ones.
+        EXPECT_NE(row.stats.find("system.cluster0.transactions"),
+                  row.stats.end()) << row.name;
+        EXPECT_EQ(row.stats.count("system.bus.transactions"), 0u)
+            << row.name;
+    }
+
+    // The diagnostic survives the JSON row round trip.
+    for (const JobResult &row : serial.rows) {
+        JobResult back;
+        std::string err;
+        ASSERT_TRUE(rowFromJson(rowToJson(row), &back, &err)) << err;
+        EXPECT_EQ(back.partitionFallback, row.partitionFallback)
+            << row.name;
+    }
+}

@@ -146,6 +146,47 @@ TEST(Topology, AddressMapRoutesAtPartitionBoundaries)
     EXPECT_EQ(two.switchFor(~Addr(0)), 1u);  // unbounded tail range
 }
 
+TEST(Topology, AddressMapEdgeCases)
+{
+    // Full space as one explicit [0, end) range: everything routes to
+    // the only switch, including both extremes of the address space.
+    TopologyConfig full;
+    full.preset = "custom";
+    full.switches = {{"bus", kAllTraffic, {{0, 0}}, ""}};
+    ASSERT_EQ(checkMessage(full), "");
+    AddressMap fullMap(full);
+    EXPECT_EQ(fullMap.switchFor(0), 0u);
+    EXPECT_EQ(fullMap.switchFor(0x8000'0000), 0u);
+    EXPECT_EQ(fullMap.switchFor(~Addr(0)), 0u);
+
+    // A zero-length range is rejected outright rather than silently
+    // producing an unroutable hole.
+    TopologyConfig zero = full;
+    zero.switches[0].ranges = {{0x1000, 0x1000}};
+    EXPECT_NE(checkMessage(zero).find("empty range"), std::string::npos);
+
+    // Adjacent-but-not-overlapping partitions are valid and route
+    // exactly at the seams: hi of one range is the lo of the next.
+    constexpr Addr kA = 0x0020'0000;
+    constexpr Addr kB = 0x0300'0000;
+    TopologyConfig adj;
+    adj.preset = "custom";
+    adj.switches = {
+        {"lo", kAllTraffic, {{0, kA}}, ""},
+        {"mid", kAllTraffic, {{kA, kB}}, ""},
+        {"hi", kAllTraffic, {{kB, 0}}, ""},
+    };
+    ASSERT_EQ(checkMessage(adj), "");
+    AddressMap map(adj);
+    EXPECT_EQ(map.numSwitches(), 3u);
+    EXPECT_EQ(map.switchFor(0), 0u);
+    EXPECT_EQ(map.switchFor(kA - 1), 0u);
+    EXPECT_EQ(map.switchFor(kA), 1u);
+    EXPECT_EQ(map.switchFor(kB - 1), 1u);
+    EXPECT_EQ(map.switchFor(kB), 2u);
+    EXPECT_EQ(map.switchFor(~Addr(0)), 2u);
+}
+
 namespace
 {
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,9 @@ struct KernelSpec
     std::string trace = ""; // .ctrace path; replaces the workload
     /** Event-engine threads (1 = the serial engine). */
     unsigned simThreads = 1;
+    /** Flattened campaign stats to record on the kernel's document row
+     *  (deterministic, so any repetition's values serve). */
+    std::vector<std::string> recordStats = {};
 };
 
 /** The committed golden trace the replay kernels stream. */
@@ -80,7 +84,12 @@ traceTag(const std::string &path)
  * performance trajectory too.  The domain_local pair runs the same
  * statically-partitionable two-switch job on the serial engine and on
  * the sharded parallel engine (@p mtThreads workers), so the parallel
- * speedup is a measured, gateable quantity (--min-speedup).
+ * speedup is a measured, gateable quantity (--min-speedup).  The
+ * cluster_local trio runs the hierarchical machine: the filtered and
+ * unfiltered clustered_4x2 kernels record root-bus transactions on
+ * their document rows (the snoop filter's traffic reduction is a
+ * committed number, not a claim), and the _mt variant shards the four
+ * clusters across the parallel engine.
  */
 std::vector<KernelSpec>
 standardKernels(unsigned mtThreads)
@@ -105,6 +114,12 @@ standardKernels(unsigned mtThreads)
          "two_switch"},
         {"bitar_domain_local_two_switch_mt", "bitar", "domain_local", 8,
          "two_switch", "", mtThreads},
+        {"bitar_cluster_local_4x2", "bitar", "cluster_local", 8,
+         "clustered_4x2", "", 1, {"system.root.transactions"}},
+        {"bitar_cluster_local_4x2_nofilter", "bitar", "cluster_local", 8,
+         "clustered_4x2_nofilter", "", 1, {"system.root.transactions"}},
+        {"bitar_cluster_local_4x2_mt", "bitar", "cluster_local", 8,
+         "clustered_4x2", "", mtThreads},
     };
 }
 
@@ -277,12 +292,21 @@ runKernels(const std::vector<std::string> &only, std::uint64_t ops,
             if (!makeJob(k, ops, &job, err))
                 return false;
             std::string job_err;
-            r = harness.run(k.name, [&job, &job_err]() -> std::uint64_t {
+            std::map<std::string, double> recorded;
+            r = harness.run(k.name,
+                            [&job, &job_err, &k,
+                             &recorded]() -> std::uint64_t {
                 JobResult row = CampaignRunner::runJob(job);
                 if (!row.ok())
                     job_err = row.status + ": " + row.error;
+                for (const auto &stat : k.recordStats) {
+                    auto it = row.stats.find(stat);
+                    if (it != row.stats.end())
+                        recorded[stat] = it->second;
+                }
                 return row.memOps;
             }, opts);
+            r.stats = std::move(recorded);
             if (!job_err.empty()) {
                 std::fprintf(stderr, "csync-bench: kernel '%s' failed "
                              "(%s)\n", k.name.c_str(), job_err.c_str());

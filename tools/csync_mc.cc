@@ -26,6 +26,7 @@
 #include "mc/explorer.hh"
 #include "mc/fuzzer.hh"
 #include "sim/logging.hh"
+#include "system/topology.hh"
 
 using namespace csync;
 using namespace csync::mc;
@@ -49,6 +50,10 @@ usage(const char *argv0)
         "                              deep: 3 caches, 2 blocks, 6)\n"
         "  --caches N / --blocks N / --depth N   override one bound\n"
         "  --no-locks / --no-evicts    drop op classes from the alphabet\n"
+        "  --topology NAME             interconnect preset (default\n"
+        "                              single_bus; clustered_2x1 puts\n"
+        "                              the cluster snoop filters under\n"
+        "                              the search)\n"
         "\n"
         "fuzz options:\n"
         "  --seeds N                   seeds per pair (default 64)\n"
@@ -124,6 +129,10 @@ boundsToJson(const ExploreBounds &b)
     j.set("depth", b.depth);
     j.set("lock_ops", b.lockOps);
     j.set("evict_ops", b.evictOps);
+    // Rides along only when non-default, keeping the committed golden
+    // mc output byte-identical.
+    if (b.topology != "single_bus")
+        j.set("topology", b.topology);
     return j;
 }
 
@@ -166,6 +175,18 @@ doExplore(const std::vector<std::string> &args)
             bounds.lockOps = false;
         } else if (a == "--no-evicts") {
             bounds.evictOps = false;
+        } else if (a == "--topology") {
+            if (!(v = value()))
+                return cliError("--topology needs a preset name");
+            TopologyConfig dummy;
+            if (!TopologyConfig::fromName(*v, &dummy)) {
+                std::string names;
+                for (const auto &n : TopologyConfig::names())
+                    names += (names.empty() ? "" : ", ") + n;
+                return cliError("unknown topology '" + *v +
+                                "' (known: " + names + ")");
+            }
+            bounds.topology = *v;
         } else if (a == "-o" || a == "--out") {
             if (!(v = value()))
                 return cliError("-o needs a path");

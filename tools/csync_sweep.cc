@@ -72,6 +72,8 @@ usage(const char *argv0)
         "  --protocols A,B,...  protocol axis\n"
         "  --workloads A,B,...  workload axis\n"
         "  --topology A,B,...   topology axis (default single_bus)\n"
+        "  --topology-spec F,.. declarative topology spec files; with\n"
+        "                       no --topology they replace single_bus\n"
         "  --arbitration A,...  bus arbitration axis (default "
         "round_robin)\n"
         "  --procs N,M,...      processor-count axis (default 4)\n"
@@ -367,6 +369,7 @@ main(int argc, char **argv)
     SweepSpec cli; // axes given on the command line
     bool have_protocols = false, have_workloads = false;
     bool have_traces = false, have_topos = false, have_arbs = false;
+    bool have_topo_specs = false;
     bool have_procs = false, have_bw = false, have_frames = false;
     bool have_seeds = false, have_ops = false, have_ticks = false;
     bool have_frates = false, have_fseeds = false, have_fkinds = false;
@@ -422,6 +425,12 @@ main(int argc, char **argv)
             have_topos = splitList(v, &cli.topologies);
             if (!have_topos)
                 return cliError("--topology: empty list");
+        } else if (a == "--topology-spec") {
+            if (!(v = next_arg(i, "--topology-spec")))
+                return 2;
+            have_topo_specs = splitList(v, &cli.topologySpecs);
+            if (!have_topo_specs)
+                return cliError("--topology-spec: empty list");
         } else if (a == "--arbitration") {
             if (!(v = next_arg(i, "--arbitration")))
                 return 2;
@@ -549,7 +558,8 @@ main(int argc, char **argv)
         return cliError("--isolate is not supported on this platform");
 
     bool any_axis = have_protocols || have_workloads || have_traces ||
-                    have_topos || have_arbs || have_procs || have_bw ||
+                    have_topos || have_topo_specs || have_arbs ||
+                    have_procs || have_bw ||
                     have_frames || have_seeds || have_ops || have_ticks ||
                     have_frates || have_fseeds || have_fkinds;
     if (!resume_path.empty() &&
@@ -601,6 +611,17 @@ main(int argc, char **argv)
             spec.traces = cli.traces;
         if (have_topos)
             spec.topologies = cli.topologies;
+        if (have_topo_specs) {
+            spec.topologySpecs = cli.topologySpecs;
+            // Same rule as the JSON axis: naming only spec files
+            // replaces the (untouched) default single_bus entry
+            // rather than adding to it.
+            if (!have_topos &&
+                spec.topologies ==
+                    std::vector<std::string>{"single_bus"}) {
+                spec.topologies.clear();
+            }
+        }
         if (have_arbs)
             spec.arbitrations = cli.arbitrations;
         if (have_procs)
